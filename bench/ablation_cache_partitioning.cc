@@ -1,0 +1,93 @@
+// Ablation: cache partitioning schemes (DESIGN.md item 2).
+//
+// §4.2 offers two options: hard static partitioning (side-channel free,
+// fixed allocation) and SecDCP-style partitioning (one-way information flow
+// NIC-OS -> NF, resizable). The shared baseline shows why soft schemes are
+// insufficient. This bench measures victim hit rate with/without a
+// thrashing neighbour under each policy, plus SecDCP's ability to reclaim
+// capacity for a growing domain.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/sim/cache.h"
+
+namespace {
+
+using namespace snic;
+
+// Victim loops over `working_set` bytes; neighbour (domain 1) thrashes.
+double VictimHitRate(sim::PartitionPolicy policy, uint64_t working_set,
+                     bool neighbour_active, uint32_t victim_ways = 0) {
+  sim::CacheConfig config;
+  config.size_bytes = 1u << 20;  // 1 MB
+  config.line_bytes = 64;
+  config.associativity = 16;
+  config.policy = policy;
+  config.num_domains = 2;
+  config.pseudo_lru = true;  // avoid strict-LRU cyclic-scan cliffs
+  sim::Cache cache(config);
+  if (victim_ways != 0 && policy == sim::PartitionPolicy::kSecDcp) {
+    cache.ResizeDomain(0, victim_ways);
+  }
+  Rng rng(7);
+  const uint64_t lines = working_set / 64;
+  uint64_t hits = 0, accesses = 0;
+  for (uint64_t i = 0; i < 400'000; ++i) {
+    hits += cache.Access((i % lines) * 64, 0) ? 1 : 0;
+    ++accesses;
+    if (neighbour_active) {
+      cache.Access(rng.NextU64() % (1u << 26), 1);
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(accesses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using snic::TablePrinter;
+
+  snic::bench::PrintHeader(
+      "Ablation: cache partitioning scheme",
+      "S-NIC (EuroSys'24) §4.2 design choice (hard static vs SecDCP)");
+
+  TablePrinter table({"Policy", "Victim hit rate (alone)",
+                      "Victim hit rate (thrashing neighbour)",
+                      "Interference"});
+  struct Row {
+    sim::PartitionPolicy policy;
+    const char* name;
+  };
+  for (const Row& row :
+       {Row{sim::PartitionPolicy::kShared, "Shared LRU (commodity)"},
+        Row{sim::PartitionPolicy::kStaticEqual, "Hard static 1/N (S-NIC)"},
+        Row{sim::PartitionPolicy::kSecDcp, "SecDCP (min guarantee)"}}) {
+    const double alone = VictimHitRate(row.policy, 400u << 10, false);
+    const double contended = VictimHitRate(row.policy, 400u << 10, true);
+    table.AddRow({row.name, TablePrinter::Pct(alone, 2),
+                  TablePrinter::Pct(contended, 2),
+                  TablePrinter::Pct(alone - contended, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // SecDCP's upside: the NIC OS can grant a hot domain more ways.
+  std::printf("SecDCP resize (victim working set 900KB in a 1MB cache):\n");
+  TablePrinter resize({"Victim ways", "Hit rate"});
+  for (uint32_t ways : {8u, 12u, 15u}) {
+    resize.AddRow({std::to_string(ways),
+                   TablePrinter::Pct(VictimHitRate(sim::PartitionPolicy::kSecDcp,
+                                                   900u << 10, false, ways),
+                                     2)});
+  }
+  std::printf("%s\n", resize.ToString().c_str());
+  std::printf(
+      "Expected: shared LRU collapses under a thrashing neighbour (the side\n"
+      "channel); both partitioned schemes show zero interference; SecDCP\n"
+      "additionally converts extra ways into hit rate when resized.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the table/figure regeneration harnesses.
+
+#ifndef SNIC_BENCH_BENCH_UTIL_H_
+#define SNIC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace snic::bench {
+
+// `--quick` trims workload sizes for smoke runs; default regenerates the
+// full table/figure.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==========================================================\n\n");
+}
+
+}  // namespace snic::bench
+
+#endif  // SNIC_BENCH_BENCH_UTIL_H_

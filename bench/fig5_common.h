@@ -1,0 +1,77 @@
+// Shared machinery for the Fig. 5 experiments (§5.3).
+//
+// Methodology, mirroring the paper: each NF executes natively over packets
+// drawn from a 100,000-flow pool with Zipf(1.1) popularity (the iCTF-derived
+// distribution), recording an instruction/memory trace. Colocation mixes are
+// then replayed on the timing model twice — commodity baseline (shared LRU
+// L2, FCFS bus) and S-NIC (statically partitioned L2, temporally partitioned
+// bus) — at equal co-tenancy, and per-NF IPC degradation is
+//   1 - IPC_snic / IPC_baseline.
+
+#ifndef SNIC_BENCH_FIG5_COMMON_H_
+#define SNIC_BENCH_FIG5_COMMON_H_
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/net/packet.h"
+#include "src/nf/nf_factory.h"
+#include "src/sim/mem_access.h"
+#include "src/sim/replay.h"
+#include "src/trace/trace_gen.h"
+
+namespace snic::bench {
+
+inline constexpr size_t kNumNfs = nf::kNumNfKinds;
+
+// Records one instruction trace per NF kind (full-size NF configurations).
+inline std::array<sim::InstructionTrace, kNumNfs> RecordNfTraces(
+    size_t events_per_nf, uint64_t seed) {
+  std::array<sim::InstructionTrace, kNumNfs> traces;
+  const auto kinds = nf::AllNfKinds();
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const auto fn = nf::MakeNf(kinds[k]);
+    fn->recorder().Attach(&traces[k]);
+    trace::TraceConfig config = trace::TraceConfig::IctfLike(seed + k);
+    config.num_flows = 100'000;
+    config.zipf_skew = 1.1;
+    trace::PacketStream stream(config);
+    while (traces[k].size() < events_per_nf) {
+      net::Packet packet = stream.Next();
+      fn->Process(packet);
+    }
+    fn->recorder().Detach();
+  }
+  return traces;
+}
+
+// Replays one colocation mix under baseline and S-NIC configurations and
+// returns the per-core IPC degradation.
+inline std::vector<double> DegradationForMix(
+    const std::array<sim::InstructionTrace, kNumNfs>& traces,
+    const std::vector<size_t>& mix_kinds, uint64_t l2_bytes) {
+  std::vector<const sim::InstructionTrace*> mix;
+  mix.reserve(mix_kinds.size());
+  for (size_t kind : mix_kinds) {
+    mix.push_back(&traces[kind]);
+  }
+  const auto cores = static_cast<uint32_t>(mix.size());
+  const auto baseline = sim::Replay(
+      sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/false), mix,
+      /*warmup_fraction=*/0.3);
+  const auto secure = sim::Replay(
+      sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/true), mix,
+      /*warmup_fraction=*/0.3);
+  std::vector<double> degradation(mix.size());
+  for (size_t c = 0; c < mix.size(); ++c) {
+    degradation[c] = 1.0 - secure.cores[c].Ipc() / baseline.cores[c].Ipc();
+  }
+  return degradation;
+}
+
+}  // namespace snic::bench
+
+#endif  // SNIC_BENCH_FIG5_COMMON_H_

@@ -1,0 +1,109 @@
+// Regenerates Fig. 6 (Appendix C): execution latency of the trusted
+// instructions per NF. Functions of the Table 6 image sizes are actually
+// launched on the device model; the cryptographic work (cumulative SHA-256,
+// RSA quote signing) really executes, and latencies are reported at the
+// modeled security-co-processor rates fitted from the paper.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/common/units.h"
+#include "src/core/snic_device.h"
+#include "src/crypto/diffie_hellman.h"
+
+int main(int argc, char** argv) {
+  const bool quick = snic::bench::QuickMode(argc, argv);
+  using namespace snic;
+  using namespace snic::core;
+
+  bench::PrintHeader("Fig. 6: trusted-instruction execution latency",
+                     "S-NIC (EuroSys'24) Appendix C, Figure 6");
+
+  struct NfImage {
+    const char* name;
+    double total_mib;  // Table 6 totals
+  };
+  const std::vector<NfImage> images = {
+      {"FW", 17.20},  {"DPI", 51.14}, {"NAT", 43.88},
+      {"LB", 13.80},  {"LPM", 68.33}, {"Mon", 360.54},
+  };
+
+  SnicConfig config;
+  config.num_cores = 8;
+  config.dram_bytes = quick ? (256ull << 20) : (1ull << 30);
+  config.rsa_modulus_bits = 768;
+  Rng vendor_rng(2);
+  crypto::VendorAuthority vendor(768, vendor_rng);
+  SnicDevice device(config, vendor);
+
+  TablePrinter launch_table({"NF", "TLB setup+config", "Denylisting",
+                             "SHA-256 digesting", "nf_launch total"});
+  TablePrinter destroy_table(
+      {"NF", "Allowlisting", "Memory scrubbing", "nf_destroy total"});
+
+  Rng dh_rng(3);
+  const crypto::DhGroup group = crypto::SmallTestGroup();
+  double attest_ms = 0.0;
+  for (const NfImage& image : images) {
+    const double mib =
+        quick ? std::min(image.total_mib, 80.0) : image.total_mib;
+    const uint64_t pages = CeilDiv(MiBToBytes(mib), config.page_bytes);
+    auto staged = device.memory().AllocatePages(pages, kPageNicOs);
+    SNIC_CHECK(staged.ok());
+    // Fill the image with non-trivial bytes so SHA-256 does real work.
+    std::vector<uint8_t> page(config.page_bytes);
+    for (size_t i = 0; i < page.size(); ++i) {
+      page[i] = static_cast<uint8_t>(i * 131 + image.name[0]);
+    }
+    for (uint64_t p : staged.value()) {
+      device.memory().Write(p * config.page_bytes,
+                            std::span<const uint8_t>(page.data(), page.size()));
+    }
+    NfLaunchArgs args;
+    args.core_mask = 0b10;
+    args.image_pages = staged.value();
+    args.config_blob = {1};
+    const auto id = device.NfLaunch(args);
+    SNIC_CHECK(id.ok());
+    const LaunchLatency& launch = device.last_launch_latency();
+    launch_table.AddRow({image.name,
+                         TablePrinter::Fmt(launch.tlb_setup_ms, 4) + " ms",
+                         TablePrinter::Fmt(launch.denylist_ms, 4) + " ms",
+                         TablePrinter::Fmt(launch.sha_digest_ms, 2) + " ms",
+                         TablePrinter::Fmt(launch.TotalMs(), 2) + " ms"});
+
+    // One attestation per function (latency is size-independent).
+    crypto::DhParticipant dh(group, dh_rng);
+    AttestationRequest request;
+    request.group = group;
+    request.nonce = {1, 2, 3, 4};
+    request.g_x = dh.public_value();
+    device.coproc().ResetElapsed();
+    SNIC_CHECK(device.NfAttest(id.value(), request).ok());
+    attest_ms = device.coproc().elapsed_ms();
+
+    SNIC_CHECK_OK(device.NfTeardown(id.value()));
+    const TeardownLatency& teardown = device.last_teardown_latency();
+    destroy_table.AddRow({image.name,
+                          TablePrinter::Fmt(teardown.allowlist_ms, 4) + " ms",
+                          TablePrinter::Fmt(teardown.scrub_ms, 2) + " ms",
+                          TablePrinter::Fmt(teardown.TotalMs(), 2) + " ms"});
+  }
+
+  std::printf("nf_launch latency breakdown%s:\n%s\n",
+              quick ? " (QUICK MODE: images capped at 80 MB)" : "",
+              launch_table.ToString().c_str());
+  std::printf("nf_destroy latency breakdown:\n%s\n",
+              destroy_table.ToString().c_str());
+  std::printf("nf_attest: %.3f ms (paper: ~5.6 ms, size-independent;\n"
+              "RSA signing 5.596 ms + SHA 0.004 ms)\n\n", attest_ms);
+  std::printf(
+      "Paper reference: SHA digesting dominates nf_launch (29.62 ms for LB's\n"
+      "13.8 MB up to 763.52 ms for Monitor's 360.5 MB at ~470 MB/s);\n"
+      "memory scrubbing is 99.99%% of nf_destroy (2.11-54.23 ms at ~6.6 GB/s);\n"
+      "TLB setup ~0.0196 ms, denylist ~0.0044 ms, allowlist ~0.0038 ms.\n");
+  return 0;
+}

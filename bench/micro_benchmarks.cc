@@ -1,0 +1,215 @@
+// Google-benchmark micro-benchmarks for the hot paths of every substrate:
+// crypto (SHA-256, RSA, HMAC), the DPI automaton, NF data structures
+// (Maglev, DIR-24-8, flow map), the ZIP/RAID accelerators, the cache/bus
+// timing models, and packet parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/accel/aho_corasick.h"
+#include "src/accel/raid.h"
+#include "src/accel/zip.h"
+#include "src/common/rng.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha256.h"
+#include "src/net/parser.h"
+#include "src/nf/flow_hash_map.h"
+#include "src/nf/lpm.h"
+#include "src/nf/maglev_lb.h"
+#include "src/sim/bus.h"
+#include "src/sim/cache.h"
+#include "src/trace/trace_gen.h"
+
+namespace {
+
+using namespace snic;
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const auto data = RandomBytes(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(
+        std::span<const uint8_t>(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1514)->Arg(64 * 1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const auto key = RandomBytes(32, 2);
+  const auto msg = RandomBytes(256, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::HmacSha256(std::span<const uint8_t>(key.data(), key.size()),
+                           std::span<const uint8_t>(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_RsaSign(benchmark::State& state) {
+  Rng rng(4);
+  const auto kp =
+      crypto::GenerateRsaKeyPair(static_cast<size_t>(state.range(0)), rng);
+  const auto msg = RandomBytes(64, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::RsaSign(
+        kp.private_key, std::span<const uint8_t>(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_AhoCorasickScan(benchmark::State& state) {
+  static const accel::AhoCorasick* automaton = new accel::AhoCorasick(
+      accel::GenerateDpiRuleset(4096, 11));
+  const auto payload = RandomBytes(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(automaton->Scan(
+        std::span<const uint8_t>(payload.data(), payload.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AhoCorasickScan)->Arg(64)->Arg(1514)->Arg(9000);
+
+void BM_ZipCompress(benchmark::State& state) {
+  // Half-compressible payload (trace generator's default entropy).
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  static constexpr char kText[] = "GET /index.html HTTP/1.1 ";
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = rng.NextDouble() < 0.5
+                  ? static_cast<uint8_t>(rng.NextU32())
+                  : static_cast<uint8_t>(kText[i % (sizeof(kText) - 1)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel::ZipCompress(std::span<const uint8_t>(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ZipCompress)->Arg(1514)->Arg(64 * 1024);
+
+void BM_RaidParity(benchmark::State& state) {
+  const auto a = RandomBytes(static_cast<size_t>(state.range(0)), 8);
+  const auto b = RandomBytes(static_cast<size_t>(state.range(0)), 9);
+  const auto c = RandomBytes(static_cast<size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel::RaidParity({std::span<const uint8_t>(a.data(), a.size()),
+                           std::span<const uint8_t>(b.data(), b.size()),
+                           std::span<const uint8_t>(c.data(), c.size())}));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 3);
+}
+BENCHMARK(BM_RaidParity)->Arg(4096)->Arg(64 * 1024);
+
+void BM_MaglevLookup(benchmark::State& state) {
+  nf::MaglevConfig config;
+  config.num_backends = 100;
+  config.table_size = 65'537;
+  static nf::MaglevLb* lb = new nf::MaglevLb(config);
+  trace::FlowTable flows(10'000, 12);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lb->BackendForTuple(flows.TupleForRank(i++ % flows.size())));
+  }
+}
+BENCHMARK(BM_MaglevLookup);
+
+void BM_LpmLookup(benchmark::State& state) {
+  static nf::Lpm* lpm = new nf::Lpm(nf::LpmConfig{.num_routes = 16'000});
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpm->Lookup(rng.NextU32()));
+  }
+}
+BENCHMARK(BM_LpmLookup);
+
+void BM_FlowHashMapFind(benchmark::State& state) {
+  static nf::NfArena* arena = new nf::NfArena("bench");
+  static nf::MemoryRecorder* recorder = new nf::MemoryRecorder;
+  static auto* map = [] {
+    auto* m = new nf::FlowHashMap<uint64_t>(arena, recorder, 1 << 16, 0, "b");
+    trace::FlowTable flows(40'000, 14);
+    for (uint64_t r = 0; r < flows.size(); ++r) {
+      m->Insert(flows.TupleForRank(r), r);
+    }
+    return m;
+  }();
+  trace::FlowTable flows(40'000, 14);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->Find(flows.TupleForRank(i++ % 40'000)));
+  }
+}
+BENCHMARK(BM_FlowHashMapFind);
+
+void BM_PacketParse(benchmark::State& state) {
+  trace::PacketStream stream(trace::TraceConfig::CaidaLike(15));
+  const auto packets = stream.Generate(256);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Parse(packets[i++ % packets.size()].bytes()));
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_PacketBuild(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0xc0a80001;
+  t.src_port = 1234;
+  t.dst_port = 80;
+  t.protocol = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::PacketBuilder().SetTuple(t).SetFrameLen(
+            static_cast<size_t>(state.range(0))).Build());
+  }
+}
+BENCHMARK(BM_PacketBuild)->Arg(64)->Arg(1514);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::CacheConfig config;
+  config.size_bytes = 4u << 20;
+  config.associativity = 16;
+  config.policy = state.range(0) != 0 ? sim::PartitionPolicy::kStaticEqual
+                                      : sim::PartitionPolicy::kShared;
+  config.num_domains = 4;
+  sim::Cache cache(config);
+  Rng rng(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Access(rng.NextU64() % (64u << 20), rng.NextU32() % 4));
+  }
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1);
+
+void BM_BusGrant(benchmark::State& state) {
+  auto bus = sim::MakeArbiter(
+      static_cast<sim::BusPolicy>(state.range(0)), 8, 4, 96, 12);
+  uint64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus->Grant(t, static_cast<uint32_t>(t % 4)));
+    t += 13;
+  }
+}
+BENCHMARK(BM_BusGrant)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Attack demo: replays the paper's §3.3 proof-of-concept attacks against a
+// commodity-style smart NIC (LiquidIO SE-S semantics) and then against
+// S-NIC, narrating each step.
+//
+// Build & run:  ./build/examples/attack_demo
+
+#include <cstdio>
+
+#include "src/snic.h"
+
+using namespace snic;
+using namespace snic::core;
+
+namespace {
+
+SnicDevice MakeDevice(SecurityMode mode,
+                      const crypto::VendorAuthority& vendor) {
+  SnicConfig config;
+  config.mode = mode;
+  config.num_cores = 8;
+  config.dram_bytes = 64ull << 20;
+  config.rsa_modulus_bits = 512;
+  return SnicDevice(config, vendor);
+}
+
+void Banner(const char* text) { std::printf("\n--- %s ---\n", text); }
+
+}  // namespace
+
+int main() {
+  std::printf("== S-NIC attack demo: why commodity smart NICs are unsafe ==\n");
+  Rng rng(11);
+  crypto::VendorAuthority vendor(512, rng);
+
+  Banner("Attack 1: packet corruption (paper: LiquidIO, MazuNAT victim)");
+  {
+    SnicDevice commodity = MakeDevice(SecurityMode::kCommodity, vendor);
+    std::printf("[commodity] victim NAT holds a translated packet; a\n"
+                "malicious function on another core scans the shared buffer\n"
+                "allocator's metadata via xkphys...\n");
+    const AttackOutcome outcome = RunPacketCorruptionAttack(commodity);
+    std::printf("[commodity] result: %s — %s\n",
+                outcome.succeeded ? "ATTACK SUCCEEDED" : "attack failed",
+                outcome.detail.c_str());
+
+    SnicDevice snic = MakeDevice(SecurityMode::kSnic, vendor);
+    const AttackOutcome blocked = RunPacketCorruptionAttack(snic);
+    std::printf("[S-NIC]     result: %s — %s\n",
+                blocked.succeeded ? "ATTACK SUCCEEDED" : "attack BLOCKED",
+                blocked.detail.c_str());
+  }
+
+  Banner("Attack 2: DPI ruleset stealing (paper: LiquidIO)");
+  {
+    SnicDevice commodity = MakeDevice(SecurityMode::kCommodity, vendor);
+    std::printf("[commodity] victim stores its threat signatures in DRAM;\n"
+                "the attacker walks the allocator metadata to find and copy\n"
+                "them (learning which signatures the target deploys)...\n");
+    const AttackOutcome outcome = RunDpiRulesetStealingAttack(commodity);
+    std::printf("[commodity] result: %s — %s\n",
+                outcome.succeeded ? "ATTACK SUCCEEDED" : "attack failed",
+                outcome.detail.c_str());
+
+    SnicDevice snic = MakeDevice(SecurityMode::kSnic, vendor);
+    const AttackOutcome blocked = RunDpiRulesetStealingAttack(snic);
+    std::printf("[S-NIC]     result: %s — %s\n",
+                blocked.succeeded ? "ATTACK SUCCEEDED" : "attack BLOCKED",
+                blocked.detail.c_str());
+  }
+
+  Banner("Attack 3: IO-bus denial of service (paper: Agilio test_subsat)");
+  {
+    std::printf("attacker: tight loop of uncached semaphore decrements;\n"
+                "victim: a DRAM-bound network function on another core.\n\n");
+    for (auto [policy, name] :
+         {std::pair{sim::BusPolicy::kFcfs, "FCFS bus (commodity)     "},
+          std::pair{sim::BusPolicy::kRoundRobin, "Round-robin bus          "},
+          std::pair{sim::BusPolicy::kTemporalPartition,
+                    "Temporal partition (S-NIC)"}}) {
+      const BusDosResult result = RunBusDosAttack(policy, 400'000);
+      std::printf("  %s victim slowdown: %.2fx\n", name,
+                  result.victim_slowdown);
+    }
+    std::printf("\nOn the real Agilio the saturated bus hard-crashed the NIC\n"
+                "(power cycle required). Temporal partitioning gives each\n"
+                "domain dedicated epochs, so the attacker can only burn its\n"
+                "own bandwidth — and learns nothing from contention either.\n");
+  }
+  return 0;
+}

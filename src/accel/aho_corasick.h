@@ -1,0 +1,79 @@
+// Aho-Corasick multi-pattern matching automaton.
+//
+// This is the matching graph at the heart of the DPI accelerator (§3.3,
+// §4.3, Fig. 3) and of the DPI network function (§5.1, which the paper
+// implements with the SIMD-accelerated `aho_corasick` Rust crate over 33,471
+// patterns from six open-source rulesets). The automaton is built once from
+// the ruleset, stored in the function's RAM ("the complete DPI graph"), and
+// walked byte-by-byte by accelerator hardware threads that cache hot nodes
+// in SRAM.
+
+#ifndef SNIC_ACCEL_AHO_CORASICK_H_
+#define SNIC_ACCEL_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace snic::accel {
+
+struct MatchResult {
+  uint64_t match_count = 0;        // total pattern occurrences
+  uint64_t bytes_scanned = 0;
+  uint32_t first_pattern = UINT32_MAX;  // id of the first match, if any
+
+  bool Matched() const { return match_count > 0; }
+};
+
+class AhoCorasick {
+ public:
+  // Builds the automaton from `patterns`. Empty patterns are rejected
+  // (SNIC_CHECK). Pattern ids are their indices in the input vector.
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  // Scans `data`, counting every pattern occurrence (including overlapping
+  // ones via dictionary suffix links).
+  MatchResult Scan(std::span<const uint8_t> data) const;
+
+  // Scan that stops at the first match (firewall/IDS drop decision).
+  MatchResult ScanFirstMatch(std::span<const uint8_t> data) const;
+
+  size_t pattern_count() const { return pattern_count_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // Logical size of the matching graph as laid out in NF RAM (the software
+  // automaton backing the DPI network function; Table 6's DPI heap).
+  uint64_t GraphBytes() const;
+
+  // Size of the hardware-walkable graph format consumed by the DPI
+  // accelerator (the "Graph" figure of Table 7's memory profile).
+  uint64_t HardwareGraphBytes() const;
+
+ private:
+  struct Node {
+    // Sorted by byte for binary search.
+    std::vector<std::pair<uint8_t, int32_t>> next;
+    int32_t fail = 0;
+    int32_t dict_link = -1;    // nearest suffix node that ends a pattern
+    int32_t pattern_id = -1;   // pattern ending exactly here (first one)
+    uint32_t patterns_here = 0;  // number of patterns ending exactly here
+  };
+
+  int32_t Transition(int32_t state, uint8_t byte) const;
+
+  std::vector<Node> nodes_;
+  size_t pattern_count_;
+};
+
+// Deterministic synthetic ruleset with the cardinality of the paper's DPI
+// corpus (33,471 patterns from six open-source rulesets). Patterns are
+// ASCII strings of length [min_len, max_len] sharing realistic common
+// prefixes ("GET /", "User-Agent:", shell fragments, hex blob prefixes).
+std::vector<std::string> GenerateDpiRuleset(size_t count, uint64_t seed,
+                                            size_t min_len = 6,
+                                            size_t max_len = 24);
+
+}  // namespace snic::accel
+
+#endif  // SNIC_ACCEL_AHO_CORASICK_H_

@@ -1,0 +1,52 @@
+#include "src/accel/raid.h"
+
+#include "src/common/status.h"
+
+namespace snic::accel {
+
+std::vector<uint8_t> RaidParity(
+    const std::vector<std::span<const uint8_t>>& stripes) {
+  SNIC_CHECK(!stripes.empty());
+  const size_t len = stripes[0].size();
+  std::vector<uint8_t> parity(len, 0);
+  for (const auto& stripe : stripes) {
+    SNIC_CHECK(stripe.size() == len);
+    for (size_t i = 0; i < len; ++i) {
+      parity[i] ^= stripe[i];
+    }
+  }
+  return parity;
+}
+
+std::vector<uint8_t> RaidReconstruct(
+    const std::vector<std::span<const uint8_t>>& surviving_stripes,
+    std::span<const uint8_t> parity) {
+  std::vector<uint8_t> out(parity.begin(), parity.end());
+  for (const auto& stripe : surviving_stripes) {
+    SNIC_CHECK(stripe.size() == out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] ^= stripe[i];
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> RaidParityScatterGather(
+    const std::vector<ScatterGatherList>& stripes) {
+  SNIC_CHECK(!stripes.empty());
+  const size_t len = stripes[0].TotalBytes();
+  std::vector<uint8_t> parity(len, 0);
+  for (const ScatterGatherList& sg : stripes) {
+    SNIC_CHECK(sg.TotalBytes() == len);
+    size_t offset = 0;
+    for (const auto& segment : sg.segments) {
+      for (size_t i = 0; i < segment.size(); ++i) {
+        parity[offset + i] ^= segment[i];
+      }
+      offset += segment.size();
+    }
+  }
+  return parity;
+}
+
+}  // namespace snic::accel

@@ -1,0 +1,47 @@
+// RAID (storage) accelerator: XOR parity generation and reconstruction over
+// scatter-gather buffers. Models the storage accelerator whose memory
+// profile appears in Table 7 (4 MB instruction queue, 128 KB packet
+// descriptors, 2 MB packet buffers, 2 MB output buffers; its TLB bank needs
+// only 5 entries).
+
+#ifndef SNIC_ACCEL_RAID_H_
+#define SNIC_ACCEL_RAID_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace snic::accel {
+
+// A scatter-gather list: the accelerator walks pointer/length pairs rather
+// than one contiguous buffer (the "SGP buffers" of Table 7).
+struct ScatterGatherList {
+  std::vector<std::span<const uint8_t>> segments;
+
+  size_t TotalBytes() const {
+    size_t total = 0;
+    for (const auto& s : segments) {
+      total += s.size();
+    }
+    return total;
+  }
+};
+
+// XORs `stripes` (all the same length) into a parity block.
+// Aborts if lengths differ or stripes is empty.
+std::vector<uint8_t> RaidParity(
+    const std::vector<std::span<const uint8_t>>& stripes);
+
+// Reconstructs the missing stripe from the survivors plus parity.
+std::vector<uint8_t> RaidReconstruct(
+    const std::vector<std::span<const uint8_t>>& surviving_stripes,
+    std::span<const uint8_t> parity);
+
+// Parity over a scatter-gather list per stripe: each SG list is flattened
+// logically (hardware walks the pointers; no copy of the inputs is made).
+std::vector<uint8_t> RaidParityScatterGather(
+    const std::vector<ScatterGatherList>& stripes);
+
+}  // namespace snic::accel
+
+#endif  // SNIC_ACCEL_RAID_H_

@@ -1,0 +1,127 @@
+#include "src/accel/zip.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/status.h"
+
+namespace snic::accel {
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t HashAt(std::span<const uint8_t> d, size_t i) {
+  uint32_t v;
+  std::memcpy(&v, d.data() + i, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::vector<uint8_t>& out, std::span<const uint8_t> input,
+                  size_t start, size_t count) {
+  while (count > 0) {
+    const size_t chunk = std::min<size_t>(count, 255);
+    out.push_back(0x00);
+    out.push_back(static_cast<uint8_t>(chunk));
+    out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(start),
+               input.begin() + static_cast<ptrdiff_t>(start + chunk));
+    start += chunk;
+    count -= chunk;
+  }
+}
+
+}  // namespace
+
+ZipResult ZipCompress(std::span<const uint8_t> input) {
+  ZipResult result;
+  result.input_bytes = input.size();
+  if (input.size() < kZipMinMatch) {
+    EmitLiterals(result.data, input, 0, input.size());
+    return result;
+  }
+
+  // head[h] = most recent position with hash h; prev[] chains older ones.
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(input.size(), -1);
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kZipMinMatch <= input.size()) {
+    const uint32_t h = HashAt(input, i);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int64_t candidate = head[h];
+    int chain = 32;  // bounded chain walk, like hardware matchers
+    while (candidate >= 0 && chain-- > 0) {
+      const size_t dist = i - static_cast<size_t>(candidate);
+      if (dist > kZipWindowBytes) {
+        break;
+      }
+      const size_t limit = std::min(input.size() - i, kZipMaxMatch);
+      size_t len = 0;
+      while (len < limit &&
+             input[static_cast<size_t>(candidate) + len] == input[i + len]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = dist;
+      }
+      candidate = prev[static_cast<size_t>(candidate)];
+    }
+
+    if (best_len >= kZipMinMatch) {
+      EmitLiterals(result.data, input, literal_start, i - literal_start);
+      result.data.push_back(0x01);
+      result.data.push_back(static_cast<uint8_t>(best_dist & 0xff));
+      result.data.push_back(static_cast<uint8_t>(best_dist >> 8));
+      result.data.push_back(static_cast<uint8_t>(best_len - kZipMinMatch));
+      // Index every position inside the match for future back-references.
+      const size_t end = i + best_len;
+      while (i < end && i + kZipMinMatch <= input.size()) {
+        const uint32_t hh = HashAt(input, i);
+        prev[i] = head[hh];
+        head[hh] = static_cast<int64_t>(i);
+        ++i;
+      }
+      i = end;
+      literal_start = i;
+    } else {
+      prev[i] = head[h];
+      head[h] = static_cast<int64_t>(i);
+      ++i;
+    }
+  }
+  EmitLiterals(result.data, input, literal_start, input.size() - literal_start);
+  return result;
+}
+
+std::vector<uint8_t> ZipDecompress(std::span<const uint8_t> compressed) {
+  std::vector<uint8_t> out;
+  size_t i = 0;
+  while (i < compressed.size()) {
+    const uint8_t opcode = compressed[i++];
+    if (opcode == 0x00) {
+      SNIC_CHECK(i < compressed.size());
+      const size_t count = compressed[i++];
+      SNIC_CHECK(i + count <= compressed.size());
+      out.insert(out.end(), compressed.begin() + static_cast<ptrdiff_t>(i),
+                 compressed.begin() + static_cast<ptrdiff_t>(i + count));
+      i += count;
+    } else {
+      SNIC_CHECK(opcode == 0x01);
+      SNIC_CHECK(i + 3 <= compressed.size());
+      const size_t dist = static_cast<size_t>(compressed[i]) |
+                          (static_cast<size_t>(compressed[i + 1]) << 8);
+      const size_t len = static_cast<size_t>(compressed[i + 2]) + kZipMinMatch;
+      i += 3;
+      SNIC_CHECK(dist > 0 && dist <= out.size());
+      for (size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - dist]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snic::accel

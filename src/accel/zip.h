@@ -1,0 +1,45 @@
+// ZIP accelerator: an LZ77-class compressor with a 32 KB dictionary window
+// (matching the "Dict 32KB" entry of the paper's Table 7 accelerator memory
+// profile). Functional model of the data-compression accelerator that S-NIC
+// virtualizes in §4.3; the format is a self-contained token stream with a
+// matching decompressor so tests can verify round-trips.
+
+#ifndef SNIC_ACCEL_ZIP_H_
+#define SNIC_ACCEL_ZIP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace snic::accel {
+
+inline constexpr size_t kZipWindowBytes = 32 * 1024;
+inline constexpr size_t kZipMinMatch = 4;
+inline constexpr size_t kZipMaxMatch = 255 + kZipMinMatch;
+
+// Token stream format:
+//   0x00 <len:u8> <literal bytes ...>          literal run (1-255 bytes)
+//   0x01 <dist:u16le> <len:u8>                 match: copy len+kZipMinMatch
+//                                              bytes from `dist` back
+struct ZipResult {
+  std::vector<uint8_t> data;
+  uint64_t input_bytes = 0;
+
+  double CompressionRatio() const {
+    return data.empty() ? 0.0
+                        : static_cast<double>(input_bytes) /
+                              static_cast<double>(data.size());
+  }
+};
+
+// Compresses `input` with a hash-chain LZ77 matcher over a 32 KB window.
+ZipResult ZipCompress(std::span<const uint8_t> input);
+
+// Decompresses a ZipCompress stream. Returns an empty vector on malformed
+// input only via assertion failure (the stream is producer-trusted inside
+// the NIC).
+std::vector<uint8_t> ZipDecompress(std::span<const uint8_t> compressed);
+
+}  // namespace snic::accel
+
+#endif  // SNIC_ACCEL_ZIP_H_

@@ -1,0 +1,82 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace snic {
+
+double SampleSet::Min() const {
+  SNIC_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Max() const {
+  SNIC_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Mean() const {
+  SNIC_CHECK(!samples_.empty());
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += v;
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Percentile(double p) const {
+  SNIC_CHECK(!samples_.empty());
+  SNIC_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double SampleSet::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SNIC_CHECK(hi > lo);
+  SNIC_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double v) {
+  const double span = hi_ - lo_;
+  double pos = (v - lo_) / span * static_cast<double>(counts_.size());
+  if (pos < 0.0) {
+    pos = 0.0;
+  }
+  auto idx = static_cast<size_t>(pos);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  SNIC_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace snic

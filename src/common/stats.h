@@ -1,0 +1,61 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses.
+//
+// The paper reports medians with 1st/99th percentile error bars (Fig. 5) and
+// medians over 10 runs (§5.1); these helpers compute exactly those summaries.
+
+#ifndef SNIC_COMMON_STATS_H_
+#define SNIC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snic {
+
+// Accumulates samples; computes order statistics on demand.
+class SampleSet {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Median() const { return Percentile(50.0); }
+
+  // Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  // Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double StdDev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// edge buckets. Used by trace statistics and the bus-interference ablation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double v);
+  uint64_t BucketCount(size_t i) const { return counts_[i]; }
+  size_t NumBuckets() const { return counts_.size(); }
+  uint64_t TotalCount() const { return total_; }
+  double BucketLow(size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_STATS_H_

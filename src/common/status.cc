@@ -1,0 +1,41 @@
+#include "src/common/status.h"
+
+namespace snic {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kAlreadyOwned:
+      return "ALREADY_OWNED";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace snic

@@ -1,0 +1,154 @@
+// Lightweight status / result vocabulary used across the S-NIC libraries.
+//
+// The simulator and trusted-instruction layer report recoverable failures as
+// values (a `Status` or a `Result<T>`), never via exceptions: the code models
+// hardware whose instructions "fail" by returning condition codes, so the API
+// mirrors that. Programmer errors use assertions (`SNIC_CHECK`).
+
+#ifndef SNIC_COMMON_STATUS_H_
+#define SNIC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace snic {
+
+// Error categories mirroring the failure modes of the S-NIC trusted
+// instructions (Table 1 of the paper) plus generic library failures.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,    // malformed request (bad mask, bad pointer, bad size)
+  kResourceExhausted,  // cores / pages / clusters / buffer space unavailable
+  kAlreadyOwned,       // a requested physical resource belongs to a live NF
+  kNotFound,           // unknown NF id, missing rule, absent mapping
+  kPermissionDenied,   // denylist / TLB / bus-reservation violation
+  kFailedPrecondition, // operation invalid in the current state
+  kInternal,           // invariant violation inside the library
+  kUnimplemented,      // feature intentionally out of scope
+};
+
+// Human-readable name for an error code (stable, for logs and tests).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status AlreadyOwned(std::string msg) {
+  return Status(ErrorCode::kAlreadyOwned, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+
+// A value-or-error. `value()` asserts on the error path; callers are expected
+// to test `ok()` first (the tests enforce this discipline).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {}   // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(data_));
+  }
+
+  // Status of the error path; OkStatus() when holding a value.
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+// Fatal assertion for programmer errors / broken invariants.
+#define SNIC_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SNIC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SNIC_CHECK_OK(expr)                                                  \
+  do {                                                                       \
+    const ::snic::Status snic_check_status_ = (expr);                        \
+    if (!snic_check_status_.ok()) {                                          \
+      std::fprintf(stderr, "SNIC_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, snic_check_status_.ToString().c_str());         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_STATUS_H_

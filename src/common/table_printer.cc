@@ -1,0 +1,67 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace snic {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SNIC_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SNIC_CHECK(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) {
+        line += "  ";
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TablePrinter::Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace snic

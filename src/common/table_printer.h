@@ -1,0 +1,37 @@
+// Aligned plain-text table printer for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figure series;
+// this printer renders rows with the same headings the paper uses so that
+// output can be eyeballed against the publication directly.
+
+#ifndef SNIC_COMMON_TABLE_PRINTER_H_
+#define SNIC_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace snic {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; the row must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header rule and per-column alignment.
+  std::string ToString() const;
+
+  // Convenience: formats a double with `decimals` fraction digits.
+  static std::string Fmt(double v, int decimals);
+  // Formats a percentage ("8.37%").
+  static std::string Pct(double ratio, int decimals);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_TABLE_PRINTER_H_

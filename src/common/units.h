@@ -1,0 +1,38 @@
+// Size and time unit helpers. All byte quantities in the codebase are u64 in
+// bytes; these helpers exist so that configuration sites read like the paper
+// ("2 MB pages", "4 MB L2", "24.7 W").
+
+#ifndef SNIC_COMMON_UNITS_H_
+#define SNIC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace snic {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+// Bytes -> mebibytes as a double (for table printing; the paper reports MB
+// with two decimals, meaning MiB in its profiling tables).
+constexpr double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+constexpr uint64_t MiBToBytes(double mib) {
+  return static_cast<uint64_t>(mib * static_cast<double>(kMiB));
+}
+
+// Ceiling division for page/entry counts.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Hours in three years (the paper's TCO horizon).
+inline constexpr double kHoursPerYear = 8760.0;
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_UNITS_H_

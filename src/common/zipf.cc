@@ -1,0 +1,37 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace snic {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  SNIC_CHECK(n > 0);
+  SNIC_CHECK(s > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (auto& v : cdf_) {
+    v /= norm_;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated floating-point error
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  SNIC_CHECK(rank < n_);
+  return 1.0 / std::pow(static_cast<double>(rank + 1), s_) / norm_;
+}
+
+}  // namespace snic

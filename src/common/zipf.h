@@ -1,0 +1,41 @@
+// Zipf-distributed rank sampler.
+//
+// The paper's gem5 experiments draw packets from "a pool of 100,000 flows ...
+// with a Zipf distribution with a skewness of 1.1" (§5.3). This sampler
+// produces ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^s.
+
+#ifndef SNIC_COMMON_ZIPF_H_
+#define SNIC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace snic {
+
+class ZipfSampler {
+ public:
+  // n: number of ranks; s: skewness exponent (> 0).
+  // Precomputes the CDF once; sampling is then O(log n) by binary search.
+  ZipfSampler(uint64_t n, double s);
+
+  // Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // Probability mass of a given rank (for tests / analytics).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  double norm_;               // generalized harmonic number H_{n,s}
+  std::vector<double> cdf_;   // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_ZIPF_H_

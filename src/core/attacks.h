@@ -1,0 +1,72 @@
+// Reproductions of the paper's §3.3 concrete attacks.
+//
+// Each scenario runs against a device in either security mode and reports
+// whether the attack succeeded. On the commodity configuration (LiquidIO
+// SE-S semantics: every core can address all physical RAM) the attacks
+// succeed; on S-NIC the same attacker actions hit hardware denials.
+//
+//   * Packet corruption: a malicious function walks the shared buffer-
+//     allocator metadata to locate a MazuNAT-style victim's packet buffers
+//     and corrupts headers in place, breaking NAT translations.
+//   * DPI ruleset stealing: the same metadata walk locates the victim's DPI
+//     matching graph, and the attacker exfiltrates the threat signatures.
+//   * IO-bus denial of service: a tight loop of semaphore decrements
+//     saturates the internal bus (the Agilio test_subsat crash); quantified
+//     as victim slowdown under FCFS vs. a temporally partitioned bus.
+
+#ifndef SNIC_CORE_ATTACKS_H_
+#define SNIC_CORE_ATTACKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/snic_device.h"
+#include "src/sim/bus.h"
+
+namespace snic::core {
+
+struct AttackOutcome {
+  bool succeeded = false;
+  std::string detail;
+};
+
+// Shared buffer-allocator metadata layout used by the commodity-mode
+// scenarios (mirrors the allocator metadata the paper's attacks walked).
+struct BufferAllocatorEntry {
+  uint64_t magic;      // kAllocatorMagic when live
+  uint64_t owner_id;   // function id
+  uint64_t paddr;      // buffer physical address
+  uint64_t bytes;
+};
+inline constexpr uint64_t kAllocatorMagic = 0xa110c8edBEEFull;
+inline constexpr uint64_t kAllocatorMetaBase = 0;  // page 0, by convention
+
+// Writes an allocator entry into physical memory at slot `index`.
+void WriteAllocatorEntry(PhysicalMemory& memory, size_t index,
+                         const BufferAllocatorEntry& entry);
+
+// Scenario 1 (packet corruption). Sets up a victim NAT packet buffer and an
+// allocator entry, then lets the attacker (a different function id / core)
+// try to find and corrupt it. On S-NIC both the metadata walk and the write
+// are denied.
+AttackOutcome RunPacketCorruptionAttack(SnicDevice& device);
+
+// Scenario 2 (DPI ruleset stealing). The victim stores a DPI ruleset blob;
+// the attacker tries to exfiltrate it via the metadata walk.
+AttackOutcome RunDpiRulesetStealingAttack(SnicDevice& device);
+
+// Scenario 3 (IO-bus DoS), quantified with the timing simulator: victim
+// slowdown (cycles ratio vs. running alone) when an attacker saturates the
+// bus, under the given bus policy. FCFS shows a large slowdown; temporal
+// partitioning bounds it near 1 plus the epoch tax.
+struct BusDosResult {
+  double victim_slowdown = 0.0;   // >1 means the attacker hurt the victim
+  double attacker_requests_per_kilocycle = 0.0;
+};
+BusDosResult RunBusDosAttack(sim::BusPolicy policy,
+                             uint64_t attacker_ops = 200'000);
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_ATTACKS_H_

@@ -1,0 +1,50 @@
+#include "src/core/attestation.h"
+
+namespace snic::core {
+namespace {
+
+void AppendLengthPrefixed(std::vector<uint8_t>& out,
+                          const std::vector<uint8_t>& bytes) {
+  const auto len = static_cast<uint32_t>(bytes.size());
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> QuotePayload(const crypto::Sha256Digest& measurement,
+                                  const crypto::DhGroup& group,
+                                  const std::vector<uint8_t>& nonce,
+                                  const crypto::BigUint& g_x) {
+  std::vector<uint8_t> out(measurement.begin(), measurement.end());
+  AppendLengthPrefixed(out, group.g.ToBytes());
+  AppendLengthPrefixed(out, group.p.ToBytes());
+  AppendLengthPrefixed(out, nonce);
+  AppendLengthPrefixed(out, g_x.ToBytes());
+  return out;
+}
+
+QuoteVerification VerifyQuote(const crypto::RsaPublicKey& vendor_key,
+                              const AttestationQuote& quote,
+                              const std::vector<uint8_t>& expected_nonce,
+                              const crypto::Sha256Digest* expected_measurement) {
+  QuoteVerification v;
+  v.chain_ok = crypto::NicRootOfTrust::VerifyAkChain(
+      vendor_key, quote.ek_certificate, quote.ak_public,
+      std::span<const uint8_t>(quote.ak_endorsement.data(),
+                               quote.ak_endorsement.size()));
+  const std::vector<uint8_t> payload =
+      QuotePayload(quote.measurement, quote.group, quote.nonce, quote.g_x);
+  v.signature_ok = crypto::RsaVerify(
+      quote.ak_public, std::span<const uint8_t>(payload.data(), payload.size()),
+      std::span<const uint8_t>(quote.signature.data(),
+                               quote.signature.size()));
+  v.nonce_ok = quote.nonce == expected_nonce;
+  v.measurement_ok = expected_measurement == nullptr ||
+                     quote.measurement == *expected_measurement;
+  return v;
+}
+
+}  // namespace snic::core

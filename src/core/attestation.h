@@ -1,0 +1,77 @@
+// Remote attestation (§4.7, Appendix A).
+//
+// Protocol: the verifier sends a nonce; the function F draws x, computes
+// g^x mod p, and invokes `nf_attest` with a buffer holding <g, p, n, g^x>.
+// The trusted hardware signs SHA-256(measurement || g || p || n || g^x)
+// with the boot-time attestation key AK. F returns a four-part message:
+// the parameters + measurement, the hardware signature, AK_pub signed by
+// EK_priv, and the vendor certificate for EK_pub. The verifier validates
+// the chain, replies with g^y, and both sides derive the channel key from
+// g^xy.
+
+#ifndef SNIC_CORE_ATTESTATION_H_
+#define SNIC_CORE_ATTESTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/diffie_hellman.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
+
+namespace snic::core {
+
+// What the verifier sends (hello + its chosen nonce) and what the function
+// contributes (its ephemeral DH public value).
+struct AttestationRequest {
+  crypto::DhGroup group;
+  std::vector<uint8_t> nonce;
+  crypto::BigUint g_x;  // the function's g^x mod p
+};
+
+// The four-part response of Appendix A.
+struct AttestationQuote {
+  // Part 1: parameters and the measured initial state.
+  crypto::Sha256Digest measurement;
+  crypto::DhGroup group;
+  std::vector<uint8_t> nonce;
+  crypto::BigUint g_x;
+  // Part 2: AK signature over part 1.
+  std::vector<uint8_t> signature;
+  // Part 3: AK_pub endorsed by EK_priv.
+  crypto::RsaPublicKey ak_public;
+  std::vector<uint8_t> ak_endorsement;
+  // Part 4: vendor certificate for EK_pub.
+  crypto::Certificate ek_certificate;
+};
+
+// Canonical byte serialization the AK signature covers:
+// measurement || len(g) g || len(p) p || len(nonce) nonce || len(gx) gx.
+std::vector<uint8_t> QuotePayload(const crypto::Sha256Digest& measurement,
+                                  const crypto::DhGroup& group,
+                                  const std::vector<uint8_t>& nonce,
+                                  const crypto::BigUint& g_x);
+
+// Verifier-side validation: checks the certificate chain (vendor -> EK ->
+// AK), the signature over the payload, the nonce (anti-replay), and — when
+// the verifier knows what it expects to be running — the measurement.
+struct QuoteVerification {
+  bool chain_ok = false;
+  bool signature_ok = false;
+  bool nonce_ok = false;
+  bool measurement_ok = false;
+
+  bool Ok() const {
+    return chain_ok && signature_ok && nonce_ok && measurement_ok;
+  }
+};
+
+QuoteVerification VerifyQuote(
+    const crypto::RsaPublicKey& vendor_key, const AttestationQuote& quote,
+    const std::vector<uint8_t>& expected_nonce,
+    const crypto::Sha256Digest* expected_measurement = nullptr);
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_ATTESTATION_H_

@@ -1,0 +1,140 @@
+#include "src/core/attestation_wire.h"
+
+#include <cstring>
+
+namespace snic::core {
+namespace {
+
+constexpr uint32_t kQuoteMagic = 0x534e5141;  // "SNQA"
+constexpr size_t kMaxFieldBytes = 1 << 20;    // parser hardening
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutBytes(std::vector<uint8_t>& out, std::span<const uint8_t> bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void PutBigUint(std::vector<uint8_t>& out, const crypto::BigUint& v) {
+  const std::vector<uint8_t> bytes = v.ToBytes();
+  PutBytes(out, std::span<const uint8_t>(bytes.data(), bytes.size()));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v = (*v << 8) | bytes_[pos_++];
+    }
+    return true;
+  }
+
+  bool GetBytes(std::vector<uint8_t>* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len) || len > kMaxFieldBytes || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+                bytes_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool GetBigUint(crypto::BigUint* v) {
+    std::vector<uint8_t> bytes;
+    if (!GetBytes(&bytes)) {
+      return false;
+    }
+    *v = crypto::BigUint::FromBytes(
+        std::span<const uint8_t>(bytes.data(), bytes.size()));
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeQuote(const AttestationQuote& quote) {
+  std::vector<uint8_t> out;
+  PutU32(out, kQuoteMagic);
+  PutBytes(out, std::span<const uint8_t>(quote.measurement.data(),
+                                         quote.measurement.size()));
+  PutBigUint(out, quote.group.g);
+  PutBigUint(out, quote.group.p);
+  PutBytes(out, std::span<const uint8_t>(quote.nonce.data(),
+                                         quote.nonce.size()));
+  PutBigUint(out, quote.g_x);
+  PutBytes(out, std::span<const uint8_t>(quote.signature.data(),
+                                         quote.signature.size()));
+  PutBigUint(out, quote.ak_public.n);
+  PutBigUint(out, quote.ak_public.e);
+  PutBytes(out, std::span<const uint8_t>(quote.ak_endorsement.data(),
+                                         quote.ak_endorsement.size()));
+  PutBytes(out, std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(
+                        quote.ek_certificate.subject.data()),
+                    quote.ek_certificate.subject.size()));
+  PutBigUint(out, quote.ek_certificate.subject_key.n);
+  PutBigUint(out, quote.ek_certificate.subject_key.e);
+  PutBytes(out,
+           std::span<const uint8_t>(quote.ek_certificate.issuer_signature.data(),
+                                    quote.ek_certificate.issuer_signature.size()));
+  return out;
+}
+
+Result<AttestationQuote> DeserializeQuote(std::span<const uint8_t> bytes) {
+  Parser parser(bytes);
+  uint32_t magic = 0;
+  if (!parser.GetU32(&magic) || magic != kQuoteMagic) {
+    return InvalidArgument("bad quote magic");
+  }
+  AttestationQuote quote;
+  std::vector<uint8_t> measurement;
+  if (!parser.GetBytes(&measurement) ||
+      measurement.size() != quote.measurement.size()) {
+    return InvalidArgument("bad measurement field");
+  }
+  std::memcpy(quote.measurement.data(), measurement.data(),
+              measurement.size());
+  if (!parser.GetBigUint(&quote.group.g) ||
+      !parser.GetBigUint(&quote.group.p) || !parser.GetBytes(&quote.nonce) ||
+      !parser.GetBigUint(&quote.g_x) || !parser.GetBytes(&quote.signature) ||
+      !parser.GetBigUint(&quote.ak_public.n) ||
+      !parser.GetBigUint(&quote.ak_public.e)) {
+    return InvalidArgument("truncated quote body");
+  }
+  if (!parser.GetBytes(&quote.ak_endorsement)) {
+    return InvalidArgument("bad endorsement field");
+  }
+  std::vector<uint8_t> subject;
+  if (!parser.GetBytes(&subject)) {
+    return InvalidArgument("bad certificate subject");
+  }
+  quote.ek_certificate.subject.assign(subject.begin(), subject.end());
+  if (!parser.GetBigUint(&quote.ek_certificate.subject_key.n) ||
+      !parser.GetBigUint(&quote.ek_certificate.subject_key.e) ||
+      !parser.GetBytes(&quote.ek_certificate.issuer_signature)) {
+    return InvalidArgument("bad certificate body");
+  }
+  if (!parser.AtEnd()) {
+    return InvalidArgument("trailing bytes after quote");
+  }
+  return quote;
+}
+
+}  // namespace snic::core

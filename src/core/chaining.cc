@@ -1,0 +1,70 @@
+#include "src/core/chaining.h"
+
+#include <algorithm>
+
+namespace snic::core {
+
+void ChainLink::Tick() {
+  ++stats_.ticks;
+  VirtualPacketPipeline* producer = device_->Vpp(config_.producer_nf);
+  VirtualPacketPipeline* consumer = device_->Vpp(config_.consumer_nf);
+  if (producer == nullptr || consumer == nullptr) {
+    return;  // an endpoint died; the manager will reap this link
+  }
+  for (uint32_t i = 0; i < config_.frames_per_tick; ++i) {
+    if (!producer->TxPending()) {
+      // Fixed per-tick work regardless of backlog: nothing more to move.
+      return;
+    }
+    auto frame = producer->DequeueTx();
+    if (!frame.ok()) {
+      return;
+    }
+    // By-value copy through trusted hardware into the consumer's private
+    // RX reservation. A full reservation drops the frame (the consumer
+    // observes only its own queue, as with wire traffic).
+    if (consumer->EnqueueRx(std::move(frame).value()).ok()) {
+      ++stats_.frames_moved;
+    } else {
+      ++stats_.frames_dropped;
+    }
+  }
+}
+
+Result<size_t> ChainManager::CreateLink(const ChainLinkConfig& config) {
+  if (config.producer_nf == config.consumer_nf) {
+    return InvalidArgument("self-links are not allowed");
+  }
+  if (config.frames_per_tick == 0) {
+    return InvalidArgument("frames_per_tick must be positive");
+  }
+  if (!device_->IsLive(config.producer_nf)) {
+    return NotFound("producer function is not live");
+  }
+  if (!device_->IsLive(config.consumer_nf)) {
+    return NotFound("consumer function is not live");
+  }
+  if (device_->Vpp(config.producer_nf) == nullptr ||
+      device_->Vpp(config.consumer_nf) == nullptr) {
+    return FailedPrecondition("both chain endpoints need a VPP");
+  }
+  links_.emplace_back(device_, config);
+  return links_.size() - 1;
+}
+
+void ChainManager::RemoveLinksFor(uint64_t nf_id) {
+  links_.erase(std::remove_if(links_.begin(), links_.end(),
+                              [nf_id](const ChainLink& link) {
+                                return link.config().producer_nf == nf_id ||
+                                       link.config().consumer_nf == nf_id;
+                              }),
+               links_.end());
+}
+
+void ChainManager::TickAll() {
+  for (ChainLink& link : links_) {
+    link.Tick();
+  }
+}
+
+}  // namespace snic::core

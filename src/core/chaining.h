@@ -1,0 +1,95 @@
+// Function chaining via cross-VPP message transfer (§4.8 extension).
+//
+// S-NIC's strict single-owner semantics prohibit shared memory between
+// functions, but the paper sketches an extension: "an extended version of
+// S-NIC could have NFs exchange data via localhost networking, such that
+// S-NIC hardware would transfer messages directly between the side-channel-
+// isolated VPPs owned by different NFs ... this approach would restrict the
+// information leakage between two communicating VPPs to just the
+// information that is revealed via overt traffic timings and packet
+// content."
+//
+// This module implements that management hardware. A chain link is created
+// by the NIC OS *before* launch-time measurement (so it is attestable as
+// part of both functions' configurations), connects exactly one producer
+// VPP to one consumer VPP, copies frames producer-TX -> consumer-RX with no
+// shared memory (the copy is by value through trusted hardware), and is
+// rate-clocked: the link moves at most `frames_per_tick` frames on each
+// hardware tick regardless of queue occupancy, so a consumer cannot infer
+// the producer's backlog — only the overt frames themselves.
+
+#ifndef SNIC_CORE_CHAINING_H_
+#define SNIC_CORE_CHAINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/snic_device.h"
+
+namespace snic::core {
+
+struct ChainLinkConfig {
+  uint64_t producer_nf = 0;
+  uint64_t consumer_nf = 0;
+  // Frames moved per hardware tick (the overt-channel rate bound).
+  uint32_t frames_per_tick = 4;
+};
+
+struct ChainLinkStats {
+  uint64_t frames_moved = 0;
+  uint64_t frames_dropped = 0;  // consumer RX reservation full
+  uint64_t ticks = 0;
+};
+
+// Trusted cross-VPP transfer engine. Owned by the device-level chain
+// manager; functions cannot see or influence it beyond their own VPP
+// queues.
+class ChainLink {
+ public:
+  ChainLink(SnicDevice* device, const ChainLinkConfig& config)
+      : device_(device), config_(config) {}
+
+  // One hardware tick: moves up to frames_per_tick frames from the
+  // producer's TX queue into the consumer's RX queue. Frames that do not
+  // fit the consumer's RX reservation are dropped (counted), never
+  // backlogged into shared state.
+  void Tick();
+
+  const ChainLinkConfig& config() const { return config_; }
+  const ChainLinkStats& stats() const { return stats_; }
+
+ private:
+  SnicDevice* device_;
+  ChainLinkConfig config_;
+  ChainLinkStats stats_;
+};
+
+// The device-level chain manager: validates and owns links.
+class ChainManager {
+ public:
+  explicit ChainManager(SnicDevice* device) : device_(device) {}
+
+  // Creates a link. Fails unless both functions are live, distinct, and
+  // both have VPPs. A producer may feed several consumers and vice versa
+  // (fan-out/fan-in chains), but self-links are rejected.
+  Result<size_t> CreateLink(const ChainLinkConfig& config);
+
+  // Removes every link touching `nf_id` (teardown path; the NIC OS calls
+  // this before NfTeardown so no link outlives its endpoints).
+  void RemoveLinksFor(uint64_t nf_id);
+
+  // Advances every link by one tick, in creation order.
+  void TickAll();
+
+  size_t link_count() const { return links_.size(); }
+  const ChainLink& link(size_t index) const { return links_[index]; }
+
+ private:
+  SnicDevice* device_;
+  std::vector<ChainLink> links_;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_CHAINING_H_

@@ -1,0 +1,88 @@
+#include "src/core/dpi_device.h"
+
+#include <algorithm>
+
+namespace snic::core {
+
+namespace {
+// 256 KB instruction queue of 64 B descriptors (Table 7).
+constexpr size_t kIqCapacity = (256 * 1024) / 64;
+}  // namespace
+
+VirtualDpi::VirtualDpi(SnicDevice* device, uint64_t nf_id,
+                       std::vector<uint32_t> clusters,
+                       std::shared_ptr<const accel::AhoCorasick> graph)
+    : device_(device),
+      nf_id_(nf_id),
+      clusters_(std::move(clusters)),
+      graph_(std::move(graph)) {
+  SNIC_CHECK(!clusters_.empty());
+  // The clusters really must belong to this function; a mismatch is a
+  // programming error in the launch path, not a runtime condition.
+  for (uint32_t cluster : clusters_) {
+    const auto owner =
+        device_->accel_pool().Owner(accel::AcceleratorType::kDpi, cluster);
+    SNIC_CHECK(owner.has_value() && *owner == nf_id_);
+  }
+}
+
+Status VirtualDpi::Submit(const DpiDescriptor& descriptor) {
+  if (queue_.size() >= kIqCapacity) {
+    return ResourceExhausted("DPI instruction queue full");
+  }
+  if (descriptor.payload_len == 0) {
+    return InvalidArgument("empty payload");
+  }
+  queue_.push_back(descriptor);
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> VirtualDpi::FetchThroughTlb(uint32_t cluster,
+                                                         uint64_t vaddr,
+                                                         uint32_t len) {
+  std::vector<uint8_t> payload(len);
+  const auto& pool = device_->accel_pool();
+  // Hardware fetches line by line; each line address passes the bank TLB.
+  for (uint32_t offset = 0; offset < len; offset += 64) {
+    const auto paddr = pool.ThreadAccess(accel::AcceleratorType::kDpi, cluster,
+                                         vaddr + offset, /*is_write=*/false);
+    if (!paddr.ok()) {
+      ++denied_fetches_;
+      return paddr.status();
+    }
+    const uint32_t chunk = std::min<uint32_t>(64, len - offset);
+    device_->memory().Read(
+        paddr.value(),
+        std::span<uint8_t>(payload.data() + offset, chunk));
+  }
+  return payload;
+}
+
+std::vector<DpiCompletion> VirtualDpi::ProcessPending() {
+  std::vector<DpiCompletion> completions;
+  const uint32_t threads_per_cluster =
+      device_->accel_pool().Config(accel::AcceleratorType::kDpi).threads_per_cluster;
+  const size_t batch = clusters_.size() * threads_per_cluster;
+
+  for (size_t slot = 0; slot < batch && !queue_.empty(); ++slot) {
+    const DpiDescriptor descriptor = queue_.front();
+    queue_.pop_front();
+    const uint32_t cluster = clusters_[slot % clusters_.size()];
+
+    DpiCompletion completion;
+    completion.tag = descriptor.tag;
+    const auto payload = FetchThroughTlb(cluster, descriptor.payload_vaddr,
+                                         descriptor.payload_len);
+    if (payload.ok()) {
+      completion.result = graph_->Scan(std::span<const uint8_t>(
+          payload.value().data(), payload.value().size()));
+      bytes_scanned_ += payload.value().size();
+    }
+    // A denied fetch completes with an empty result; the fatal-error path
+    // (function destruction) is the device's policy, exercised in tests.
+    completions.push_back(completion);
+  }
+  return completions;
+}
+
+}  // namespace snic::core

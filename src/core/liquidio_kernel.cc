@@ -1,0 +1,185 @@
+#include "src/core/liquidio_kernel.h"
+
+#include <algorithm>
+
+namespace snic::core {
+
+Result<const SeUmProcess*> LiquidIoKernel::Find(uint64_t pid) const {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return NotFound("unknown pid");
+  }
+  return &it->second;
+}
+
+Result<SeUmProcess*> LiquidIoKernel::Find(uint64_t pid) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return NotFound("unknown pid");
+  }
+  return &it->second;
+}
+
+Result<uint64_t> LiquidIoKernel::CreateProcess(std::span<const uint8_t> image,
+                                               uint64_t num_pages) {
+  if (mode_ == LiquidIoMode::kSeS) {
+    return FailedPrecondition(
+        "SE-S has no kernel; functions are installed by the bootloader");
+  }
+  const uint64_t page_bytes = memory_->page_bytes();
+  if (image.size() > num_pages * page_bytes) {
+    return InvalidArgument("image larger than the requested address space");
+  }
+  const uint64_t pid = next_pid_++;
+  auto pages = memory_->AllocatePages(num_pages, pid);
+  if (!pages.ok()) {
+    return pages.status();
+  }
+
+  SeUmProcess process;
+  process.pid = pid;
+  process.pages = pages.value();
+  process.xuseg_tlb = std::make_unique<sim::LockedTlb>(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    sim::TlbEntry entry;
+    entry.virt_base = i * page_bytes;
+    entry.phys_base = process.pages[i] * page_bytes;
+    entry.page_bytes = page_bytes;
+    entry.writable = true;
+    SNIC_CHECK_OK(process.xuseg_tlb->Install(entry));
+  }
+  process.context =
+      LiquidIoAddressing::FunctionContext(mode_, process.xuseg_tlb.get());
+
+  // Load the image at xuseg 0.
+  size_t written = 0;
+  while (written < image.size()) {
+    const auto translation = process.xuseg_tlb->Translate(written);
+    SNIC_CHECK(translation.has_value());
+    const size_t chunk = std::min<size_t>(image.size() - written,
+                                          page_bytes - written % page_bytes);
+    memory_->Write(translation->phys_addr, image.subspan(written, chunk));
+    written += chunk;
+  }
+
+  processes_[pid] = std::move(process);
+  return pid;
+}
+
+Status LiquidIoKernel::DestroyProcess(uint64_t pid) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  // Note: no scrubbing — a commodity kernel frees pages as-is, which is
+  // exactly the residue S-NIC's nf_teardown zeroes (§4.6).
+  for (uint64_t page : found.value()->pages) {
+    memory_->SetOwner(page, kPageFree);
+  }
+  processes_.erase(pid);
+  return OkStatus();
+}
+
+Result<uint8_t> LiquidIoKernel::UserRead(uint64_t pid, uint64_t vaddr) const {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  return addressing_.Read(found.value()->context, vaddr);
+}
+
+Status LiquidIoKernel::UserWrite(uint64_t pid, uint64_t vaddr,
+                                 uint8_t value) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  return addressing_.Write(found.value()->context, vaddr, value);
+}
+
+Result<uint32_t> LiquidIoKernel::SysRecvPacket(uint64_t pid, uint64_t vaddr,
+                                               uint32_t buffer_len) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  SeUmProcess* process = found.value();
+  if (process->rx_queue.empty()) {
+    return NotFound("no pending packets");
+  }
+  const net::Packet& packet = process->rx_queue.front();
+  if (packet.size() > buffer_len) {
+    return InvalidArgument("user buffer too small for frame");
+  }
+  // The kernel writes through the *user's* mapping so an unmapped buffer
+  // faults here rather than corrupting another process.
+  for (size_t i = 0; i < packet.size(); ++i) {
+    if (Status s = addressing_.Write(process->context, vaddr + i,
+                                     packet.bytes()[i]);
+        !s.ok()) {
+      return s;
+    }
+  }
+  const auto len = static_cast<uint32_t>(packet.size());
+  process->rx_queue.pop_front();
+  return len;
+}
+
+Status LiquidIoKernel::SysSendPacket(uint64_t pid, uint64_t vaddr,
+                                     uint32_t len) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  SeUmProcess* process = found.value();
+  std::vector<uint8_t> bytes(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    const auto byte = addressing_.Read(process->context, vaddr + i);
+    if (!byte.ok()) {
+      return byte.status();
+    }
+    bytes[i] = byte.value();
+  }
+  wire_tx_.emplace_back(std::move(bytes));
+  return OkStatus();
+}
+
+Status LiquidIoKernel::DeliverToProcess(uint64_t pid, net::Packet packet) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  found.value()->rx_queue.push_back(std::move(packet));
+  return OkStatus();
+}
+
+Result<uint8_t> LiquidIoKernel::KernelReadUser(uint64_t pid,
+                                               uint64_t vaddr) const {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  const auto translation = found.value()->xuseg_tlb->Translate(vaddr);
+  if (!translation.has_value()) {
+    return InvalidArgument("vaddr unmapped in target process");
+  }
+  // The kernel bypasses the user context entirely (xkphys).
+  return addressing_.Read(LiquidIoAddressing::KernelContext(),
+                          kXkphysBase + translation->phys_addr);
+}
+
+Status LiquidIoKernel::KernelWriteUser(uint64_t pid, uint64_t vaddr,
+                                       uint8_t value) {
+  auto found = Find(pid);
+  if (!found.ok()) {
+    return found.status();
+  }
+  const auto translation = found.value()->xuseg_tlb->Translate(vaddr);
+  if (!translation.has_value()) {
+    return InvalidArgument("vaddr unmapped in target process");
+  }
+  return addressing_.Write(LiquidIoAddressing::KernelContext(),
+                           kXkphysBase + translation->phys_addr, value);
+}
+
+}  // namespace snic::core

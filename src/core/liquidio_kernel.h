@@ -1,0 +1,93 @@
+// LiquidIO SE-UM kernel model (§3.2).
+//
+// In SE-UM mode the management OS is a Linux kernel that creates and
+// destroys functions, assigns each to a core, and programs its xuseg TLB.
+// The NIC "can be configured to force functions to use system calls to
+// manipulate packets" — the safest commodity configuration. This model
+// implements that configuration end to end: per-function address spaces,
+// a syscall interface for packet RX/TX, and — the §3.2 punchline — a kernel
+// that can nonetheless read and rewrite any function's buffers, because
+// nothing on a commodity NIC protects functions *from the kernel*.
+
+#ifndef SNIC_CORE_LIQUIDIO_KERNEL_H_
+#define SNIC_CORE_LIQUIDIO_KERNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/mips_segments.h"
+#include "src/core/physical_memory.h"
+#include "src/net/packet.h"
+#include "src/sim/tlb.h"
+
+namespace snic::core {
+
+// One SE-UM process (network function).
+struct SeUmProcess {
+  uint64_t pid = 0;
+  MipsCoreContext context;
+  std::unique_ptr<sim::LockedTlb> xuseg_tlb;
+  std::vector<uint64_t> pages;  // physical pages backing xuseg
+  std::deque<net::Packet> rx_queue;
+};
+
+class LiquidIoKernel {
+ public:
+  LiquidIoKernel(PhysicalMemory* memory, LiquidIoMode mode)
+      : memory_(memory), addressing_(memory), mode_(mode) {}
+
+  // Creates a function process with `pages` of xuseg memory holding `image`.
+  Result<uint64_t> CreateProcess(std::span<const uint8_t> image,
+                                 uint64_t num_pages);
+  Status DestroyProcess(uint64_t pid);
+
+  // --- The function's view ------------------------------------------------
+
+  // User-mode memory access through the process context (xuseg, and xkphys
+  // only when the mode allows).
+  Result<uint8_t> UserRead(uint64_t pid, uint64_t vaddr) const;
+  Status UserWrite(uint64_t pid, uint64_t vaddr, uint8_t value);
+
+  // sys_recv_packet: the kernel copies the next queued frame into the
+  // process's buffer at `vaddr` (must be xuseg-mapped). Returns bytes.
+  Result<uint32_t> SysRecvPacket(uint64_t pid, uint64_t vaddr,
+                                 uint32_t buffer_len);
+  // sys_send_packet: the kernel reads the frame out of the process's buffer
+  // and queues it for the wire.
+  Status SysSendPacket(uint64_t pid, uint64_t vaddr, uint32_t len);
+
+  // --- The wire / the kernel's view ----------------------------------------
+
+  // Packet input path: the kernel steers a frame to a process.
+  Status DeliverToProcess(uint64_t pid, net::Packet packet);
+  // Frames the kernel has accepted for transmission.
+  std::deque<net::Packet>& wire_tx() { return wire_tx_; }
+
+  // The §3.2 gap, expressed as API: the kernel context reaches any byte of
+  // any process, syscalls or not.
+  Result<uint8_t> KernelReadUser(uint64_t pid, uint64_t vaddr) const;
+  Status KernelWriteUser(uint64_t pid, uint64_t vaddr, uint8_t value);
+
+  LiquidIoMode mode() const { return mode_; }
+  size_t process_count() const { return processes_.size(); }
+
+ private:
+  Result<const SeUmProcess*> Find(uint64_t pid) const;
+  Result<SeUmProcess*> Find(uint64_t pid);
+
+  PhysicalMemory* memory_;
+  LiquidIoAddressing addressing_;
+  LiquidIoMode mode_;
+  uint64_t next_pid_ = 1;
+  std::map<uint64_t, SeUmProcess> processes_;
+  std::deque<net::Packet> wire_tx_;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_LIQUIDIO_KERNEL_H_

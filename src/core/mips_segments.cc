@@ -1,0 +1,109 @@
+#include "src/core/mips_segments.h"
+
+namespace snic::core {
+
+MipsSegment SegmentFor(uint64_t vaddr) {
+  const uint64_t top = vaddr >> 62;
+  switch (top) {
+    case 0:
+      return MipsSegment::kXuseg;
+    case 2:
+      return MipsSegment::kXkphys;
+    case 3:
+      return MipsSegment::kXkseg;
+    default:
+      return MipsSegment::kInvalid;
+  }
+}
+
+Result<uint64_t> LiquidIoAddressing::Translate(const MipsCoreContext& context,
+                                               uint64_t vaddr) const {
+  switch (SegmentFor(vaddr)) {
+    case MipsSegment::kXuseg: {
+      if (context.xuseg_tlb == nullptr) {
+        return PermissionDenied("no xuseg mappings installed");
+      }
+      const auto translation = context.xuseg_tlb->Translate(vaddr);
+      if (!translation.has_value()) {
+        return PermissionDenied("xuseg TLB refill failure");
+      }
+      return translation->phys_addr;
+    }
+    case MipsSegment::kXkphys: {
+      if (!context.privileged && !context.xkphys_allowed) {
+        return PermissionDenied("xkphys disabled for user code");
+      }
+      const uint64_t paddr = vaddr - kXkphysBase;
+      if (paddr >= memory_->total_bytes()) {
+        return InvalidArgument("xkphys address beyond physical memory");
+      }
+      return paddr;
+    }
+    case MipsSegment::kXkseg: {
+      if (!context.privileged) {
+        return PermissionDenied("xkseg requires the privilege bit");
+      }
+      // Kernel segment: direct-mapped in this model (the kernel's own TLB
+      // management is out of scope; what matters is the privilege gate).
+      const uint64_t paddr = vaddr - kXksegBase;
+      if (paddr >= memory_->total_bytes()) {
+        return InvalidArgument("xkseg address beyond physical memory");
+      }
+      return paddr;
+    }
+    case MipsSegment::kInvalid:
+      break;
+  }
+  return InvalidArgument("address in an unmapped segment");
+}
+
+Result<uint8_t> LiquidIoAddressing::Read(const MipsCoreContext& context,
+                                         uint64_t vaddr) const {
+  const auto paddr = Translate(context, vaddr);
+  if (!paddr.ok()) {
+    return paddr.status();
+  }
+  return memory_->ReadByte(paddr.value());
+}
+
+Status LiquidIoAddressing::Write(const MipsCoreContext& context,
+                                 uint64_t vaddr, uint8_t value) {
+  const auto paddr = Translate(context, vaddr);
+  if (!paddr.ok()) {
+    return paddr.status();
+  }
+  memory_->WriteByte(paddr.value(), value);
+  return OkStatus();
+}
+
+MipsCoreContext LiquidIoAddressing::FunctionContext(
+    LiquidIoMode mode, sim::LockedTlb* xuseg_tlb) {
+  MipsCoreContext context;
+  context.xuseg_tlb = xuseg_tlb;
+  switch (mode) {
+    case LiquidIoMode::kSeS:
+      // "There is no kernel — instead, all functions run in privileged
+      // mode" with complete xkphys access.
+      context.privileged = true;
+      context.xkphys_allowed = true;
+      break;
+    case LiquidIoMode::kSeUm:
+      context.privileged = false;
+      context.xkphys_allowed = true;
+      break;
+    case LiquidIoMode::kSeUmNoXkphys:
+      context.privileged = false;
+      context.xkphys_allowed = false;
+      break;
+  }
+  return context;
+}
+
+MipsCoreContext LiquidIoAddressing::KernelContext() {
+  MipsCoreContext context;
+  context.privileged = true;
+  context.xkphys_allowed = true;
+  return context;
+}
+
+}  // namespace snic::core

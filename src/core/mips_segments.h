@@ -1,0 +1,83 @@
+// LiquidIO (MIPS64) addressing and execution models (§3.2).
+//
+// The paper grounds its commodity-NIC analysis in the Marvell LiquidIO's
+// OCTEON cores: a virtual address space split into segments —
+//   * xuseg:  TLB-mapped user addresses,
+//   * xkseg:  TLB-mapped kernel addresses, privileged only,
+//   * xkphys: *direct-mapped physical memory*, no translation at all —
+// and two execution models:
+//   * SE-S:   no kernel; every function runs privileged with full xkphys,
+//   * SE-UM:  functions are Linux processes; xkphys access is a
+//             configuration choice (enabled for performance, or disabled to
+//             force packet access through system calls).
+//
+// The §3.3 attacks are exactly "use xkphys to read/write arbitrary physical
+// addresses"; this model lets the attack demos and tests express them in
+// the NIC's own terms and shows why even SE-UM-without-xkphys still leaves
+// functions unprotected *from the kernel*.
+
+#ifndef SNIC_CORE_MIPS_SEGMENTS_H_
+#define SNIC_CORE_MIPS_SEGMENTS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/physical_memory.h"
+#include "src/sim/tlb.h"
+
+namespace snic::core {
+
+// Simplified MIPS64 segment map keyed off the top virtual-address bits.
+enum class MipsSegment : uint8_t {
+  kXuseg = 0,   // [0x0000.., 0x4000..): user, TLB-mapped
+  kXkphys = 1,  // [0x8000.., 0xC000..): direct physical window
+  kXkseg = 2,   // [0xC000.., ...]: kernel, TLB-mapped, privileged
+  kInvalid = 3,
+};
+
+inline constexpr uint64_t kXkphysBase = 0x8000000000000000ull;
+inline constexpr uint64_t kXksegBase = 0xC000000000000000ull;
+
+MipsSegment SegmentFor(uint64_t vaddr);
+
+enum class LiquidIoMode : uint8_t {
+  kSeS = 0,             // bootloader-installed, privileged functions
+  kSeUm = 1,            // Linux processes, xkphys enabled
+  kSeUmNoXkphys = 2,    // Linux processes, xkphys disabled (syscall IO)
+};
+
+// Per-core execution context on a LiquidIO.
+struct MipsCoreContext {
+  bool privileged = false;     // CPU privilege bit
+  bool xkphys_allowed = true;  // MMU configuration for user xkphys access
+  sim::LockedTlb* xuseg_tlb = nullptr;  // function mappings (kernel-managed)
+};
+
+// The address-translation front end of a LiquidIO core. Owns no state; it
+// interprets a context against physical memory.
+class LiquidIoAddressing {
+ public:
+  explicit LiquidIoAddressing(PhysicalMemory* memory) : memory_(memory) {}
+
+  // Translates vaddr under `context`; PermissionDenied models an address
+  // error / TLB refill failure.
+  Result<uint64_t> Translate(const MipsCoreContext& context,
+                             uint64_t vaddr) const;
+
+  // Convenience memory operations through the translation path.
+  Result<uint8_t> Read(const MipsCoreContext& context, uint64_t vaddr) const;
+  Status Write(const MipsCoreContext& context, uint64_t vaddr, uint8_t value);
+
+  // Builds the context a function receives under each execution model
+  // (§3.2). The kernel context is always privileged with xkphys.
+  static MipsCoreContext FunctionContext(LiquidIoMode mode,
+                                         sim::LockedTlb* xuseg_tlb);
+  static MipsCoreContext KernelContext();
+
+ private:
+  PhysicalMemory* memory_;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_MIPS_SEGMENTS_H_

@@ -1,0 +1,209 @@
+// The S-NIC device model: trusted hardware, virtual smart NICs, and the
+// commodity baseline.
+//
+// In `kSnic` mode the device implements the paper's design (§4): the
+// privileged instructions `nf_launch` / `nf_teardown` / `nf_attest`
+// (Table 1) atomically bind cores, RAM pages, accelerator clusters and a
+// virtual packet pipeline to a function; memory denylists hide function
+// pages from the NIC OS; per-core locked TLBs confine each function to its
+// own pages; and a cumulative SHA-256 measurement supports remote
+// attestation.
+//
+// In `kCommodity` mode the same physical substrate behaves like a LiquidIO
+// in SE-S mode (§3.2): every core can read and write any physical address
+// (xkphys), accelerators are shared and unvirtualized, and the bus is
+// unarbitrated — the configuration against which the §3.3 attacks succeed.
+
+#ifndef SNIC_CORE_SNIC_DEVICE_H_
+#define SNIC_CORE_SNIC_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/accel/accelerator.h"
+#include "src/accel/crypto_coproc.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/attestation.h"
+#include "src/core/denylist.h"
+#include "src/core/physical_memory.h"
+#include "src/core/tlb_sizing.h"
+#include "src/core/vpp.h"
+#include "src/crypto/keys.h"
+#include "src/net/packet.h"
+#include "src/sim/tlb.h"
+
+namespace snic::core {
+
+enum class SecurityMode : uint8_t {
+  kCommodity = 0,  // LiquidIO-like: flat physical access, no virtualization
+  kSnic = 1,       // the paper's design
+};
+
+struct SnicConfig {
+  SecurityMode mode = SecurityMode::kSnic;
+  uint32_t num_cores = 16;        // core 0 is the dedicated NIC-OS core
+  uint64_t dram_bytes = 4ull << 30;
+  uint64_t page_bytes = 2ull << 20;
+  size_t core_tlb_entries = 512;  // per programmable core (Table 2)
+  uint64_t rx_port_buffer_bytes = 16ull << 20;
+  uint64_t tx_port_buffer_bytes = 16ull << 20;
+  DenylistKind denylist_kind = DenylistKind::kBitmap;
+  // Accelerator pools (defaults: 64 threads each of DPI/ZIP/RAID in
+  // 4-thread clusters, i.e. 16 clusters — the Table 3 middle column).
+  std::vector<accel::ClusterConfig> accel_clusters = DefaultAccelClusters();
+  size_t rsa_modulus_bits = 768;  // root-of-trust key size (tests keep small)
+  uint64_t boot_seed = 0x51c0b007ULL;
+
+  static std::vector<accel::ClusterConfig> DefaultAccelClusters();
+};
+
+// nf_launch arguments (Table 1: core_mask, page_table, pkt_pipeline_config,
+// accel_mask).
+struct NfLaunchArgs {
+  uint64_t core_mask = 0;
+  // The "page table": physical pages staged by the NIC OS with the
+  // function's initial code, data and configuration.
+  std::vector<uint64_t> image_pages;
+  // Additional zero-filled heap pages to allocate and bind.
+  uint64_t heap_pages = 0;
+  // Configuration blob covered by the measurement (resource requests,
+  // switch rules in serialized form).
+  std::vector<uint8_t> config_blob;
+  VppConfig vpp;
+  // Requested clusters per accelerator type (DPI, ZIP, RAID).
+  std::array<uint32_t, accel::kNumAcceleratorTypes> accel_clusters = {0, 0, 0};
+};
+
+// Per-launch latency breakdown (Fig. 6 series).
+struct LaunchLatency {
+  double tlb_setup_ms = 0.0;
+  double denylist_ms = 0.0;
+  double sha_digest_ms = 0.0;
+  double TotalMs() const { return tlb_setup_ms + denylist_ms + sha_digest_ms; }
+};
+struct TeardownLatency {
+  double allowlist_ms = 0.0;
+  double scrub_ms = 0.0;
+  double TotalMs() const { return allowlist_ms + scrub_ms; }
+};
+
+class SnicDevice {
+ public:
+  SnicDevice(const SnicConfig& config, const crypto::VendorAuthority& vendor);
+
+  const SnicConfig& config() const { return config_; }
+
+  // ---- Trusted instructions (Table 1) -----------------------------------
+
+  // nf_launch: atomically installs a function. Fails without side effects
+  // if any requested resource is unavailable or already owned.
+  Result<uint64_t> NfLaunch(const NfLaunchArgs& args);
+
+  // nf_teardown: releases every resource, scrubbing RAM, registers and
+  // cache lines so nothing leaks to the next owner.
+  Status NfTeardown(uint64_t nf_id);
+
+  // nf_attest: signs the function's measurement together with the
+  // Diffie-Hellman parameters supplied by the function.
+  Result<AttestationQuote> NfAttest(uint64_t nf_id,
+                                    const AttestationRequest& request);
+
+  // ---- Memory access paths ----------------------------------------------
+
+  // A function's own access through its per-core locked TLB (virtual
+  // addresses start at 0). Fails on unmapped addresses (fatal TLB miss).
+  Result<uint8_t> NfRead(uint64_t nf_id, uint64_t vaddr) const;
+  Status NfWrite(uint64_t nf_id, uint64_t vaddr, uint8_t value);
+  Status NfReadBlock(uint64_t nf_id, uint64_t vaddr,
+                     std::span<uint8_t> out) const;
+  Status NfWriteBlock(uint64_t nf_id, uint64_t vaddr,
+                      std::span<const uint8_t> data);
+
+  // Management-core physical access: denylist-checked in S-NIC mode.
+  Result<uint8_t> MgmtReadPhys(uint64_t paddr) const;
+  Status MgmtWritePhys(uint64_t paddr, uint8_t value);
+
+  // Programmable-core physical access (xkphys). Permitted only in
+  // commodity mode; S-NIC cores have no physical addressing at all.
+  Result<uint8_t> CoreReadPhys(uint32_t core, uint64_t paddr) const;
+  Status CoreWritePhys(uint32_t core, uint64_t paddr, uint8_t value);
+
+  // ---- Packet paths -------------------------------------------------------
+
+  // Packet input module: parses the frame, walks the per-NF switch rules,
+  // and deposits it into the matching VPP (first match wins; unmatched
+  // frames are dropped and counted).
+  Status DeliverFromWire(net::Packet packet);
+  Result<net::Packet> NfReceive(uint64_t nf_id);
+  Status NfSend(uint64_t nf_id, net::Packet packet);
+  // Packet output module: drains one frame to the wire (round-robin over
+  // VPPs with pending TX).
+  Result<net::Packet> TransmitToWire();
+
+  uint64_t unmatched_rx_drops() const { return unmatched_rx_drops_; }
+
+  // ---- Introspection ------------------------------------------------------
+
+  bool IsLive(uint64_t nf_id) const;
+  std::vector<uint64_t> LiveNfIds() const;
+  Result<crypto::Sha256Digest> MeasurementOf(uint64_t nf_id) const;
+  Result<uint64_t> CoresOf(uint64_t nf_id) const;  // core mask
+  VirtualPacketPipeline* Vpp(uint64_t nf_id);
+  const LaunchLatency& last_launch_latency() const { return launch_latency_; }
+  const TeardownLatency& last_teardown_latency() const {
+    return teardown_latency_;
+  }
+
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+  accel::VirtualAcceleratorPool& accel_pool() { return accel_pool_; }
+  const MemoryDenylist& mgmt_denylist() const { return *mgmt_denylist_; }
+  const crypto::NicRootOfTrust& root_of_trust() const { return root_of_trust_; }
+  accel::CryptoCoprocessor& coproc() { return coproc_; }
+
+  // Free core count (excludes the NIC-OS core in S-NIC mode).
+  uint32_t FreeCores() const;
+
+ private:
+  struct NfRecord {
+    uint64_t id;
+    uint64_t core_mask;
+    std::vector<uint64_t> pages;  // physical page indices, in vaddr order
+    sim::LockedTlb tlb;           // per-function core TLB (shared mapping)
+    std::unique_ptr<VirtualPacketPipeline> vpp;
+    crypto::Sha256Digest measurement;
+    std::array<std::vector<uint32_t>, accel::kNumAcceleratorTypes> clusters;
+
+    NfRecord(uint64_t nf_id, size_t tlb_entries)
+        : id(nf_id), core_mask(0), tlb(tlb_entries) {}
+  };
+
+  Result<const NfRecord*> FindNf(uint64_t nf_id) const;
+  Result<NfRecord*> FindNf(uint64_t nf_id);
+  Status CheckLaunchArgs(const NfLaunchArgs& args) const;
+
+  SnicConfig config_;
+  PhysicalMemory memory_;
+  std::unique_ptr<MemoryDenylist> mgmt_denylist_;
+  accel::VirtualAcceleratorPool accel_pool_;
+  Rng rng_;  // boot-time entropy (declared before the root of trust)
+  crypto::NicRootOfTrust root_of_trust_;
+  accel::CryptoCoprocessor coproc_;
+
+  uint64_t core_allocation_mask_ = 0;  // bit set = core bound to an NF
+  uint64_t next_nf_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<NfRecord>> nfs_;
+  uint64_t rr_tx_cursor_ = 0;
+  uint64_t unmatched_rx_drops_ = 0;
+  LaunchLatency launch_latency_;
+  TeardownLatency teardown_latency_;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_SNIC_DEVICE_H_

@@ -1,0 +1,70 @@
+#include "src/core/tlb_sizing.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace snic::core {
+
+PageSizeMenu PageSizeMenu::Equal() {
+  return PageSizeMenu{"Equal", {MiB(2)}};
+}
+
+PageSizeMenu PageSizeMenu::FlexLow() {
+  return PageSizeMenu{"Flex-low", {KiB(128), MiB(2), MiB(64)}};
+}
+
+PageSizeMenu PageSizeMenu::FlexHigh() {
+  return PageSizeMenu{"Flex-high", {MiB(2), MiB(32), MiB(128)}};
+}
+
+PagePlan PlanRegion(uint64_t region_bytes, const PageSizeMenu& menu) {
+  SNIC_CHECK(!menu.page_bytes.empty());
+  SNIC_CHECK(std::is_sorted(menu.page_bytes.begin(), menu.page_bytes.end()));
+  PagePlan plan;
+  if (region_bytes == 0) {
+    return plan;
+  }
+  const uint64_t smallest = menu.page_bytes.front();
+  uint64_t remaining = region_bytes;
+  // Largest page <= remaining, as many as fit; then next size down.
+  for (size_t i = menu.page_bytes.size(); i-- > 0;) {
+    const uint64_t page = menu.page_bytes[i];
+    if (page > remaining) {
+      continue;
+    }
+    const uint64_t count = remaining / page;
+    plan.entries += count;
+    plan.mapped_bytes += count * page;
+    remaining -= count * page;
+  }
+  // Final sliver smaller than the smallest page: one more smallest page.
+  if (remaining > 0) {
+    const uint64_t count = CeilDiv(remaining, smallest);
+    plan.entries += count;
+    plan.mapped_bytes += count * smallest;
+  }
+  return plan;
+}
+
+uint64_t EntriesForRegions(const std::vector<uint64_t>& region_bytes,
+                           const PageSizeMenu& menu) {
+  uint64_t total = 0;
+  for (uint64_t bytes : region_bytes) {
+    total += PlanRegion(bytes, menu).entries;
+  }
+  return total;
+}
+
+uint64_t EntriesForRegionsMib(const std::vector<double>& region_mib,
+                              const PageSizeMenu& menu) {
+  std::vector<uint64_t> bytes;
+  bytes.reserve(region_mib.size());
+  for (double mib : region_mib) {
+    bytes.push_back(MiBToBytes(mib));
+  }
+  return EntriesForRegions(bytes, menu);
+}
+
+}  // namespace snic::core

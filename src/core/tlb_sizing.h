@@ -1,0 +1,52 @@
+// TLB sizing under variable page-size menus (§4.2, Tables 5 & 6).
+//
+// S-NIC gives each programmable core a handful of locked, variable-size TLB
+// entries instead of a page table. Given an NF's memory regions (text, data,
+// code, heap&stack) and a menu of supported page sizes, this module computes
+// the minimal entry count with the paper's strategy: per region, greedily
+// place the largest page that fits in the remaining bytes; cover any final
+// remainder with ceiling-many smallest pages ("when allocating pages ... we
+// try to minimize the amount of wasted memory", Table 6 caption). The same
+// algorithm sizes accelerator, VPP and DMA TLB banks (Tables 3, 4, 7).
+
+#ifndef SNIC_CORE_TLB_SIZING_H_
+#define SNIC_CORE_TLB_SIZING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snic::core {
+
+// A menu of supported page sizes, ascending.
+struct PageSizeMenu {
+  std::string name;
+  std::vector<uint64_t> page_bytes;
+
+  // Table 5/6 menus.
+  static PageSizeMenu Equal();     // {2 MB}
+  static PageSizeMenu FlexLow();   // {128 KB, 2 MB, 64 MB}  (Table 6 naming)
+  static PageSizeMenu FlexHigh();  // {2 MB, 32 MB, 128 MB}
+};
+
+// Pages chosen to cover one region.
+struct PagePlan {
+  uint64_t entries = 0;
+  uint64_t mapped_bytes = 0;  // >= region bytes (waste = mapped - region)
+};
+
+// Covers a region of `region_bytes` with menu pages (greedy largest-fit).
+PagePlan PlanRegion(uint64_t region_bytes, const PageSizeMenu& menu);
+
+// Total entries for a set of regions (each region mapped independently, as
+// image sections and heap are placed at distinct bases).
+uint64_t EntriesForRegions(const std::vector<uint64_t>& region_bytes,
+                           const PageSizeMenu& menu);
+
+// Convenience over MiB region lists (Table 6 rows are reported in MB).
+uint64_t EntriesForRegionsMib(const std::vector<double>& region_mib,
+                              const PageSizeMenu& menu);
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_TLB_SIZING_H_

@@ -1,0 +1,95 @@
+#include "src/core/trustzone.h"
+
+namespace snic::core {
+
+TrustZoneNic::TrustZoneNic(uint64_t total_bytes, uint64_t page_bytes,
+                           uint64_t secure_bytes)
+    : memory_(total_bytes, page_bytes),
+      secure_base_(total_bytes - secure_bytes) {
+  SNIC_CHECK(secure_bytes > 0 && secure_bytes < total_bytes);
+}
+
+Result<uint8_t> TrustZoneNic::Read(World world, uint64_t paddr) const {
+  if (paddr >= memory_.total_bytes()) {
+    return InvalidArgument("address beyond physical memory");
+  }
+  if (world == World::kNormal && IsSecureAddr(paddr)) {
+    return PermissionDenied("normal world cannot read secure memory");
+  }
+  return memory_.ReadByte(paddr);
+}
+
+Status TrustZoneNic::Write(World world, uint64_t paddr, uint8_t value) {
+  if (paddr >= memory_.total_bytes()) {
+    return InvalidArgument("address beyond physical memory");
+  }
+  if (world == World::kNormal && IsSecureAddr(paddr)) {
+    return PermissionDenied("normal world cannot write secure memory");
+  }
+  memory_.WriteByte(paddr, value);
+  return OkStatus();
+}
+
+Status TrustZoneNic::NormalDma(uint64_t src_paddr, uint64_t dst_paddr,
+                               uint64_t bytes) {
+  if (src_paddr + bytes > memory_.total_bytes() ||
+      dst_paddr + bytes > memory_.total_bytes()) {
+    return InvalidArgument("DMA range beyond physical memory");
+  }
+  // "The TrustZone DMA controller ensures that normal code cannot use
+  // DMA-capable devices to read or write secure memory."
+  if (IsSecureAddr(src_paddr) || IsSecureAddr(src_paddr + bytes - 1) ||
+      IsSecureAddr(dst_paddr) || IsSecureAddr(dst_paddr + bytes - 1)) {
+    return PermissionDenied("DMA touching secure memory blocked");
+  }
+  std::vector<uint8_t> buffer(bytes);
+  memory_.Read(src_paddr, std::span<uint8_t>(buffer.data(), buffer.size()));
+  memory_.Write(dst_paddr,
+                std::span<const uint8_t>(buffer.data(), buffer.size()));
+  return OkStatus();
+}
+
+Status TrustZoneNic::ResizeSecureRegion(World caller, uint64_t secure_bytes) {
+  if (caller != World::kSecure) {
+    return PermissionDenied("only secure code manages the memory split");
+  }
+  if (secure_bytes == 0 || secure_bytes >= memory_.total_bytes()) {
+    return InvalidArgument("secure region must be a proper subset");
+  }
+  const uint64_t new_base = memory_.total_bytes() - secure_bytes;
+  // Shrinking the secure region would expose trustlet state to the normal
+  // world; refuse if any trustlet would fall outside.
+  for (const auto& [name, extent] : trustlets_) {
+    if (extent.first < new_base) {
+      return FailedPrecondition("trustlet '" + name +
+                                "' would leave the secure region");
+    }
+  }
+  secure_base_ = new_base;
+  return OkStatus();
+}
+
+Result<uint64_t> TrustZoneNic::InstallTrustlet(
+    const std::string& name, std::span<const uint8_t> state) {
+  if (trustlets_.count(name) > 0) {
+    return AlreadyOwned("trustlet name in use");
+  }
+  const uint64_t addr = secure_base_ + next_trustlet_offset_;
+  if (addr + state.size() > memory_.total_bytes()) {
+    return ResourceExhausted("secure region full");
+  }
+  memory_.Write(addr, state);
+  trustlets_[name] = {addr, state.size()};
+  next_trustlet_offset_ += (state.size() + 63) & ~uint64_t{63};
+  return addr;
+}
+
+Result<uint64_t> TrustZoneNic::TrustletAddress(const std::string& name) const {
+  const auto it = trustlets_.find(name);
+  if (it == trustlets_.end()) {
+    return NotFound("unknown trustlet");
+  }
+  return it->second.first;
+}
+
+}  // namespace snic::core

@@ -1,0 +1,80 @@
+// BlueField / ARM TrustZone model (§3.2).
+//
+// The paper's strongest commodity baseline: BlueField uses TrustZone to
+// privilege-separate network functions. Memory is split into a normal and a
+// secure region; a new privilege bit selects the "world"; normal code
+// cannot touch secure memory, secure code can touch everything; the split
+// is managed by secure code and can change dynamically; worlds communicate
+// via shared (normal) memory and `smc` transitions.
+//
+// Two gaps motivate S-NIC, and both are expressible (and tested) here:
+//   1. "BlueField does not isolate a network function from the secure-world
+//      management OS" — the secure kernel reads/writes any trustlet's state.
+//   2. Nothing isolates microarchitectural state — the model exposes no
+//      partitioning hooks at all (contrast with S-NIC's cache/bus modules).
+
+#ifndef SNIC_CORE_TRUSTZONE_H_
+#define SNIC_CORE_TRUSTZONE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/physical_memory.h"
+
+namespace snic::core {
+
+enum class World : uint8_t {
+  kNormal = 0,
+  kSecure = 1,
+};
+
+class TrustZoneNic {
+ public:
+  // The secure region initially spans the top `secure_bytes` of memory.
+  TrustZoneNic(uint64_t total_bytes, uint64_t page_bytes,
+               uint64_t secure_bytes);
+
+  PhysicalMemory& memory() { return memory_; }
+  uint64_t secure_base() const { return secure_base_; }
+
+  // Memory access from a given world. Normal world touching the secure
+  // region is denied by the TZASC; everything else passes.
+  Result<uint8_t> Read(World world, uint64_t paddr) const;
+  Status Write(World world, uint64_t paddr, uint8_t value);
+
+  // DMA on behalf of normal-world devices: the TrustZone DMA controller
+  // blocks transfers into or out of secure memory.
+  Status NormalDma(uint64_t src_paddr, uint64_t dst_paddr, uint64_t bytes);
+
+  // Secure code can move the normal/secure boundary (dynamic split).
+  Status ResizeSecureRegion(World caller, uint64_t secure_bytes);
+
+  // --- Trustlets (the secure-world halves of functions) -------------------
+
+  // Installs a trustlet's state at an offset inside the secure region.
+  Result<uint64_t> InstallTrustlet(const std::string& name,
+                                   std::span<const uint8_t> state);
+  // Address of a trustlet's state (secure-world knowledge).
+  Result<uint64_t> TrustletAddress(const std::string& name) const;
+
+  // smc: world switch. Returns the world now executing. Models the call
+  // gate only; no scheduling.
+  World Smc(World from) const {
+    return from == World::kNormal ? World::kSecure : World::kNormal;
+  }
+
+ private:
+  bool IsSecureAddr(uint64_t paddr) const { return paddr >= secure_base_; }
+
+  PhysicalMemory memory_;
+  uint64_t secure_base_;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> trustlets_;  // addr,len
+  uint64_t next_trustlet_offset_ = 0;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_TRUSTZONE_H_

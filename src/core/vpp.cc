@@ -1,0 +1,77 @@
+#include "src/core/vpp.h"
+
+#include <algorithm>
+
+namespace snic::core {
+
+VirtualPacketPipeline::VirtualPacketPipeline(uint64_t nf_id,
+                                             const VppConfig& config)
+    : nf_id_(nf_id), config_(config), scheduler_tlb_(config.tlb_entries) {}
+
+bool VirtualPacketPipeline::Matches(const net::ParsedPacket& parsed) const {
+  for (const net::SwitchRule& rule : config_.rules) {
+    if (rule.Matches(parsed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t VirtualPacketPipeline::BufferedRxBytes() const {
+  uint64_t total = 0;
+  for (const net::Packet& p : rx_queue_) {
+    total += p.size();
+  }
+  return total;
+}
+
+Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
+  if (BufferedRxBytes() + packet.size() > config_.rx_buffer_bytes) {
+    ++stats_.rx_dropped_full;
+    return ResourceExhausted("RX buffer reservation full");
+  }
+  stats_.rx_bytes += packet.size();
+  ++stats_.rx_packets;
+  rx_queue_.push_back(std::move(packet));
+  return OkStatus();
+}
+
+Result<net::Packet> VirtualPacketPipeline::DequeueRx() {
+  if (rx_queue_.empty()) {
+    return NotFound("RX queue empty");
+  }
+  auto it = rx_queue_.begin();
+  if (config_.scheduler == PacketScheduler::kPriorityBySize) {
+    it = std::min_element(rx_queue_.begin(), rx_queue_.end(),
+                          [](const net::Packet& a, const net::Packet& b) {
+                            return a.size() < b.size();
+                          });
+  }
+  net::Packet packet = std::move(*it);
+  rx_queue_.erase(it);
+  return packet;
+}
+
+Status VirtualPacketPipeline::EnqueueTx(net::Packet packet) {
+  // TX reservation: model the ODB as bounding outstanding descriptors
+  // (64 B each).
+  const uint64_t max_outstanding = config_.output_descriptor_bytes / 64;
+  if (tx_queue_.size() >= max_outstanding) {
+    return ResourceExhausted("TX descriptor reservation full");
+  }
+  stats_.tx_bytes += packet.size();
+  ++stats_.tx_packets;
+  tx_queue_.push_back(std::move(packet));
+  return OkStatus();
+}
+
+Result<net::Packet> VirtualPacketPipeline::DequeueTx() {
+  if (tx_queue_.empty()) {
+    return NotFound("TX queue empty");
+  }
+  net::Packet packet = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  return packet;
+}
+
+}  // namespace snic::core

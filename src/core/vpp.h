@@ -1,0 +1,92 @@
+// Virtual packet pipeline (§4.4).
+//
+// A VPP bundles the hardware that moves one function's packets between the
+// wire and its private RAM: reserved buffer space in the physical RX/TX
+// ports, a packet-scheduler unit with locked TLB entries (so its DMA can
+// only touch the owner's memory), and the switch rules that steer incoming
+// frames. Rules may match 5-tuples, destination MACs (SR-IOV style) and
+// VXLAN VNIs. Buffer sizes default to the LiquidIO values the paper uses to
+// size VPP TLBs: PB 2 MB, PDB 128 KB, ODB 1 MB.
+
+#ifndef SNIC_CORE_VPP_H_
+#define SNIC_CORE_VPP_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/packet.h"
+#include "src/net/switching.h"
+#include "src/sim/tlb.h"
+
+namespace snic::core {
+
+// Packet scheduling algorithms a VPP may request (§4.4 cites programmable
+// packet schedulers; functional behaviour differs only in dequeue order).
+enum class PacketScheduler : uint8_t {
+  kFifo = 0,
+  kPriorityBySize = 1,  // shortest frame first
+};
+
+struct VppConfig {
+  uint64_t rx_buffer_bytes = 2 * 1024 * 1024;       // PB
+  uint64_t descriptor_buffer_bytes = 128 * 1024;    // PDB
+  uint64_t output_descriptor_bytes = 1024 * 1024;   // ODB
+  PacketScheduler scheduler = PacketScheduler::kFifo;
+  std::vector<net::SwitchRule> rules;
+  size_t tlb_entries = 3;  // Table 4: one per buffer
+};
+
+struct VppStats {
+  uint64_t rx_packets = 0;
+  uint64_t rx_dropped_full = 0;
+  uint64_t tx_packets = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t tx_bytes = 0;
+};
+
+// One function's pipeline instance.
+class VirtualPacketPipeline {
+ public:
+  VirtualPacketPipeline(uint64_t nf_id, const VppConfig& config);
+
+  uint64_t nf_id() const { return nf_id_; }
+  const VppConfig& config() const { return config_; }
+
+  // True when one of this VPP's switch rules matches the frame.
+  bool Matches(const net::ParsedPacket& parsed) const;
+
+  // RX path: the packet input module deposits a frame. Fails (drops) when
+  // buffered bytes would exceed the reserved RX buffer space.
+  Status EnqueueRx(net::Packet packet);
+
+  // The function polls for its next packet per the configured scheduler.
+  Result<net::Packet> DequeueRx();
+  bool RxPending() const { return !rx_queue_.empty(); }
+
+  // TX path: the function hands a processed frame to the output module.
+  Status EnqueueTx(net::Packet packet);
+  Result<net::Packet> DequeueTx();  // wire side
+  bool TxPending() const { return !tx_queue_.empty(); }
+
+  const VppStats& stats() const { return stats_; }
+
+  // The scheduler unit's locked TLB (priced in Table 4).
+  sim::LockedTlb& scheduler_tlb() { return scheduler_tlb_; }
+
+ private:
+  uint64_t BufferedRxBytes() const;
+
+  uint64_t nf_id_;
+  VppConfig config_;
+  std::deque<net::Packet> rx_queue_;
+  std::deque<net::Packet> tx_queue_;
+  sim::LockedTlb scheduler_tlb_;
+  VppStats stats_;
+};
+
+}  // namespace snic::core
+
+#endif  // SNIC_CORE_VPP_H_

@@ -1,0 +1,108 @@
+// Arbitrary-precision unsigned integers, from scratch.
+//
+// This is the arithmetic substrate for the attestation protocol: classic
+// Diffie-Hellman (modular exponentiation over a safe prime) and RSA
+// signatures (Appendix A). The implementation favors clarity and testability
+// over peak performance; attestation happens once per function launch, and
+// the paper's co-processor latency model (Fig. 6) governs reported timings.
+
+#ifndef SNIC_CRYPTO_BIGNUM_H_
+#define SNIC_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace snic::crypto {
+
+// Unsigned big integer stored little-endian in 32-bit limbs.
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(uint64_t value);
+
+  // Parses a hex string (no 0x prefix needed; case-insensitive). Aborts on
+  // malformed input — hex literals in this codebase are compile-time data.
+  static BigUint FromHex(std::string_view hex);
+
+  // Big-endian byte-string conversions (network/wire format).
+  static BigUint FromBytes(std::span<const uint8_t> be_bytes);
+  std::vector<uint8_t> ToBytes() const;
+  // Fixed-width big-endian rendering, left-padded with zeros; aborts if the
+  // value does not fit.
+  std::vector<uint8_t> ToBytesPadded(size_t width) const;
+
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  // Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  bool GetBit(size_t i) const;
+
+  // Comparisons.
+  static int Compare(const BigUint& a, const BigUint& b);
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigUint& a, const BigUint& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  // Arithmetic. Sub aborts if b > a (unsigned domain).
+  static BigUint Add(const BigUint& a, const BigUint& b);
+  static BigUint Sub(const BigUint& a, const BigUint& b);
+  static BigUint Mul(const BigUint& a, const BigUint& b);
+  // Quotient and remainder; aborts on division by zero.
+  static void DivMod(const BigUint& a, const BigUint& b, BigUint* quotient,
+                     BigUint* remainder);
+  static BigUint Mod(const BigUint& a, const BigUint& m);
+
+  // (a * b) mod m and (base ^ exp) mod m via square-and-multiply.
+  static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint PowMod(const BigUint& base, const BigUint& exp,
+                        const BigUint& m);
+
+  // Modular inverse via extended Euclid; returns false if gcd(a, m) != 1.
+  static bool InvMod(const BigUint& a, const BigUint& m, BigUint* inverse);
+
+  // Shifts.
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  // Uniform random value with exactly `bits` significant bits (MSB set).
+  static BigUint RandomWithBits(size_t bits, Rng& rng);
+  // Uniform random value in [lo, hi].
+  static BigUint RandomInRange(const BigUint& lo, const BigUint& hi, Rng& rng);
+
+  // Miller-Rabin primality test with `rounds` random bases.
+  static bool IsProbablePrime(const BigUint& n, int rounds, Rng& rng);
+  // Generates a random probable prime with exactly `bits` bits.
+  static BigUint GeneratePrime(size_t bits, Rng& rng);
+
+  uint64_t ToU64() const;  // aborts if the value exceeds 64 bits
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;  // little-endian, no trailing zero limbs
+};
+
+}  // namespace snic::crypto
+
+#endif  // SNIC_CRYPTO_BIGNUM_H_

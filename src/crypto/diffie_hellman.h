@@ -1,0 +1,49 @@
+// Classic finite-field Diffie-Hellman, as used by the S-NIC attestation
+// protocol (Appendix A): the function F contributes g^x mod p, the verifier
+// contributes g^y mod p, and both derive the channel key from g^xy mod p.
+
+#ifndef SNIC_CRYPTO_DIFFIE_HELLMAN_H_
+#define SNIC_CRYPTO_DIFFIE_HELLMAN_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/crypto/bignum.h"
+#include "src/crypto/sha256.h"
+
+namespace snic::crypto {
+
+// Public group parameters (g, p). p must be prime, g a generator.
+struct DhGroup {
+  BigUint g;
+  BigUint p;
+};
+
+// RFC 3526 MODP groups. The 1536-bit group is the default for attestation;
+// the small test group keeps unit tests fast.
+DhGroup Modp1536Group();
+DhGroup SmallTestGroup();  // 256-bit safe prime; tests only
+
+class DhParticipant {
+ public:
+  // Draws the secret exponent x uniformly from [2, p-2].
+  DhParticipant(const DhGroup& group, Rng& rng);
+
+  // g^x mod p — sent to the peer.
+  const BigUint& public_value() const { return public_value_; }
+
+  // Computes g^xy mod p from the peer's public value.
+  BigUint ComputeSharedSecret(const BigUint& peer_public) const;
+
+  // Channel key = HMAC-SHA256(key = "snic-attest-v1", shared-secret bytes).
+  Sha256Digest DeriveChannelKey(const BigUint& peer_public) const;
+
+ private:
+  DhGroup group_;
+  BigUint secret_;
+  BigUint public_value_;
+};
+
+}  // namespace snic::crypto
+
+#endif  // SNIC_CRYPTO_DIFFIE_HELLMAN_H_

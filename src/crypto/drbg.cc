@@ -1,0 +1,63 @@
+#include "src/crypto/drbg.h"
+
+#include <cstring>
+
+namespace snic::crypto {
+namespace {
+
+std::span<const uint8_t> AsSpan(const Sha256Digest& d) {
+  return {d.data(), d.size()};
+}
+
+}  // namespace
+
+HmacDrbg::HmacDrbg(std::span<const uint8_t> entropy,
+                   std::span<const uint8_t> personalization) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  std::vector<uint8_t> seed(entropy.begin(), entropy.end());
+  seed.insert(seed.end(), personalization.begin(), personalization.end());
+  Update(std::span<const uint8_t>(seed.data(), seed.size()));
+}
+
+void HmacDrbg::Update(std::span<const uint8_t> provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  std::vector<uint8_t> msg(value_.begin(), value_.end());
+  msg.push_back(0x00);
+  msg.insert(msg.end(), provided.begin(), provided.end());
+  key_ = HmacSha256(AsSpan(key_), std::span<const uint8_t>(msg.data(),
+                                                           msg.size()));
+  value_ = HmacSha256(AsSpan(key_), AsSpan(value_));
+  if (!provided.empty()) {
+    msg.assign(value_.begin(), value_.end());
+    msg.push_back(0x01);
+    msg.insert(msg.end(), provided.begin(), provided.end());
+    key_ = HmacSha256(AsSpan(key_), std::span<const uint8_t>(msg.data(),
+                                                             msg.size()));
+    value_ = HmacSha256(AsSpan(key_), AsSpan(value_));
+  }
+}
+
+void HmacDrbg::Generate(std::span<uint8_t> out) {
+  ++generate_calls_;
+  size_t done = 0;
+  while (done < out.size()) {
+    value_ = HmacSha256(AsSpan(key_), AsSpan(value_));
+    const size_t chunk = std::min(out.size() - done, value_.size());
+    std::memcpy(out.data() + done, value_.data(), chunk);
+    done += chunk;
+  }
+  Update({});
+}
+
+std::vector<uint8_t> HmacDrbg::Generate(size_t n) {
+  std::vector<uint8_t> out(n);
+  Generate(std::span<uint8_t>(out.data(), out.size()));
+  return out;
+}
+
+void HmacDrbg::Reseed(std::span<const uint8_t> entropy) {
+  Update(entropy);
+}
+
+}  // namespace snic::crypto

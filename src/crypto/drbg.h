@@ -1,0 +1,44 @@
+// HMAC-DRBG (NIST SP 800-90A, HMAC-SHA-256 instantiation).
+//
+// The attestation protocol needs nonces and ephemeral Diffie-Hellman
+// exponents. The general-purpose xoshiro RNG is fine for workload synthesis
+// but not for key material; this deterministic-for-a-seed DRBG gives the
+// crypto paths a proper expansion function (and the tests reproducibility).
+
+#ifndef SNIC_CRYPTO_DRBG_H_
+#define SNIC_CRYPTO_DRBG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace snic::crypto {
+
+class HmacDrbg {
+ public:
+  // Instantiates from entropy (plus optional personalization).
+  explicit HmacDrbg(std::span<const uint8_t> entropy,
+                    std::span<const uint8_t> personalization = {});
+
+  // Fills `out` with pseudorandom bytes.
+  void Generate(std::span<uint8_t> out);
+  std::vector<uint8_t> Generate(size_t n);
+
+  // Mixes additional entropy into the state (NIST reseed).
+  void Reseed(std::span<const uint8_t> entropy);
+
+  uint64_t generate_calls() const { return generate_calls_; }
+
+ private:
+  void Update(std::span<const uint8_t> provided);
+
+  Sha256Digest key_;
+  Sha256Digest value_;
+  uint64_t generate_calls_ = 0;
+};
+
+}  // namespace snic::crypto
+
+#endif  // SNIC_CRYPTO_DRBG_H_

@@ -1,0 +1,34 @@
+#include "src/hwmodel/tco.h"
+
+#include "src/common/units.h"
+
+namespace snic::hwmodel {
+
+double TcoPerCore(const DeviceCost& device, double usd_per_kwh, double years) {
+  const double hours = years * kHoursPerYear;
+  const double energy_kwh = device.peak_power_w * hours / 1000.0;
+  const double total = device.purchase_usd + energy_kwh * usd_per_kwh;
+  return total / static_cast<double>(device.cores);
+}
+
+TcoReport ComputeTco(const TcoParams& params) {
+  TcoReport report;
+  report.nic_tco_per_core =
+      TcoPerCore(params.nic, params.electricity_usd_per_kwh, params.years);
+  report.host_tco_per_core =
+      TcoPerCore(params.host, params.electricity_usd_per_kwh, params.years);
+
+  DeviceCost snic = params.nic;
+  snic.purchase_usd *= 1.0 + params.snic_area_overhead;
+  snic.peak_power_w *= 1.0 + params.snic_power_overhead;
+  report.snic_tco_per_core =
+      TcoPerCore(snic, params.electricity_usd_per_kwh, params.years);
+
+  report.advantage_reduction =
+      (report.snic_tco_per_core - report.nic_tco_per_core) /
+      report.snic_tco_per_core;
+  report.advantage_preserved = 1.0 - report.advantage_reduction;
+  return report;
+}
+
+}  // namespace snic::hwmodel

@@ -1,0 +1,48 @@
+// Total-cost-of-ownership model (§5.2 "TCO impact").
+//
+// Reproduces the paper's analysis: three-year per-core TCO of a 12-core
+// Marvell LiquidIO NIC ($420, 24.7 W) versus a 12-core Intel E5-2680 v3 host
+// ($1745, 113 W) at the average U.S. datacenter electricity price
+// ($0.0733/kWh), and how S-NIC's extra area (purchase cost scales with die
+// area) and power shift the NIC's advantage.
+
+#ifndef SNIC_HWMODEL_TCO_H_
+#define SNIC_HWMODEL_TCO_H_
+
+namespace snic::hwmodel {
+
+struct DeviceCost {
+  double purchase_usd;
+  double peak_power_w;
+  unsigned cores;
+};
+
+struct TcoParams {
+  DeviceCost nic{420.0, 24.7, 12};     // Marvell LiquidIO (Liu et al.)
+  DeviceCost host{1745.0, 113.0, 12};  // Intel E5-2680 v3
+  double electricity_usd_per_kwh = 0.0733;
+  double years = 3.0;
+  // S-NIC silicon overheads (paper: up to 8.89% area, 11.45% power).
+  double snic_area_overhead = 0.0889;
+  double snic_power_overhead = 0.1145;
+};
+
+struct TcoReport {
+  double nic_tco_per_core;        // $38.97 in the paper
+  double host_tco_per_core;       // $163.56
+  double snic_tco_per_core;       // $42.53
+  // Fractional loss of the NIC's TCO advantage caused by S-NIC, computed as
+  // (snic - nic) / snic per the paper's 8.37% figure; the complement is the
+  // "preserves 91.6% of the TCO benefit" headline.
+  double advantage_reduction;
+  double advantage_preserved;
+};
+
+// Three-year per-core TCO of one device: (purchase + energy) / cores.
+double TcoPerCore(const DeviceCost& device, double usd_per_kwh, double years);
+
+TcoReport ComputeTco(const TcoParams& params = {});
+
+}  // namespace snic::hwmodel
+
+#endif  // SNIC_HWMODEL_TCO_H_

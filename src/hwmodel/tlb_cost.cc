@@ -1,0 +1,43 @@
+#include "src/hwmodel/tlb_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snic::hwmodel {
+namespace {
+
+// Calibrated against McPAT outputs reported in the paper (see header).
+constexpr double kAreaFloor = 0.00309;
+constexpr double kArea0 = 0.002783;
+constexpr double kArea1 = 1.5733e-5;   // * e^1.2
+constexpr double kArea2 = 1.5103e-7;   // * max(0, e-256)^2
+constexpr double kPowerFloor = 0.00143;
+constexpr double kPower0 = 0.001270;
+constexpr double kPower1 = 5.966e-6;   // * e^1.3
+
+}  // namespace
+
+TlbCost TlbBankCost(size_t entries) {
+  const auto e = static_cast<double>(entries);
+  const double over = std::max(0.0, e - 256.0);
+  TlbCost cost;
+  cost.area_mm2 =
+      std::max(kAreaFloor, kArea0 + kArea1 * std::pow(e, 1.2) +
+                               kArea2 * over * over);
+  cost.power_w = std::max(kPowerFloor, kPower0 + kPower1 * std::pow(e, 1.3));
+  return cost;
+}
+
+TlbCost TlbBanksCost(size_t entries, size_t count) {
+  return TlbBankCost(entries) * static_cast<double>(count);
+}
+
+TlbCost A9TotalWith(const A9Baseline& baseline, const TlbCost& added) {
+  return TlbCost{baseline.area_mm2, baseline.power_w} + added;
+}
+
+size_t EntriesFor2MbPages(double memory_mib) {
+  return static_cast<size_t>(std::ceil(memory_mib / 2.0));
+}
+
+}  // namespace snic::hwmodel

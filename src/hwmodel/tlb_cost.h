@@ -1,0 +1,61 @@
+// McPAT-lite: area and power for fully-associative TLB CAM banks at 28 nm.
+//
+// The paper prices S-NIC's extra silicon with McPAT (28 nm, 2.0 GHz,
+// Cortex-A9 host processor). We reproduce that with an analytic CAM model:
+//
+//   area(e)  = max(A_floor, a0 + a1 * e^1.2 + a2 * max(0, e - 256)^2)  [mm^2]
+//   power(e) = max(P_floor, p0 + p1 * e^1.3)                            [W]
+//
+// where `e` is the entry count. The functional form follows CACTI-style CAM
+// scaling — a fixed periphery floor (decoder, sense amps), near-linear cell
+// growth with a mild superlinear matchline/wiring term, and a quadratic
+// penalty once the array exceeds one bank (~256 entries). The five constants
+// are least-squares calibrated against the ten (entries -> cost) points
+// recoverable from the paper's Tables 2-5; every reproduced cell then lands
+// within ~6% of the published value (most within 1%). See DESIGN.md
+// "Calibration notes".
+
+#ifndef SNIC_HWMODEL_TLB_COST_H_
+#define SNIC_HWMODEL_TLB_COST_H_
+
+#include <cstddef>
+
+namespace snic::hwmodel {
+
+struct TlbCost {
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+
+  TlbCost operator+(const TlbCost& other) const {
+    return TlbCost{area_mm2 + other.area_mm2, power_w + other.power_w};
+  }
+  TlbCost operator*(double k) const {
+    return TlbCost{area_mm2 * k, power_w * k};
+  }
+};
+
+// Cost of one fully-associative TLB bank with `entries` entries.
+TlbCost TlbBankCost(size_t entries);
+
+// Cost of `count` identical banks.
+TlbCost TlbBanksCost(size_t entries, size_t count);
+
+// The ARM Cortex-A9 reference processor the paper extends (28 nm, 2.0 GHz).
+// Derived from Table 2 row arithmetic: "Total" = baseline + TLB cost, so a
+// 4-core A9 without S-NIC structures is 4.939 mm^2 / 1.883 W.
+struct A9Baseline {
+  double area_mm2 = 4.939;
+  double power_w = 1.883;
+  unsigned cores = 4;
+};
+
+// Total (baseline + added TLBs) for Table 2's "Total" column.
+TlbCost A9TotalWith(const A9Baseline& baseline, const TlbCost& added);
+
+// Minimum per-core TLB entries for a memory budget with 2 MB pages
+// (Table 2's 366 MB -> 183, 512 MB -> 256, 1024 MB -> 512).
+size_t EntriesFor2MbPages(double memory_mib);
+
+}  // namespace snic::hwmodel
+
+#endif  // SNIC_HWMODEL_TLB_COST_H_

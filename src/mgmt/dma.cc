@@ -1,0 +1,94 @@
+#include "src/mgmt/dma.h"
+
+#include <cstring>
+
+namespace snic::mgmt {
+
+Status HostMemory::Read(uint64_t offset, std::span<uint8_t> out) const {
+  if (offset + out.size() > data_.size()) {
+    return InvalidArgument("host read out of range");
+  }
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  return OkStatus();
+}
+
+Status HostMemory::Write(uint64_t offset, std::span<const uint8_t> data) {
+  if (offset + data.size() > data_.size()) {
+    return InvalidArgument("host write out of range");
+  }
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  return OkStatus();
+}
+
+Status DmaController::ConfigureBank(uint32_t bank,
+                                    const DmaBankConfig& config) {
+  if (bank >= device_->config().num_cores) {
+    return InvalidArgument("bank index exceeds core count");
+  }
+  if (banks_.size() <= bank) {
+    banks_.resize(bank + 1);
+  }
+  banks_[bank] = config;
+  return OkStatus();
+}
+
+Status DmaController::CheckWindows(const DmaBankConfig& bank,
+                                   uint64_t host_offset, uint64_t nic_vaddr,
+                                   uint64_t bytes) const {
+  if (bank.nf_id == 0) {
+    return FailedPrecondition("DMA bank not configured");
+  }
+  if (host_offset < bank.host_window_base ||
+      host_offset + bytes > bank.host_window_base + bank.host_window_bytes) {
+    return PermissionDenied("host address outside sanctioned window");
+  }
+  if (nic_vaddr < bank.nic_window_vbase ||
+      nic_vaddr + bytes > bank.nic_window_vbase + bank.nic_window_bytes) {
+    return PermissionDenied("NIC address outside the function's DMA window");
+  }
+  return OkStatus();
+}
+
+Status DmaController::HostToNic(uint32_t bank, uint64_t host_offset,
+                                uint64_t nic_vaddr, uint64_t bytes) {
+  if (bank >= banks_.size()) {
+    return InvalidArgument("unknown DMA bank");
+  }
+  const DmaBankConfig& config = banks_[bank];
+  if (Status s = CheckWindows(config, host_offset, nic_vaddr, bytes);
+      !s.ok()) {
+    return s;
+  }
+  std::vector<uint8_t> buffer(bytes);
+  if (Status s = host_->Read(host_offset,
+                             std::span<uint8_t>(buffer.data(), buffer.size()));
+      !s.ok()) {
+    return s;
+  }
+  return device_->NfWriteBlock(
+      config.nf_id, nic_vaddr,
+      std::span<const uint8_t>(buffer.data(), buffer.size()));
+}
+
+Status DmaController::NicToHost(uint32_t bank, uint64_t nic_vaddr,
+                                uint64_t host_offset, uint64_t bytes) {
+  if (bank >= banks_.size()) {
+    return InvalidArgument("unknown DMA bank");
+  }
+  const DmaBankConfig& config = banks_[bank];
+  if (Status s = CheckWindows(config, host_offset, nic_vaddr, bytes);
+      !s.ok()) {
+    return s;
+  }
+  std::vector<uint8_t> buffer(bytes);
+  if (Status s = device_->NfReadBlock(
+          config.nf_id, nic_vaddr,
+          std::span<uint8_t>(buffer.data(), buffer.size()));
+      !s.ok()) {
+    return s;
+  }
+  return host_->Write(host_offset, std::span<const uint8_t>(buffer.data(),
+                                                            buffer.size()));
+}
+
+}  // namespace snic::mgmt

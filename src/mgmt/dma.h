@@ -1,0 +1,74 @@
+// Host/NIC DMA with per-bank isolation (§4.2).
+//
+// S-NIC's DMA controller is multi-bank: one bank per programmable core, each
+// bank carrying locked TLB entries for the upstream and downstream transfer
+// windows (SR-IOV style). The host can only deposit into the function-owned
+// window; the function can only reach the host-sanctioned region. Table 4
+// prices these banks at 2 entries each (packet buffer + instruction queue).
+
+#ifndef SNIC_MGMT_DMA_H_
+#define SNIC_MGMT_DMA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/snic_device.h"
+
+namespace snic::mgmt {
+
+// Plain host RAM.
+class HostMemory {
+ public:
+  explicit HostMemory(size_t bytes) : data_(bytes, 0) {}
+
+  size_t size() const { return data_.size(); }
+  std::span<uint8_t> Span() { return data_; }
+  std::span<const uint8_t> Span() const { return data_; }
+
+  Status Read(uint64_t offset, std::span<uint8_t> out) const;
+  Status Write(uint64_t offset, std::span<const uint8_t> data);
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+// One DMA bank: a host-side sanctioned window plus a NIC-side window
+// expressed in the owning function's virtual address space.
+struct DmaBankConfig {
+  uint64_t nf_id = 0;
+  uint64_t host_window_base = 0;
+  uint64_t host_window_bytes = 0;
+  uint64_t nic_window_vbase = 0;
+  uint64_t nic_window_bytes = 0;
+};
+
+class DmaController {
+ public:
+  DmaController(core::SnicDevice* device, HostMemory* host)
+      : device_(device), host_(host) {}
+
+  // Configures bank `bank` (one per programmable core). Reconfiguration of a
+  // bank bound to a live NF is the NIC OS's job at launch/teardown time.
+  Status ConfigureBank(uint32_t bank, const DmaBankConfig& config);
+
+  // Host -> NIC: both endpoints must sit inside the bank's windows.
+  Status HostToNic(uint32_t bank, uint64_t host_offset, uint64_t nic_vaddr,
+                   uint64_t bytes);
+  // NIC -> host.
+  Status NicToHost(uint32_t bank, uint64_t nic_vaddr, uint64_t host_offset,
+                   uint64_t bytes);
+
+ private:
+  Status CheckWindows(const DmaBankConfig& bank, uint64_t host_offset,
+                      uint64_t nic_vaddr, uint64_t bytes) const;
+
+  core::SnicDevice* device_;
+  HostMemory* host_;
+  std::vector<DmaBankConfig> banks_;
+};
+
+}  // namespace snic::mgmt
+
+#endif  // SNIC_MGMT_DMA_H_

@@ -1,0 +1,110 @@
+#include "src/mgmt/nic_os.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace snic::mgmt {
+
+std::vector<uint8_t> FunctionImage::SerializeConfig() const {
+  std::vector<uint8_t> out;
+  auto push_u64 = [&out](uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  out.insert(out.end(), name.begin(), name.end());
+  out.push_back(0);
+  push_u64(cores);
+  push_u64(memory_bytes);
+  for (uint32_t c : accel_clusters) {
+    push_u64(c);
+  }
+  push_u64(static_cast<uint64_t>(scheduler));
+  for (const net::SwitchRule& rule : switch_rules) {
+    const std::string text = rule.ToString();
+    out.insert(out.end(), text.begin(), text.end());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<uint64_t> NicOs::PickCores(uint32_t count) const {
+  uint64_t mask = 0;
+  uint32_t found = 0;
+  for (uint32_t c = 1; c < device_->config().num_cores && found < count; ++c) {
+    // Probe by attempting to find unbound cores; CoresOf covers live NFs.
+    bool taken = false;
+    for (uint64_t id : device_->LiveNfIds()) {
+      const auto cores = device_->CoresOf(id);
+      if (cores.ok() && (cores.value() & (1ull << c))) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      mask |= 1ull << c;
+      ++found;
+    }
+  }
+  if (found < count) {
+    return ResourceExhausted("not enough free programmable cores");
+  }
+  return mask;
+}
+
+Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
+  if (image.code_and_data.empty()) {
+    return InvalidArgument("function image has no code");
+  }
+  const uint64_t page_bytes = device_->memory().page_bytes();
+  const uint64_t image_pages = CeilDiv(image.code_and_data.size(), page_bytes);
+  const uint64_t total_pages = CeilDiv(image.memory_bytes, page_bytes);
+  const uint64_t heap_pages =
+      total_pages > image_pages ? total_pages - image_pages : 0;
+
+  auto cores = PickCores(image.cores);
+  if (!cores.ok()) {
+    return cores.status();
+  }
+
+  // Stage the image into NIC-OS-owned pages (models the DMA pull from host
+  // RAM described in §4.1).
+  auto staged = device_->memory().AllocatePages(image_pages, core::kPageNicOs);
+  if (!staged.ok()) {
+    return staged.status();
+  }
+  size_t written = 0;
+  for (uint64_t page : staged.value()) {
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(
+        image.code_and_data.size() - written, page_bytes));
+    device_->memory().Write(
+        page * page_bytes,
+        std::span<const uint8_t>(image.code_and_data.data() + written, chunk));
+    written += chunk;
+    if (written >= image.code_and_data.size()) {
+      break;
+    }
+  }
+
+  core::NfLaunchArgs args;
+  args.core_mask = cores.value();
+  args.image_pages = staged.value();
+  args.heap_pages = heap_pages;
+  args.config_blob = image.SerializeConfig();
+  args.vpp.rules = image.switch_rules;
+  args.vpp.scheduler = image.scheduler;
+  args.accel_clusters = image.accel_clusters;
+
+  auto launched = device_->NfLaunch(args);
+  if (!launched.ok()) {
+    // Launch failed: return the staged pages to the free pool.
+    for (uint64_t page : staged.value()) {
+      device_->memory().SetOwner(page, core::kPageFree);
+    }
+    return launched.status();
+  }
+  return launched;
+}
+
+}  // namespace snic::mgmt

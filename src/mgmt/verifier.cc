@@ -1,0 +1,65 @@
+#include "src/mgmt/verifier.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+#include "src/crypto/sha256.h"
+
+namespace snic::mgmt {
+
+crypto::Sha256Digest ExpectedMeasurement(const FunctionImage& image,
+                                         uint64_t page_bytes) {
+  crypto::Sha256 hasher;
+  // nf_launch digests the image page by page, zero-padded to page size.
+  const uint64_t pages = CeilDiv(image.code_and_data.size(), page_bytes);
+  std::vector<uint8_t> page(page_bytes, 0);
+  for (uint64_t p = 0; p < pages; ++p) {
+    std::fill(page.begin(), page.end(), 0);
+    const uint64_t offset = p * page_bytes;
+    const uint64_t chunk =
+        std::min<uint64_t>(page_bytes, image.code_and_data.size() - offset);
+    std::copy(image.code_and_data.begin() + static_cast<ptrdiff_t>(offset),
+              image.code_and_data.begin() +
+                  static_cast<ptrdiff_t>(offset + chunk),
+              page.begin());
+    hasher.Update(page.data(), page.size());
+  }
+  const std::vector<uint8_t> config = image.SerializeConfig();
+  hasher.Update(config.data(), config.size());
+  return hasher.Finalize();
+}
+
+void Verifier::ExpectFunction(const std::string& name,
+                              const crypto::Sha256Digest& measurement) {
+  expected_[name] = measurement;
+}
+
+Result<SecureChannel> Verifier::VerifyAndKey(
+    const std::string& name, const core::AttestationQuote& quote,
+    const std::vector<uint8_t>& nonce,
+    const crypto::DhParticipant& my_dh) const {
+  const auto it = expected_.find(name);
+  if (it == expected_.end()) {
+    return NotFound("no expected measurement registered for " + name);
+  }
+  const auto verification =
+      core::VerifyQuote(vendor_key_, quote, nonce, &it->second);
+  if (!verification.chain_ok) {
+    return PermissionDenied("certificate chain does not reach the vendor");
+  }
+  if (!verification.signature_ok) {
+    return PermissionDenied("quote signature invalid");
+  }
+  if (!verification.nonce_ok) {
+    return PermissionDenied("stale or replayed nonce");
+  }
+  if (!verification.measurement_ok) {
+    return PermissionDenied(
+        "measurement mismatch: the NIC OS launched something other than "
+        "the uploaded image/config for " +
+        name);
+  }
+  return SecureChannel(my_dh.DeriveChannelKey(quote.g_x));
+}
+
+}  // namespace snic::mgmt

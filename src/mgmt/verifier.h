@@ -1,0 +1,65 @@
+// Tenant-side attestation verifier.
+//
+// The tenant knows what it uploaded; the NIC OS is untrusted and "may
+// improperly setup a function, e.g., by omitting a code page from the
+// registration process. Remote clients can detect improper function setups
+// by requiring the function to attest" (§4.8). This module gives the tenant
+// the two halves of that check:
+//   * ExpectedMeasurement() — recompute, from the uploaded image alone, the
+//     cumulative hash trusted hardware will produce at nf_launch;
+//   * Verifier — a policy object holding trusted vendor keys and expected
+//     measurements, which validates quotes end to end and issues channel
+//     keys only for functions that match.
+
+#ifndef SNIC_MGMT_VERIFIER_H_
+#define SNIC_MGMT_VERIFIER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/attestation.h"
+#include "src/crypto/diffie_hellman.h"
+#include "src/mgmt/constellation.h"
+#include "src/mgmt/nic_os.h"
+
+namespace snic::mgmt {
+
+// Recomputes the launch-time measurement for an image: the image bytes
+// padded to whole pages of `page_bytes` (nf_launch hashes full pages) plus
+// the serialized configuration. Must track SnicDevice::NfLaunch exactly —
+// the integration tests pin the two together.
+crypto::Sha256Digest ExpectedMeasurement(const FunctionImage& image,
+                                         uint64_t page_bytes);
+
+class Verifier {
+ public:
+  explicit Verifier(crypto::RsaPublicKey trusted_vendor_key)
+      : vendor_key_(std::move(trusted_vendor_key)) {}
+
+  // Registers what a correctly launched `name` must measure as.
+  void ExpectFunction(const std::string& name,
+                      const crypto::Sha256Digest& measurement);
+
+  // Runs the full check against a quote received for `name`: certificate
+  // chain, signature, nonce freshness, and measurement policy. On success
+  // returns the verifier-side channel (the caller supplied its DH share in
+  // the request; the quote carries the function's).
+  Result<SecureChannel> VerifyAndKey(const std::string& name,
+                                     const core::AttestationQuote& quote,
+                                     const std::vector<uint8_t>& nonce,
+                                     const crypto::DhParticipant& my_dh) const;
+
+  size_t expected_count() const { return expected_.size(); }
+
+ private:
+  crypto::RsaPublicKey vendor_key_;
+  std::map<std::string, crypto::Sha256Digest> expected_;
+};
+
+}  // namespace snic::mgmt
+
+#endif  // SNIC_MGMT_VERIFIER_H_

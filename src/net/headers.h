@@ -1,0 +1,114 @@
+// Wire-format protocol headers: Ethernet, IPv4, TCP, UDP, VXLAN.
+//
+// Packets inside the simulated NIC are flat byte buffers exactly as they
+// would appear on the wire; every NF and accelerator parses these structures
+// through the helpers in parser.h. Multi-byte fields are big-endian on the
+// wire, and the accessors below convert to host order.
+
+#ifndef SNIC_NET_HEADERS_H_
+#define SNIC_NET_HEADERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace snic::net {
+
+using MacAddress = std::array<uint8_t, 6>;
+
+// "aa:bb:cc:dd:ee:ff"
+std::string MacToString(const MacAddress& mac);
+
+// "1.2.3.4" from a host-order IPv4 address.
+std::string Ipv4ToString(uint32_t addr);
+
+// Parses "1.2.3.4"; aborts on malformed input (literals only).
+uint32_t Ipv4FromString(const char* dotted);
+
+enum class EtherType : uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+};
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+inline constexpr size_t kEthernetHeaderLen = 14;
+inline constexpr size_t kIpv4MinHeaderLen = 20;
+inline constexpr size_t kTcpMinHeaderLen = 20;
+inline constexpr size_t kUdpHeaderLen = 8;
+inline constexpr size_t kVxlanHeaderLen = 8;
+inline constexpr uint16_t kVxlanUdpPort = 4789;
+
+// Parsed (host-order) header views. These are plain value structs produced
+// by the parser, not overlays on the wire bytes.
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  uint16_t ether_type;
+};
+
+struct Ipv4Header {
+  uint8_t version_ihl;     // version (4 bits) + header length in words
+  uint8_t dscp_ecn;
+  uint16_t total_length;   // bytes, including this header
+  uint16_t identification;
+  uint16_t flags_fragment;
+  uint8_t ttl;
+  uint8_t protocol;
+  uint16_t checksum;
+  uint32_t src_addr;
+  uint32_t dst_addr;
+
+  size_t HeaderLen() const { return static_cast<size_t>(version_ihl & 0xf) * 4; }
+};
+
+struct TcpHeader {
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint32_t seq;
+  uint32_t ack;
+  uint8_t data_offset_reserved;  // upper 4 bits: header length in words
+  uint8_t flags;                 // FIN/SYN/RST/PSH/ACK/URG
+  uint16_t window;
+  uint16_t checksum;
+  uint16_t urgent;
+
+  size_t HeaderLen() const {
+    return static_cast<size_t>(data_offset_reserved >> 4) * 4;
+  }
+  bool Syn() const { return flags & 0x02; }
+  bool Ack() const { return flags & 0x10; }
+  bool Fin() const { return flags & 0x01; }
+  bool Rst() const { return flags & 0x04; }
+};
+
+struct UdpHeader {
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint16_t length;
+  uint16_t checksum;
+};
+
+// VXLAN (RFC 7348): flags (bit 3 = valid VNI), 24-bit VNI.
+struct VxlanHeader {
+  uint8_t flags;
+  uint32_t vni;  // 24 significant bits
+
+  bool VniValid() const { return flags & 0x08; }
+};
+
+// TCP flag bits.
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpRst = 0x04;
+inline constexpr uint8_t kTcpPsh = 0x08;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+}  // namespace snic::net
+
+#endif  // SNIC_NET_HEADERS_H_

@@ -1,0 +1,47 @@
+// Packet buffer: the flat byte representation of a frame plus receive
+// metadata. The packet input module copies these into a function's private
+// RAM; NFs read and mutate the bytes in place.
+
+#ifndef SNIC_NET_PACKET_H_
+#define SNIC_NET_PACKET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace snic::net {
+
+inline constexpr size_t kMaxStandardFrame = 1514;  // 1.5 KB Ethernet frame
+inline constexpr size_t kMaxJumboFrame = 9014;     // 9 KB jumbo frame
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::span<uint8_t> mutable_bytes() { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  // Arrival timestamp in nanoseconds since trace start (set by the trace
+  // generator / packet input module).
+  uint64_t arrival_ns() const { return arrival_ns_; }
+  void set_arrival_ns(uint64_t ns) { arrival_ns_ = ns; }
+
+  // Flow rank within the generating trace (used by experiment bookkeeping;
+  // NFs never read this — they parse the wire bytes).
+  uint64_t flow_rank() const { return flow_rank_; }
+  void set_flow_rank(uint64_t r) { flow_rank_ = r; }
+
+  void Resize(size_t n) { bytes_.resize(n); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t arrival_ns_ = 0;
+  uint64_t flow_rank_ = 0;
+};
+
+}  // namespace snic::net
+
+#endif  // SNIC_NET_PACKET_H_

@@ -1,0 +1,85 @@
+// Wire-format parsing and serialization.
+//
+// `ParsedPacket` gives NFs a decoded view (offsets + host-order headers) of
+// an Ethernet/IPv4/{TCP,UDP}[/VXLAN] frame; `PacketBuilder` produces valid
+// frames for the trace generator, including correct IPv4 and L4 checksums.
+
+#ifndef SNIC_NET_PARSER_H_
+#define SNIC_NET_PARSER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/common/status.h"
+#include "src/net/five_tuple.h"
+#include "src/net/headers.h"
+#include "src/net/packet.h"
+
+namespace snic::net {
+
+// Decoded view of one frame. Offsets index into the original byte buffer so
+// NFs can rewrite fields in place (NAT) after consulting the parsed values.
+struct ParsedPacket {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<VxlanHeader> vxlan;  // set when UDP dst port is 4789
+
+  size_t l3_offset = 0;       // start of IPv4 header
+  size_t l4_offset = 0;       // start of TCP/UDP header
+  size_t payload_offset = 0;  // first byte after the L4 header
+  size_t payload_len = 0;
+
+  // The connection 5-tuple (outer header; see InnerFiveTuple for VXLAN).
+  FiveTuple Tuple() const;
+};
+
+// Parses an Ethernet/IPv4 frame. Returns an error for truncated frames,
+// non-IPv4 ethertypes, or bad IHL values.
+Result<ParsedPacket> Parse(std::span<const uint8_t> frame);
+
+// RFC 1071 ones-complement checksum over `data` starting from `initial`.
+uint16_t InternetChecksum(std::span<const uint8_t> data, uint32_t initial = 0);
+
+// Recomputes and stores the IPv4 header checksum in place.
+void UpdateIpv4Checksum(std::span<uint8_t> frame, size_t l3_offset);
+
+// Builds valid frames. All set_* calls are optional; defaults produce a
+// well-formed TCP packet with zero payload.
+class PacketBuilder {
+ public:
+  PacketBuilder();
+
+  PacketBuilder& SetMacs(const MacAddress& src, const MacAddress& dst);
+  PacketBuilder& SetTuple(const FiveTuple& tuple);
+  PacketBuilder& SetTcpFlags(uint8_t flags);
+  PacketBuilder& SetTtl(uint8_t ttl);
+  PacketBuilder& SetPayload(std::span<const uint8_t> payload);
+  // Pads (with zero bytes) or truncates the payload so the final frame is
+  // exactly `frame_len` bytes. Aborts if frame_len is below the header size.
+  PacketBuilder& SetFrameLen(size_t frame_len);
+
+  // Encapsulates the frame-so-far as the inner frame of a VXLAN packet with
+  // the given VNI, using `outer` as the outer 5-tuple (protocol forced to
+  // UDP, dst port 4789).
+  Packet BuildVxlan(uint32_t vni, const FiveTuple& outer) const;
+
+  Packet Build() const;
+
+ private:
+  std::vector<uint8_t> BuildBytes() const;
+
+  MacAddress src_mac_;
+  MacAddress dst_mac_;
+  FiveTuple tuple_;
+  uint8_t tcp_flags_ = kTcpAck;
+  uint8_t ttl_ = 64;
+  std::vector<uint8_t> payload_;
+  size_t frame_len_ = 0;  // 0 = natural size
+};
+
+}  // namespace snic::net
+
+#endif  // SNIC_NET_PARSER_H_

@@ -1,0 +1,81 @@
+// Switching rules for the packet input module (§3.1, §4.4).
+//
+// The packet input module forwards each incoming frame to a network function
+// based on management-configured predicates over the frame's 5-tuple, the
+// destination MAC (SR-IOV style), and — per S-NIC's VXLAN integration — the
+// Virtual Network Identifier of VXLAN-encapsulated traffic.
+
+#ifndef SNIC_NET_SWITCHING_H_
+#define SNIC_NET_SWITCHING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/five_tuple.h"
+#include "src/net/headers.h"
+#include "src/net/parser.h"
+
+namespace snic::net {
+
+// A single match predicate. Unset (nullopt) fields are wildcards. IP fields
+// match against a prefix (address + prefix length, CIDR semantics).
+struct SwitchRule {
+  struct IpPrefix {
+    uint32_t addr = 0;
+    uint8_t prefix_len = 32;
+
+    bool Matches(uint32_t ip) const {
+      if (prefix_len == 0) {
+        return true;
+      }
+      const uint32_t mask = prefix_len >= 32
+                                ? 0xffffffffu
+                                : ~((1u << (32 - prefix_len)) - 1);
+      return (ip & mask) == (addr & mask);
+    }
+  };
+
+  std::optional<IpPrefix> src_ip;
+  std::optional<IpPrefix> dst_ip;
+  std::optional<uint16_t> src_port;
+  std::optional<uint16_t> dst_port;
+  std::optional<uint8_t> protocol;
+  std::optional<MacAddress> dst_mac;
+  std::optional<uint32_t> vni;  // matches the VXLAN VNI when present
+
+  // True when every set field matches the parsed frame.
+  bool Matches(const ParsedPacket& pkt) const;
+
+  std::string ToString() const;
+};
+
+// An ordered rule table mapping predicates to a destination id (an NF id in
+// the NIC, an action id in the firewall). First match wins.
+class SwitchRuleTable {
+ public:
+  void Add(SwitchRule rule, uint32_t destination);
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+  // Returns the destination of the first matching rule, or nullopt.
+  std::optional<uint32_t> Lookup(const ParsedPacket& pkt) const;
+
+  // Removes every rule mapped to `destination` (NF teardown).
+  void RemoveDestination(uint32_t destination);
+
+  // In-memory footprint in bytes (denylisted alongside NF state, §4.4).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    SwitchRule rule;
+    uint32_t destination;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace snic::net
+
+#endif  // SNIC_NET_SWITCHING_H_

@@ -1,0 +1,187 @@
+// Open-addressing flow hash map with arena accounting and access recording.
+//
+// Stand-in for the Rust std HashMap the paper's NFs use for flow caches
+// (Firewall, NAT, Monitor, LB connection table). Resizing doubles capacity
+// by allocating the new table *before* freeing the old one — exactly the
+// behaviour that produces the Fig. 7 memory spikes and the Table 8
+// allocated-vs-used gaps.
+
+#ifndef SNIC_NF_FLOW_HASH_MAP_H_
+#define SNIC_NF_FLOW_HASH_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/five_tuple.h"
+#include "src/nf/nf_memory.h"
+
+namespace snic::nf {
+
+template <typename Value>
+class FlowHashMap {
+ public:
+  // `max_entries` = 0 means unbounded (Monitor); otherwise the map behaves
+  // like the paper's bounded caches (the Firewall's 200k-entry cache, the
+  // NAT's 65,535-flow table): once full, new keys are simply not cached and
+  // Insert reports false.
+  FlowHashMap(NfArena* arena, MemoryRecorder* recorder, size_t initial_capacity,
+              size_t max_entries, std::string_view label)
+      : arena_(arena),
+        recorder_(recorder),
+        max_entries_(max_entries),
+        label_(label) {
+    SNIC_CHECK(initial_capacity >= 8);
+    capacity_ = RoundUpPow2(initial_capacity);
+    slots_.assign(capacity_, Slot{});
+    allocation_ = arena_->Alloc(capacity_ * sizeof(Slot), label_);
+  }
+
+  ~FlowHashMap() {
+    if (allocation_.Valid()) {
+      arena_->Free(allocation_);
+    }
+  }
+
+  FlowHashMap(const FlowHashMap&) = delete;
+  FlowHashMap& operator=(const FlowHashMap&) = delete;
+
+  // Looks up `key`; records the probe-sequence memory accesses.
+  Value* Find(const net::FiveTuple& key) {
+    const size_t mask = capacity_ - 1;
+    size_t idx = Hash(key) & mask;
+    recorder_->Compute(kHashInstructions);
+    for (size_t probes = 0; probes < capacity_; ++probes) {
+      recorder_->Load(SlotAddr(idx));
+      Slot& slot = slots_[idx];
+      if (!slot.used) {
+        return nullptr;
+      }
+      if (slot.key == key) {
+        return &slot.value;
+      }
+      idx = (idx + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  // Inserts or updates. Returns false when the map is full (bounded mode)
+  // and the key was not cached.
+  bool Insert(const net::FiveTuple& key, const Value& value) {
+    if (Value* existing = Find(key)) {
+      *existing = value;
+      recorder_->Store(last_touched_addr_);
+      return true;
+    }
+    if (max_entries_ != 0 && size_ >= max_entries_) {
+      recorder_->Compute(4);  // bound check on the insert path
+      return false;
+    }
+    if (max_entries_ == 0 && NeedsGrow()) {
+      Grow();
+    }
+    const size_t mask = capacity_ - 1;
+    size_t idx = Hash(key) & mask;
+    for (size_t probes = 0;; ++probes) {
+      recorder_->Load(SlotAddr(idx));
+      Slot& slot = slots_[idx];
+      if (!slot.used) {
+        slot.used = true;
+        slot.key = key;
+        slot.value = value;
+        ++size_;
+        recorder_->Store(SlotAddr(idx));
+        return true;
+      }
+      idx = (idx + 1) & mask;
+      SNIC_CHECK(probes < capacity_);
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  // Address of the most recently probed slot (for counter write-backs).
+  uint64_t last_touched_addr() const { return last_touched_addr_; }
+  uint64_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+
+  // Iterates live entries (Monitor reporting).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.used) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    net::FiveTuple key;
+    Value value{};
+    bool used = false;
+  };
+
+  static constexpr uint32_t kHashInstructions = 60;
+  static constexpr double kMaxLoadFactor = 0.75;
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 8;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  size_t Hash(const net::FiveTuple& key) const {
+    return net::FiveTupleHash{}(key);
+  }
+
+  uint64_t SlotAddr(size_t idx) {
+    last_touched_addr_ = allocation_.base + idx * sizeof(Slot);
+    return last_touched_addr_;
+  }
+
+  bool NeedsGrow() const {
+    return static_cast<double>(size_ + 1) >
+           kMaxLoadFactor * static_cast<double>(capacity_);
+  }
+
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    // Allocate-then-free ordering creates the transient doubling spike that
+    // Fig. 7 attributes to "multiple HashMap resizings".
+    ArenaAllocation new_allocation =
+        arena_->Alloc(new_capacity * sizeof(Slot), label_);
+    std::vector<Slot> new_slots(new_capacity);
+    const size_t mask = new_capacity - 1;
+    for (const Slot& slot : slots_) {
+      if (!slot.used) {
+        continue;
+      }
+      size_t idx = Hash(slot.key) & mask;
+      while (new_slots[idx].used) {
+        idx = (idx + 1) & mask;
+      }
+      new_slots[idx] = slot;
+    }
+    arena_->Free(allocation_);
+    allocation_ = new_allocation;
+    slots_ = std::move(new_slots);
+    capacity_ = new_capacity;
+  }
+
+  NfArena* arena_;
+  MemoryRecorder* recorder_;
+  size_t max_entries_;
+  std::string label_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  std::vector<Slot> slots_;
+  ArenaAllocation allocation_;
+  uint64_t last_touched_addr_ = 0;
+};
+
+}  // namespace snic::nf
+
+#endif  // SNIC_NF_FLOW_HASH_MAP_H_

@@ -1,0 +1,121 @@
+#include "src/nf/lpm.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/net/parser.h"
+
+namespace snic::nf {
+
+std::vector<LpmRoute> Lpm::GenerateRoutes(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LpmRoute> routes;
+  routes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LpmRoute r;
+    // Internet-like prefix-length mix: mostly /16../24, some longer.
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 10) {
+      r.prefix_len = static_cast<uint8_t>(8 + rng.NextBounded(8));    // /8-/15
+    } else if (dice < 85) {
+      r.prefix_len = static_cast<uint8_t>(16 + rng.NextBounded(9));   // /16-/24
+    } else {
+      r.prefix_len = static_cast<uint8_t>(25 + rng.NextBounded(8));   // /25-/32
+    }
+    const uint32_t mask =
+        r.prefix_len == 0 ? 0 : ~((r.prefix_len >= 32)
+                                      ? 0u
+                                      : ((1u << (32 - r.prefix_len)) - 1));
+    r.prefix = rng.NextU32() & mask;
+    r.next_hop = 1 + static_cast<uint32_t>(rng.NextBounded(255));
+    routes.push_back(r);
+  }
+  return routes;
+}
+
+Lpm::Lpm(const LpmConfig& config) : NetworkFunction("LPM") {
+  Build(GenerateRoutes(config.num_routes, config.seed));
+}
+
+Lpm::Lpm(const std::vector<LpmRoute>& routes) : NetworkFunction("LPM") {
+  Build(routes);
+}
+
+void Lpm::Build(const std::vector<LpmRoute>& routes) {
+  tbl24_.assign(1u << 24, 0);
+
+  // Insert in ascending prefix-length order so longer prefixes overwrite;
+  // stable so equal-length routes keep their input order (last one wins).
+  std::vector<LpmRoute> sorted = routes;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const LpmRoute& a, const LpmRoute& b) {
+                     return a.prefix_len < b.prefix_len;
+                   });
+
+  for (const LpmRoute& r : sorted) {
+    SNIC_CHECK(r.prefix_len <= 32);
+    SNIC_CHECK((r.next_hop & kIndirect) == 0);
+    if (r.prefix_len <= 24) {
+      const uint32_t first = r.prefix >> 8;
+      const uint32_t span = 1u << (24 - r.prefix_len);
+      for (uint32_t i = 0; i < span; ++i) {
+        tbl24_[first + i] = r.next_hop;  // may overwrite shorter prefixes
+      }
+    } else {
+      const uint32_t idx24 = r.prefix >> 8;
+      uint32_t chunk;
+      if (tbl24_[idx24] & kIndirect) {
+        chunk = tbl24_[idx24] & ~kIndirect;
+      } else {
+        // Spill: new TBL8 chunk seeded with the current /24 result.
+        chunk = static_cast<uint32_t>(tbl8_.size() / 256);
+        const uint32_t inherited = tbl24_[idx24];
+        tbl8_.resize(tbl8_.size() + 256, inherited);
+        tbl24_[idx24] = kIndirect | chunk;
+      }
+      const uint32_t first = r.prefix & 0xff;
+      const uint32_t span = 1u << (32 - r.prefix_len);
+      for (uint32_t i = 0; i < span; ++i) {
+        tbl8_[chunk * 256 + first + i] = r.next_hop;
+      }
+    }
+  }
+
+  tbl24_allocation_ = arena().Alloc(tbl24_.size() * 4, "lpm-tbl24");
+  if (!tbl8_.empty()) {
+    tbl8_allocation_ = arena().Alloc(tbl8_.size() * 4, "lpm-tbl8");
+  }
+}
+
+uint32_t Lpm::Lookup(uint32_t dst_ip) {
+  const uint32_t idx24 = dst_ip >> 8;
+  recorder_.Load(tbl24_allocation_.base + static_cast<uint64_t>(idx24) * 4);
+  recorder_.Compute(30);
+  const uint32_t entry = tbl24_[idx24];
+  if ((entry & kIndirect) == 0) {
+    return entry;
+  }
+  const uint32_t chunk = entry & ~kIndirect;
+  const uint32_t idx8 = chunk * 256 + (dst_ip & 0xff);
+  recorder_.Load(tbl8_allocation_.base + static_cast<uint64_t>(idx8) * 4);
+  recorder_.Compute(12);
+  return tbl8_[idx8];
+}
+
+Verdict Lpm::HandlePacket(net::Packet& packet) {
+  const auto parsed = net::Parse(packet.bytes());
+  if (!parsed.ok()) {
+    return Verdict::kDrop;
+  }
+  const uint32_t next_hop = Lookup(parsed.value().ip.dst_addr);
+  // Route found: rewrite the destination MAC toward the next hop; default
+  // route (0) forwards unchanged.
+  if (next_hop != 0) {
+    auto bytes = packet.mutable_bytes();
+    bytes[5] = static_cast<uint8_t>(next_hop);
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace snic::nf

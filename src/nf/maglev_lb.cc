@@ -1,0 +1,113 @@
+#include "src/nf/maglev_lb.h"
+
+#include "src/common/status.h"
+#include "src/net/parser.h"
+
+namespace snic::nf {
+namespace {
+
+// Two independent hashes of a backend index (Maglev uses two hash functions
+// of the backend name for offset and skip).
+uint64_t BackendHash(uint32_t backend, uint64_t salt) {
+  uint64_t h = (static_cast<uint64_t>(backend) + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= salt;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+MaglevLb::MaglevLb(const MaglevConfig& config)
+    : NetworkFunction("LB"), config_(config) {
+  SNIC_CHECK(config_.num_backends > 0);
+  SNIC_CHECK(config_.table_size > config_.num_backends);
+  // DPDK initialization staging (see Appendix C: nearly two thirds of LB's
+  // allocation is init-time temporary memory).
+  ModelDpdkInit(6.0);
+  backend_alive_.assign(config_.num_backends, true);
+  table_allocation_ =
+      arena().Alloc(static_cast<uint64_t>(config_.table_size) * 4, "lb-table");
+  BuildTable();
+  connections_ = std::make_unique<FlowHashMap<uint32_t>>(
+      &arena(), &recorder_, 64 * 1024, 0, "lb-conn");
+}
+
+void MaglevLb::BuildTable() {
+  const uint32_t m = config_.table_size;
+  table_.assign(m, -1);
+  struct BackendState {
+    uint64_t offset;
+    uint64_t skip;
+    uint64_t next = 0;  // index into its permutation
+  };
+  std::vector<BackendState> states(config_.num_backends);
+  for (uint32_t b = 0; b < config_.num_backends; ++b) {
+    states[b].offset = BackendHash(b, config_.seed) % m;
+    states[b].skip = BackendHash(b, config_.seed ^ 0xabcdefULL) % (m - 1) + 1;
+  }
+  uint32_t filled = 0;
+  while (filled < m) {
+    for (uint32_t b = 0; b < config_.num_backends && filled < m; ++b) {
+      if (!backend_alive_[b]) {
+        continue;
+      }
+      BackendState& s = states[b];
+      // Next unclaimed slot in this backend's permutation.
+      uint64_t slot;
+      do {
+        slot = (s.offset + s.next * s.skip) % m;
+        ++s.next;
+      } while (table_[slot] >= 0);
+      table_[slot] = static_cast<int32_t>(b);
+      ++filled;
+    }
+    // All backends dead: leave remaining slots unassigned.
+    bool any_alive = false;
+    for (uint32_t b = 0; b < config_.num_backends; ++b) {
+      any_alive |= backend_alive_[b];
+    }
+    if (!any_alive) {
+      break;
+    }
+  }
+}
+
+uint32_t MaglevLb::BackendForTuple(const net::FiveTuple& tuple) {
+  // Connection table first (flow affinity across rebuilds).
+  if (uint32_t* pinned = connections_->Find(tuple)) {
+    recorder_.Compute(6);
+    return *pinned;
+  }
+  const uint64_t h = net::FiveTupleHash{}(tuple);
+  const uint32_t slot = static_cast<uint32_t>(h % config_.table_size);
+  recorder_.Load(table_allocation_.base + static_cast<uint64_t>(slot) * 4);
+  recorder_.Compute(40);
+  const int32_t backend = table_[slot];
+  SNIC_CHECK(backend >= 0);
+  connections_->Insert(tuple, static_cast<uint32_t>(backend));
+  return static_cast<uint32_t>(backend);
+}
+
+void MaglevLb::RemoveBackend(uint32_t backend) {
+  SNIC_CHECK(backend < config_.num_backends);
+  backend_alive_[backend] = false;
+  BuildTable();
+}
+
+Verdict MaglevLb::HandlePacket(net::Packet& packet) {
+  const auto parsed = net::Parse(packet.bytes());
+  if (!parsed.ok()) {
+    return Verdict::kDrop;
+  }
+  const uint32_t backend = BackendForTuple(parsed.value().Tuple());
+  // A production Maglev would now encapsulate toward the backend; rewriting
+  // the destination MAC models the forwarding decision.
+  auto bytes = packet.mutable_bytes();
+  bytes[5] = static_cast<uint8_t>(backend);
+  bytes[4] = static_cast<uint8_t>(backend >> 8);
+  return Verdict::kForward;
+}
+
+}  // namespace snic::nf

@@ -1,0 +1,59 @@
+// Load balancer NF: Google's Maglev (§5.1, [Eisenbud et al., NSDI'16]).
+//
+// Maglev consistent hashing: each backend generates a permutation of table
+// slots from (offset, skip) derived from its name hash; backends take turns
+// claiming their next unclaimed slot until the table (a prime size, 65537 by
+// default) is full. Lookup hashes the 5-tuple into the table. A connection
+// tracking map pins established flows to their backend across table rebuilds.
+
+#ifndef SNIC_NF_MAGLEV_LB_H_
+#define SNIC_NF_MAGLEV_LB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nf/flow_hash_map.h"
+#include "src/nf/network_function.h"
+
+namespace snic::nf {
+
+struct MaglevConfig {
+  uint32_t num_backends = 100;
+  uint32_t table_size = 65'537;  // prime, per the Maglev paper
+  uint64_t seed = 13;
+};
+
+class MaglevLb : public NetworkFunction {
+ public:
+  explicit MaglevLb(const MaglevConfig& config = {});
+
+  // Backend chosen for a tuple (exposed for tests and the quickstart).
+  uint32_t BackendForTuple(const net::FiveTuple& tuple);
+
+  // Removes one backend and rebuilds the table; established connections keep
+  // their backend via the connection table (the consistent-hashing claim the
+  // tests verify: remaining flows mostly keep their backends).
+  void RemoveBackend(uint32_t backend);
+
+  uint32_t num_backends() const { return config_.num_backends; }
+  const std::vector<int32_t>& table() const { return table_; }
+
+ protected:
+  Verdict HandlePacket(net::Packet& packet) override;
+  ImageSections Image() const override { return {0.86, 0.05, 2.49}; }
+
+ private:
+  void BuildTable();
+
+  MaglevConfig config_;
+  std::vector<bool> backend_alive_;
+  std::vector<int32_t> table_;  // slot -> backend id
+  ArenaAllocation table_allocation_;
+  std::unique_ptr<FlowHashMap<uint32_t>> connections_;
+};
+
+}  // namespace snic::nf
+
+#endif  // SNIC_NF_MAGLEV_LB_H_

@@ -1,0 +1,39 @@
+#include "src/nf/network_function.h"
+
+#include "src/common/units.h"
+
+namespace snic::nf {
+
+Verdict NetworkFunction::Process(net::Packet& packet) {
+  recorder_.Compute(kPerPacketOverheadInstructions);
+  // Reading the packet header from NF RAM: the input module deposited the
+  // frame at a per-packet buffer address. Fresh DMA data is a compulsory
+  // fetch; stream it past the caches.
+  recorder_.LoadUncached(kPacketBufferBase +
+                         (counters_.packets % kPacketRing) * 2048);
+  const Verdict verdict = HandlePacket(packet);
+  ++counters_.packets;
+  counters_.bytes += packet.size();
+  if (verdict == Verdict::kForward) {
+    ++counters_.forwarded;
+  } else {
+    ++counters_.dropped;
+  }
+  return verdict;
+}
+
+void NetworkFunction::ModelDpdkInit(double staging_mib) {
+  const uint64_t bytes = MiBToBytes(staging_mib);
+  const ArenaAllocation staging = arena_.Alloc(bytes, "dpdk-staging");
+  arena_.Free(staging);
+}
+
+NfMemoryProfile NetworkFunction::Profile() const {
+  NfMemoryProfile profile;
+  profile.name = name_;
+  profile.image = Image();
+  profile.heap_stack_mib = BytesToMiB(arena_.peak_bytes());
+  return profile;
+}
+
+}  // namespace snic::nf

@@ -1,0 +1,77 @@
+#include "src/nf/nf_factory.h"
+
+#include "src/common/status.h"
+#include "src/nf/dpi_nf.h"
+#include "src/nf/firewall.h"
+#include "src/nf/lpm.h"
+#include "src/nf/maglev_lb.h"
+#include "src/nf/monitor.h"
+#include "src/nf/nat.h"
+
+namespace snic::nf {
+
+std::string_view NfKindName(NfKind kind) {
+  switch (kind) {
+    case NfKind::kFirewall:
+      return "FW";
+    case NfKind::kDpi:
+      return "DPI";
+    case NfKind::kNat:
+      return "NAT";
+    case NfKind::kLoadBalancer:
+      return "LB";
+    case NfKind::kLpm:
+      return "LPM";
+    case NfKind::kMonitor:
+      return "Mon";
+  }
+  return "?";
+}
+
+std::vector<NfKind> AllNfKinds() {
+  return {NfKind::kFirewall, NfKind::kDpi,  NfKind::kNat,
+          NfKind::kLoadBalancer, NfKind::kLpm, NfKind::kMonitor};
+}
+
+std::unique_ptr<NetworkFunction> MakeNf(NfKind kind, bool light) {
+  switch (kind) {
+    case NfKind::kFirewall: {
+      FirewallConfig config;
+      if (light) {
+        config.num_rules = 64;
+        config.cache_max_entries = 4096;
+      }
+      return std::make_unique<Firewall>(config);
+    }
+    case NfKind::kDpi: {
+      DpiConfig config;
+      if (light) {
+        config.num_patterns = 512;
+      }
+      return std::make_unique<DpiNf>(config);
+    }
+    case NfKind::kNat:
+      return std::make_unique<Nat>();
+    case NfKind::kLoadBalancer: {
+      MaglevConfig config;
+      if (light) {
+        config.num_backends = 10;
+        config.table_size = 4099;
+      }
+      return std::make_unique<MaglevLb>(config);
+    }
+    case NfKind::kLpm: {
+      LpmConfig config;
+      if (light) {
+        config.num_routes = 512;
+      }
+      return std::make_unique<Lpm>(config);
+    }
+    case NfKind::kMonitor:
+      return std::make_unique<Monitor>();
+  }
+  SNIC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace snic::nf

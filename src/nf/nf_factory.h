@@ -1,0 +1,38 @@
+// Factory for the six evaluation NFs (§5.1), used by the experiment
+// harnesses that sweep over every NF and every colocation mix.
+
+#ifndef SNIC_NF_NF_FACTORY_H_
+#define SNIC_NF_NF_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/nf/network_function.h"
+
+namespace snic::nf {
+
+enum class NfKind : uint8_t {
+  kFirewall = 0,
+  kDpi = 1,
+  kNat = 2,
+  kLoadBalancer = 3,
+  kLpm = 4,
+  kMonitor = 5,
+};
+inline constexpr size_t kNumNfKinds = 6;
+
+std::string_view NfKindName(NfKind kind);
+
+// All six kinds in the paper's presentation order (FW, DPI, NAT, LB, LPM,
+// Mon).
+std::vector<NfKind> AllNfKinds();
+
+// Builds one NF with the paper's §5.1 parameters. `light` uses reduced
+// rule/pattern counts (tests and quick sweeps); behaviour is unchanged,
+// only working-set size shrinks.
+std::unique_ptr<NetworkFunction> MakeNf(NfKind kind, bool light = false);
+
+}  // namespace snic::nf
+
+#endif  // SNIC_NF_NF_FACTORY_H_

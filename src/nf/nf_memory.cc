@@ -1,0 +1,28 @@
+#include "src/nf/nf_memory.h"
+
+namespace snic::nf {
+
+ArenaAllocation NfArena::Alloc(uint64_t bytes, std::string_view label) {
+  (void)label;  // labels exist for debugging; accounting is aggregate
+  SNIC_CHECK(bytes > 0);
+  ArenaAllocation allocation;
+  allocation.base = next_base_;
+  allocation.bytes = bytes;
+  // Keep allocations 64-byte aligned so recorded addresses have realistic
+  // cache-line structure.
+  next_base_ += (bytes + 63) & ~uint64_t{63};
+  live_bytes_ += bytes;
+  if (live_bytes_ > peak_bytes_) {
+    peak_bytes_ = live_bytes_;
+  }
+  events_.push_back(ArenaEvent{sequence_++, live_bytes_});
+  return allocation;
+}
+
+void NfArena::Free(const ArenaAllocation& allocation) {
+  SNIC_CHECK(allocation.bytes <= live_bytes_);
+  live_bytes_ -= allocation.bytes;
+  events_.push_back(ArenaEvent{sequence_++, live_bytes_});
+}
+
+}  // namespace snic::nf

@@ -1,0 +1,111 @@
+#include "src/sim/bus.h"
+
+#include <algorithm>
+
+namespace snic::sim {
+
+uint64_t FcfsArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
+  (void)domain;
+  const uint64_t grant = std::max(arrival_cycle, busy_until_);
+  busy_until_ = grant + transfer_cycles_;
+  RecordGrant(arrival_cycle, grant);
+  return grant;
+}
+
+RoundRobinArbiter::RoundRobinArbiter(uint32_t transfer_cycles,
+                                     uint32_t num_domains)
+    : transfer_cycles_(transfer_cycles), num_domains_(num_domains) {
+  SNIC_CHECK(num_domains_ > 0);
+  domain_ready_.assign(num_domains_, 0);
+}
+
+uint64_t RoundRobinArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
+  SNIC_CHECK(domain < num_domains_);
+  // A back-to-back request from the same domain yields to the others for one
+  // slot each (approximates a rotating grant without a full event queue).
+  uint64_t earliest = std::max(arrival_cycle, busy_until_);
+  if (domain == last_domain_ && busy_until_ > arrival_cycle) {
+    earliest = std::max(earliest, domain_ready_[domain]);
+  }
+  const uint64_t grant = earliest;
+  busy_until_ = grant + transfer_cycles_;
+  last_domain_ = domain;
+  // After serving this domain, its next turn is one rotation away if others
+  // are contending.
+  domain_ready_[domain] = grant + static_cast<uint64_t>(transfer_cycles_) *
+                                      num_domains_;
+  RecordGrant(arrival_cycle, grant);
+  return grant;
+}
+
+TemporalPartitionArbiter::TemporalPartitionArbiter(const Config& config)
+    : config_(config) {
+  SNIC_CHECK(config_.num_domains > 0);
+  SNIC_CHECK(config_.epoch_cycles > config_.dead_time_cycles);
+  SNIC_CHECK(config_.epoch_cycles - config_.dead_time_cycles >=
+             config_.transfer_cycles);
+  domain_busy_until_.assign(config_.num_domains, 0);
+}
+
+uint64_t TemporalPartitionArbiter::NextIssueSlot(uint64_t cycle,
+                                                 uint32_t domain) const {
+  const uint64_t epoch = config_.epoch_cycles;
+  const uint64_t rotation = epoch * config_.num_domains;
+  const uint64_t issue_len = epoch - config_.dead_time_cycles;
+
+  for (;;) {
+    const uint64_t rotation_start = (cycle / rotation) * rotation;
+    const uint64_t domain_start = rotation_start + domain * epoch;
+    const uint64_t issue_end = domain_start + issue_len;  // exclusive
+    if (cycle < domain_start) {
+      return domain_start;
+    }
+    // The transfer must be able to *start* before the dead time begins.
+    if (cycle < issue_end &&
+        cycle + config_.transfer_cycles <= domain_start + epoch) {
+      return cycle;
+    }
+    // Move to this domain's slot in the next rotation.
+    cycle = rotation_start + rotation + domain * epoch;
+    return cycle;
+  }
+}
+
+uint64_t TemporalPartitionArbiter::Grant(uint64_t arrival_cycle,
+                                         uint32_t domain) {
+  SNIC_CHECK(domain < config_.num_domains);
+  // Serialize within the domain (one outstanding transfer), then snap to the
+  // domain's next issue window. Other domains' traffic never appears in this
+  // computation — that is the security property.
+  const uint64_t earliest =
+      std::max(arrival_cycle, domain_busy_until_[domain]);
+  const uint64_t grant = NextIssueSlot(earliest, domain);
+  domain_busy_until_[domain] = grant + config_.transfer_cycles;
+  RecordGrant(arrival_cycle, grant);
+  return grant;
+}
+
+std::unique_ptr<BusArbiter> MakeArbiter(BusPolicy policy,
+                                        uint32_t transfer_cycles,
+                                        uint32_t num_domains,
+                                        uint32_t epoch_cycles,
+                                        uint32_t dead_time_cycles) {
+  switch (policy) {
+    case BusPolicy::kFcfs:
+      return std::make_unique<FcfsArbiter>(transfer_cycles);
+    case BusPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>(transfer_cycles, num_domains);
+    case BusPolicy::kTemporalPartition: {
+      TemporalPartitionArbiter::Config config;
+      config.transfer_cycles = transfer_cycles;
+      config.num_domains = num_domains;
+      config.epoch_cycles = epoch_cycles;
+      config.dead_time_cycles = dead_time_cycles;
+      return std::make_unique<TemporalPartitionArbiter>(config);
+    }
+  }
+  SNIC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace snic::sim

@@ -1,0 +1,166 @@
+#include "src/sim/cache.h"
+
+#include <algorithm>
+
+namespace snic::sim {
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  SNIC_CHECK(config_.line_bytes > 0 && IsPowerOfTwo(config_.line_bytes));
+  SNIC_CHECK(config_.associativity > 0);
+  SNIC_CHECK(config_.num_domains > 0);
+  const uint64_t lines = config_.size_bytes / config_.line_bytes;
+  SNIC_CHECK(lines >= config_.associativity);
+  num_sets_ = static_cast<uint32_t>(lines / config_.associativity);
+  SNIC_CHECK(IsPowerOfTwo(num_sets_));
+  lines_.assign(static_cast<size_t>(num_sets_) * config_.associativity,
+                Line{});
+  if (config_.policy != PartitionPolicy::kShared) {
+    SNIC_CHECK(config_.associativity >= config_.num_domains);
+  }
+  if (config_.policy == PartitionPolicy::kSecDcp) {
+    secdcp_ways_.assign(config_.num_domains,
+                        config_.associativity / config_.num_domains);
+  }
+}
+
+void Cache::DomainWayRange(uint32_t domain, uint32_t* begin,
+                           uint32_t* end) const {
+  switch (config_.policy) {
+    case PartitionPolicy::kShared:
+      *begin = 0;
+      *end = config_.associativity;
+      return;
+    case PartitionPolicy::kStaticEqual: {
+      const uint32_t base = config_.associativity / config_.num_domains;
+      const uint32_t extra = config_.associativity % config_.num_domains;
+      // The first `extra` domains get one additional way.
+      const uint32_t start =
+          domain * base + std::min(domain, extra);
+      const uint32_t ways = base + (domain < extra ? 1 : 0);
+      *begin = start;
+      *end = start + ways;
+      return;
+    }
+    case PartitionPolicy::kSecDcp: {
+      uint32_t start = 0;
+      for (uint32_t d = 0; d < domain; ++d) {
+        start += secdcp_ways_[d];
+      }
+      *begin = start;
+      *end = start + secdcp_ways_[domain];
+      return;
+    }
+  }
+  SNIC_CHECK(false);
+}
+
+uint32_t Cache::WaysForDomain(uint32_t domain) const {
+  uint32_t begin, end;
+  DomainWayRange(domain, &begin, &end);
+  return end - begin;
+}
+
+bool Cache::Access(uint64_t addr, uint32_t domain) {
+  SNIC_CHECK(domain < config_.num_domains ||
+             config_.policy == PartitionPolicy::kShared);
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line_addr) & (num_sets_ - 1);
+  const uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<size_t>(set) * config_.associativity];
+  ++tick_;
+
+  uint32_t begin, end;
+  DomainWayRange(domain, &begin, &end);
+
+  // Hit scan. Under kShared a hit anywhere in the set counts (this is what
+  // makes "soft" partitioning like Intel CAT leaky, see §4.2 footnote); under
+  // hard partitioning only the domain's own ways are searched.
+  for (uint32_t w = begin; w < end; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      // Under kShared, a cross-domain hit transfers LRU ownership; the
+      // domain tag is informational there.
+      line.lru = tick_;
+      line.domain = domain;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  // Victim: invalid way first, else LRU within the allowed range (with
+  // occasional random-way eviction under pseudo-LRU).
+  Line* victim = nullptr;
+  for (uint32_t w = begin; w < end; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  SNIC_CHECK(victim != nullptr);
+  if (config_.pseudo_lru && victim->valid) {
+    victim_lcg_ = victim_lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (((victim_lcg_ >> 33) & 7) == 0) {
+      victim = &base[begin + static_cast<uint32_t>((victim_lcg_ >> 36) %
+                                                   (end - begin))];
+    }
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->domain = domain;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::FlushDomain(uint32_t domain) {
+  for (Line& line : lines_) {
+    if (line.valid && line.domain == domain) {
+      line.valid = false;
+    }
+  }
+}
+
+void Cache::ResizeDomain(uint32_t domain, uint32_t ways) {
+  SNIC_CHECK(config_.policy == PartitionPolicy::kSecDcp);
+  SNIC_CHECK(domain < config_.num_domains);
+  const uint32_t floor_ways = 1;
+  const uint32_t max_ways =
+      config_.associativity - (config_.num_domains - 1) * floor_ways;
+  ways = std::clamp(ways, floor_ways, max_ways);
+  secdcp_ways_[domain] = ways;
+  // Spread the remaining ways over the other domains, each keeping >= 1.
+  const uint32_t remaining = config_.associativity - ways;
+  const uint32_t others = config_.num_domains - 1;
+  if (others > 0) {
+    const uint32_t base = remaining / others;
+    uint32_t extra = remaining % others;
+    for (uint32_t d = 0; d < config_.num_domains; ++d) {
+      if (d == domain) {
+        continue;
+      }
+      secdcp_ways_[d] = base + (extra > 0 ? 1 : 0);
+      if (extra > 0) {
+        --extra;
+      }
+    }
+  }
+  // Repartitioning invalidates everything: lines may now sit in ways their
+  // owner can no longer reach (hardware would migrate or flush; we flush).
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+}
+
+}  // namespace snic::sim

@@ -1,0 +1,80 @@
+// Memory-access trace vocabulary for the timing simulator.
+//
+// The paper's gem5 methodology feeds packets directly into RAM and measures
+// IPC over the NF's instruction stream (§5.3). We reproduce that with a
+// trace-driven model: NFs execute natively against an instrumented arena
+// (src/nf/nf_memory.h) that records every load/store plus interleaved
+// compute-instruction counts; the replay engine then times the stream
+// against a configurable cache/bus/DRAM hierarchy.
+
+#ifndef SNIC_SIM_MEM_ACCESS_H_
+#define SNIC_SIM_MEM_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace snic::sim {
+
+enum class AccessType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  // Uncacheable accesses bypass L1/L2 and hit the bus directly — semaphore
+  // and device-register operations (the §3.3 Agilio `test_subsat` DoS loop
+  // is a stream of uncached read-modify-writes). Uncached writes retire
+  // through a store queue (non-blocking until the queue fills).
+  kUncachedRead = 2,
+  kUncachedWrite = 3,
+};
+
+// One element of an instruction stream: `compute_instructions` plain ALU
+// instructions followed by one memory access at `addr`.
+struct TraceEvent {
+  uint64_t addr;
+  uint32_t compute_instructions;
+  AccessType type;
+};
+
+// A recorded instruction stream for one NF/core.
+class InstructionTrace {
+ public:
+  void Record(uint64_t addr, AccessType type, uint32_t compute_before = 0) {
+    events_.push_back(TraceEvent{addr, compute_before, type});
+  }
+
+  // Appends pure compute work; folded into the next memory event (or kept
+  // as a trailing batch applied at stream end).
+  void RecordCompute(uint32_t instructions) { pending_compute_ += instructions; }
+
+  // Flushes pending compute onto an access.
+  void RecordAccess(uint64_t addr, AccessType type) {
+    events_.push_back(TraceEvent{addr, pending_compute_, type});
+    pending_compute_ = 0;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  void clear() {
+    events_.clear();
+    pending_compute_ = 0;
+  }
+
+  // Total instruction count represented by the trace (memory + compute).
+  uint64_t TotalInstructions() const {
+    uint64_t total = pending_compute_;
+    for (const TraceEvent& e : events_) {
+      total += 1 + e.compute_instructions;
+    }
+    return total;
+  }
+
+  uint32_t pending_compute() const { return pending_compute_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint32_t pending_compute_ = 0;
+};
+
+}  // namespace snic::sim
+
+#endif  // SNIC_SIM_MEM_ACCESS_H_

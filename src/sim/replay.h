@@ -1,0 +1,84 @@
+// Multi-core trace replay engine: the "gem5-lite" behind Figure 5.
+//
+// Each colocated NF contributes an instruction trace (recorded while the NF
+// processed packets natively). The engine times every core's stream against
+// a private L1, a shared-or-partitioned L2, and DRAM behind an arbitrated
+// bus, then reports per-core IPC. Cores are modeled in-order and blocking
+// (one outstanding miss), matching the simple ARM cores on the Marvell NIC
+// the paper configures gem5 to mimic (1.2 GHz, two-level cache, DDR3).
+//
+// The paper's experiment compares, at equal co-tenancy:
+//   baseline: shared L2 (LRU), FCFS bus           (commodity NIC)
+//   S-NIC:    statically partitioned L2, temporal-partitioned bus
+// IPC degradation = 1 - IPC_snic / IPC_baseline, per NF, over all possible
+// colocation mixes (§5.3).
+
+#ifndef SNIC_SIM_REPLAY_H_
+#define SNIC_SIM_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/bus.h"
+#include "src/sim/cache.h"
+#include "src/sim/mem_access.h"
+
+namespace snic::sim {
+
+struct MachineConfig {
+  // Core.
+  double core_ghz = 1.2;
+
+  // Private L1 data cache per core (Marvell-like: 32 KB, 4-way).
+  CacheConfig l1;
+  // Shared L2.
+  CacheConfig l2;
+
+  // DRAM access latency after winning the bus (DDR3-1600-ish at 1.2 GHz).
+  uint32_t dram_latency_cycles = 120;
+
+  // Bus.
+  BusPolicy bus_policy = BusPolicy::kFcfs;
+  uint32_t bus_transfer_cycles = 8;  // one 64 B line
+  uint32_t bus_epoch_cycles = 16;
+  uint32_t bus_dead_time_cycles = 4;
+
+  // Produces the Marvell-like default with `cores` domains and the given L2
+  // capacity; `secure` selects the S-NIC configuration (partitioned cache +
+  // temporal bus), otherwise the commodity baseline.
+  static MachineConfig MarvellLike(uint32_t cores, uint64_t l2_bytes,
+                                   bool secure);
+};
+
+struct CoreResult {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+
+  double Ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(instructions) /
+                                   static_cast<double>(cycles);
+  }
+};
+
+struct ReplayResult {
+  std::vector<CoreResult> cores;
+  CacheStats l2_stats;
+  BusStats bus_stats;
+};
+
+// Replays one trace per core. `warmup_fraction` of each trace runs before
+// statistics reset (the paper warms 1 B instructions before measuring 100 M).
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const InstructionTrace*>& traces,
+                    double warmup_fraction = 0.1);
+
+// Convenience overload owning copies.
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<InstructionTrace>& traces,
+                    double warmup_fraction = 0.1);
+
+}  // namespace snic::sim
+
+#endif  // SNIC_SIM_REPLAY_H_

@@ -1,0 +1,51 @@
+#include "src/sim/secdcp.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace snic::sim {
+
+SecDcpController::SecDcpController(Cache* cache,
+                                   const SecDcpControllerConfig& config)
+    : cache_(cache), config_(config) {
+  SNIC_CHECK(cache_->config().policy == PartitionPolicy::kSecDcp);
+  SNIC_CHECK(config_.min_os_ways >= 1);
+  SNIC_CHECK(config_.max_os_ways >= config_.min_os_ways);
+  SNIC_CHECK(config_.shrink_below < config_.grow_above);
+  os_ways_ = cache_->WaysForDomain(config_.nic_os_domain);
+}
+
+bool SecDcpController::OsAccess(uint64_t addr) {
+  const bool hit = cache_->Access(addr, config_.nic_os_domain);
+  if (hit) {
+    ++epoch_hits_;
+  } else {
+    ++epoch_misses_;
+  }
+  if (epoch_hits_ + epoch_misses_ >= config_.epoch_accesses) {
+    MaybeResize();
+    epoch_hits_ = 0;
+    epoch_misses_ = 0;
+  }
+  return hit;
+}
+
+void SecDcpController::MaybeResize() {
+  const double miss_rate =
+      static_cast<double>(epoch_misses_) /
+      static_cast<double>(epoch_hits_ + epoch_misses_);
+  uint32_t target = os_ways_;
+  if (miss_rate > config_.grow_above) {
+    target = std::min(os_ways_ + 1, config_.max_os_ways);
+  } else if (miss_rate < config_.shrink_below) {
+    target = std::max(os_ways_ - 1, config_.min_os_ways);
+  }
+  if (target != os_ways_) {
+    cache_->ResizeDomain(config_.nic_os_domain, target);
+    os_ways_ = target;
+    ++resizes_;
+  }
+}
+
+}  // namespace snic::sim

@@ -1,0 +1,62 @@
+// SecDCP resize controller (§4.2, [Wang et al., DAC'16]).
+//
+// Hard static partitioning is side-channel free but cannot adapt. SecDCP's
+// compromise: each function keeps a guaranteed floor, and a trusted
+// controller adjusts only the *NIC OS's* share, driven exclusively by the
+// NIC OS's own cache behaviour. Information can then flow NIC-OS -> function
+// (the OS's utilization is reflected in partition sizes) but never
+// function -> anyone: the controller provably ignores function-side inputs
+// (the unit tests assert this non-reaction property).
+
+#ifndef SNIC_SIM_SECDCP_H_
+#define SNIC_SIM_SECDCP_H_
+
+#include <cstdint>
+
+#include "src/sim/cache.h"
+
+namespace snic::sim {
+
+struct SecDcpControllerConfig {
+  uint32_t nic_os_domain = 0;
+  // Controller acts once per epoch of this many NIC-OS accesses.
+  uint64_t epoch_accesses = 4096;
+  // Miss-rate band: above `grow_above` the OS gains a way; below
+  // `shrink_below` it cedes one.
+  double grow_above = 0.10;
+  double shrink_below = 0.02;
+  uint32_t min_os_ways = 1;
+  uint32_t max_os_ways = 8;
+};
+
+class SecDcpController {
+ public:
+  SecDcpController(Cache* cache, const SecDcpControllerConfig& config);
+
+  // Routes one NIC-OS access through the cache and runs the epoch logic.
+  // Returns the hit/miss result.
+  bool OsAccess(uint64_t addr);
+
+  // Function accesses are forwarded untouched — by construction the
+  // controller keeps no state about them, so they cannot influence resizing.
+  bool FunctionAccess(uint64_t addr, uint32_t domain) {
+    return cache_->Access(addr, domain);
+  }
+
+  uint32_t os_ways() const { return os_ways_; }
+  uint64_t resizes() const { return resizes_; }
+
+ private:
+  void MaybeResize();
+
+  Cache* cache_;
+  SecDcpControllerConfig config_;
+  uint32_t os_ways_;
+  uint64_t epoch_hits_ = 0;
+  uint64_t epoch_misses_ = 0;
+  uint64_t resizes_ = 0;
+};
+
+}  // namespace snic::sim
+
+#endif  // SNIC_SIM_SECDCP_H_

@@ -1,0 +1,61 @@
+#include "src/sim/tlb.h"
+
+namespace snic::sim {
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Status LockedTlb::Install(const TlbEntry& entry) {
+  if (locked_) {
+    return FailedPrecondition("TLB is locked");
+  }
+  if (entries_.size() >= max_entries_) {
+    return ResourceExhausted("TLB capacity exceeded");
+  }
+  if (!IsPowerOfTwo(entry.page_bytes)) {
+    return InvalidArgument("page size must be a power of two");
+  }
+  if (entry.virt_base % entry.page_bytes != 0 ||
+      entry.phys_base % entry.page_bytes != 0) {
+    return InvalidArgument("entry bases must be page-aligned");
+  }
+  // Reject overlap with an existing virtual range: hardware TLBs with two
+  // matching entries are undefined; we make it an install-time error.
+  for (const TlbEntry& e : entries_) {
+    const uint64_t a0 = entry.virt_base;
+    const uint64_t a1 = entry.virt_base + entry.page_bytes;
+    const uint64_t b0 = e.virt_base;
+    const uint64_t b1 = e.virt_base + e.page_bytes;
+    if (a0 < b1 && b0 < a1) {
+      return InvalidArgument("virtual range overlaps an installed entry");
+    }
+  }
+  entries_.push_back(entry);
+  return OkStatus();
+}
+
+std::optional<Translation> LockedTlb::Translate(uint64_t virt_addr) const {
+  for (const TlbEntry& e : entries_) {
+    if (virt_addr >= e.virt_base && virt_addr < e.virt_base + e.page_bytes) {
+      return Translation{e.phys_base + (virt_addr - e.virt_base), e.writable};
+    }
+  }
+  return std::nullopt;
+}
+
+void LockedTlb::Reset() {
+  entries_.clear();
+  locked_ = false;
+}
+
+uint64_t LockedTlb::MappedBytes() const {
+  uint64_t total = 0;
+  for (const TlbEntry& e : entries_) {
+    total += e.page_bytes;
+  }
+  return total;
+}
+
+}  // namespace snic::sim

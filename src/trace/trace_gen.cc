@@ -1,0 +1,153 @@
+#include "src/trace/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/net/headers.h"
+
+namespace snic::trace {
+
+TraceConfig TraceConfig::CaidaLike(uint64_t seed) {
+  TraceConfig c;
+  c.num_flows = 100'000;
+  c.zipf_skew = 1.1;
+  c.seed = seed;
+  // Backbone bimodal mix: TCP ACK minimum frames, mid-size, and MTU data.
+  c.size_buckets = {{64, 0.45}, {256, 0.10}, {576, 0.10}, {1514, 0.35}};
+  c.mean_interarrival_ns = 700.0;
+  c.payload_entropy = 0.6;
+  c.tcp_fraction = 1.0;  // the paper counts TCP flows in this trace
+  return c;
+}
+
+TraceConfig TraceConfig::IctfLike(uint64_t seed) {
+  TraceConfig c;
+  c.num_flows = 100'000;
+  c.zipf_skew = 1.1;
+  c.seed = seed;
+  c.size_buckets = {{64, 0.35}, {128, 0.20}, {512, 0.25}, {1514, 0.20}};
+  c.mean_interarrival_ns = 1000.0;
+  c.payload_entropy = 0.35;  // CTF traffic: lots of ASCII protocol chatter
+  c.tcp_fraction = 0.8;
+  return c;
+}
+
+FlowTable::FlowTable(uint64_t num_flows, uint64_t seed) {
+  SNIC_CHECK(num_flows > 0);
+  Rng rng(seed ^ 0xf10575ab1eULL);
+  flows_.reserve(num_flows);
+  for (uint64_t i = 0; i < num_flows; ++i) {
+    net::FiveTuple t;
+    // Distinctness by construction: encode the rank into the source fields.
+    t.src_ip = 0x0a000000u | static_cast<uint32_t>(i >> 14);      // 10.x.x.x
+    t.src_port = static_cast<uint16_t>(1024 + (i & 0x3fff));
+    // Destinations concentrate on a pool of popular servers (as in backbone
+    // traffic); this keeps route/LPM working sets realistic.
+    t.dst_ip = 0xc0a80000u | (rng.NextU32() & 0x0fff);            // 192.168/20
+    t.dst_port = static_cast<uint16_t>(1 + rng.NextBounded(1023));
+    t.protocol = static_cast<uint8_t>(net::IpProto::kTcp);
+    flows_.push_back(t);
+  }
+}
+
+const net::FiveTuple& FlowTable::TupleForRank(uint64_t rank) const {
+  SNIC_CHECK(rank < flows_.size());
+  return flows_[rank];
+}
+
+PacketStream::PacketStream(const TraceConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_flows, config.zipf_skew),
+      flows_(config.num_flows, config.seed) {
+  SNIC_CHECK(!config_.size_buckets.empty());
+  double total = 0.0;
+  for (const SizeBucket& b : config_.size_buckets) {
+    SNIC_CHECK(b.weight > 0.0);
+    total += b.weight;
+  }
+  double acc = 0.0;
+  for (const SizeBucket& b : config_.size_buckets) {
+    acc += b.weight / total;
+    size_cdf_.push_back(acc);
+  }
+  size_cdf_.back() = 1.0;
+}
+
+net::Packet PacketStream::Next() {
+  const uint64_t rank = zipf_.Sample(rng_);
+  net::FiveTuple tuple = flows_.TupleForRank(rank);
+  if (config_.tcp_fraction < 1.0 &&
+      rng_.NextDouble() >= config_.tcp_fraction) {
+    tuple.protocol = static_cast<uint8_t>(net::IpProto::kUdp);
+  }
+
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(size_cdf_.begin(), size_cdf_.end(), u);
+  const size_t frame_len =
+      config_.size_buckets[static_cast<size_t>(it - size_cdf_.begin())]
+          .frame_len;
+
+  net::PacketBuilder builder;
+  builder.SetTuple(tuple).SetFrameLen(frame_len);
+
+  net::Packet pkt = builder.Build();
+  // Fill the payload region per the configured entropy.
+  auto bytes = pkt.mutable_bytes();
+  const size_t header =
+      net::kEthernetHeaderLen + net::kIpv4MinHeaderLen +
+      (tuple.protocol == static_cast<uint8_t>(net::IpProto::kTcp)
+           ? net::kTcpMinHeaderLen
+           : net::kUdpHeaderLen);
+  static constexpr char kFiller[] = "GET /index.html HTTP/1.1 Host: snic ";
+  for (size_t i = header; i < bytes.size(); ++i) {
+    if (rng_.NextDouble() < config_.payload_entropy) {
+      bytes[i] = static_cast<uint8_t>(rng_.NextU32());
+    } else {
+      bytes[i] = static_cast<uint8_t>(kFiller[(i - header) % (sizeof(kFiller) - 1)]);
+    }
+  }
+
+  if (config_.mean_interarrival_ns > 0.0) {
+    // Exponential inter-arrival via inverse transform.
+    const double gap =
+        -config_.mean_interarrival_ns * std::log(1.0 - rng_.NextDouble());
+    clock_ns_ += static_cast<uint64_t>(gap) + 1;
+  }
+  pkt.set_arrival_ns(clock_ns_);
+  pkt.set_flow_rank(rank);
+  return pkt;
+}
+
+std::vector<net::Packet> PacketStream::Generate(size_t n) {
+  std::vector<net::Packet> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Next());
+  }
+  return out;
+}
+
+TraceStats TraceStats::Compute(const std::vector<net::Packet>& packets) {
+  TraceStats stats;
+  std::unordered_map<uint64_t, uint64_t> per_flow;
+  for (const net::Packet& p : packets) {
+    ++stats.packets;
+    stats.bytes += p.size();
+    ++per_flow[p.flow_rank()];
+  }
+  stats.distinct_flows = per_flow.size();
+  uint64_t top = 0;
+  for (const auto& [rank, count] : per_flow) {
+    top = std::max(top, count);
+  }
+  if (stats.packets > 0) {
+    stats.top_flow_fraction =
+        static_cast<double>(top) / static_cast<double>(stats.packets);
+  }
+  return stats;
+}
+
+}  // namespace snic::trace

@@ -1,0 +1,100 @@
+// Synthetic trace generation.
+//
+// The paper evaluates on a 2016 CAIDA backbone trace (26.7M TCP flows,
+// 1.34B packets) and a 2010 iCTF trace from which it uniformly samples
+// 100,000 flows; the gem5 experiments then draw packets from that pool with
+// "a Zipf distribution with a skewness of 1.1" (§5.3). Neither trace ships
+// with this repository, so this module synthesizes equivalent streams: a
+// deterministic flow pool, Zipf(s) popularity, empirical-shaped packet
+// sizes, and Poisson arrivals. The substitution preserves everything the
+// evaluation consumes — flow-popularity skew, flow count, packet sizes.
+
+#ifndef SNIC_TRACE_TRACE_GEN_H_
+#define SNIC_TRACE_TRACE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/net/five_tuple.h"
+#include "src/net/packet.h"
+#include "src/net/parser.h"
+
+namespace snic::trace {
+
+// A weighted packet-size bucket (frame length in bytes).
+struct SizeBucket {
+  size_t frame_len;
+  double weight;
+};
+
+struct TraceConfig {
+  uint64_t num_flows = 100'000;
+  double zipf_skew = 1.1;
+  uint64_t seed = 1;
+  std::vector<SizeBucket> size_buckets;
+  // Mean packet inter-arrival (exponential); 0 disables timestamps.
+  double mean_interarrival_ns = 1000.0;
+  // Fraction of payload bytes drawn uniformly at random (the rest are a
+  // repeating ASCII filler). Governs compressibility for the ZIP accelerator.
+  double payload_entropy = 0.5;
+  // Fraction of TCP vs UDP flows.
+  double tcp_fraction = 1.0;
+
+  // CAIDA-2016-like preset: backbone mix of small ACKs and MTU data packets.
+  static TraceConfig CaidaLike(uint64_t seed = 1);
+  // iCTF-2010-like preset: 100k flows, smaller packets, mixed TCP/UDP.
+  static TraceConfig IctfLike(uint64_t seed = 1);
+};
+
+// Deterministic pool of flow 5-tuples. Rank k always maps to the same tuple
+// for a given seed; distinct ranks map to distinct tuples.
+class FlowTable {
+ public:
+  FlowTable(uint64_t num_flows, uint64_t seed);
+
+  const net::FiveTuple& TupleForRank(uint64_t rank) const;
+  uint64_t size() const { return static_cast<uint64_t>(flows_.size()); }
+
+ private:
+  std::vector<net::FiveTuple> flows_;
+};
+
+// Generates a packet stream per the config. Each Next() draws a flow by
+// Zipf rank, a frame size by bucket weight, and stamps a Poisson arrival.
+class PacketStream {
+ public:
+  explicit PacketStream(const TraceConfig& config);
+
+  net::Packet Next();
+
+  // Generates `n` packets up front (convenient for replay experiments).
+  std::vector<net::Packet> Generate(size_t n);
+
+  const FlowTable& flows() const { return flows_; }
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  TraceConfig config_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  FlowTable flows_;
+  std::vector<double> size_cdf_;
+  uint64_t clock_ns_ = 0;
+};
+
+// Summary statistics over a generated stream (used by tests and the trace
+// inspection example).
+struct TraceStats {
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  uint64_t distinct_flows = 0;
+  double top_flow_fraction = 0.0;  // share of packets in the hottest flow
+
+  static TraceStats Compute(const std::vector<net::Packet>& packets);
+};
+
+}  // namespace snic::trace
+
+#endif  // SNIC_TRACE_TRACE_GEN_H_

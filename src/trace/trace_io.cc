@@ -1,0 +1,136 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace snic::trace {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'T', 'R'};
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(std::span<const uint8_t> in, size_t& pos, uint32_t* v) {
+  if (pos + 4 > in.size()) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 3; i >= 0; --i) {
+    *v = (*v << 8) | in[pos + static_cast<size_t>(i)];
+  }
+  pos += 4;
+  return true;
+}
+
+bool GetU64(std::span<const uint8_t> in, size_t& pos, uint64_t* v) {
+  if (pos + 8 > in.size()) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 7; i >= 0; --i) {
+    *v = (*v << 8) | in[pos + static_cast<size_t>(i)];
+  }
+  pos += 8;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTrace(const std::vector<net::Packet>& packets) {
+  std::vector<uint8_t> out;
+  out.reserve(16);
+  for (char c : kMagic) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
+  PutU32(out, kTraceFormatVersion);
+  PutU64(out, packets.size());
+  for (const net::Packet& p : packets) {
+    PutU64(out, p.arrival_ns());
+    PutU64(out, p.flow_rank());
+    PutU32(out, static_cast<uint32_t>(p.size()));
+    out.insert(out.end(), p.bytes().begin(), p.bytes().end());
+  }
+  return out;
+}
+
+Result<std::vector<net::Packet>> DeserializeTrace(
+    std::span<const uint8_t> bytes) {
+  size_t pos = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return InvalidArgument("bad trace magic");
+  }
+  pos = 4;
+  uint32_t version = 0;
+  if (!GetU32(bytes, pos, &version) || version != kTraceFormatVersion) {
+    return InvalidArgument("unsupported trace version");
+  }
+  uint64_t count = 0;
+  if (!GetU64(bytes, pos, &count)) {
+    return InvalidArgument("truncated trace header");
+  }
+  std::vector<net::Packet> packets;
+  packets.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t arrival = 0, rank = 0;
+    uint32_t len = 0;
+    if (!GetU64(bytes, pos, &arrival) || !GetU64(bytes, pos, &rank) ||
+        !GetU32(bytes, pos, &len)) {
+      return InvalidArgument("truncated packet header");
+    }
+    if (pos + len > bytes.size()) {
+      return InvalidArgument("truncated packet body");
+    }
+    net::Packet packet(std::vector<uint8_t>(
+        bytes.begin() + static_cast<ptrdiff_t>(pos),
+        bytes.begin() + static_cast<ptrdiff_t>(pos + len)));
+    packet.set_arrival_ns(arrival);
+    packet.set_flow_rank(rank);
+    packets.push_back(std::move(packet));
+    pos += len;
+  }
+  return packets;
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<net::Packet>& packets) {
+  const std::vector<uint8_t> bytes = SerializeTrace(packets);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open trace file for writing: " + path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Internal("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<std::vector<net::Packet>> ReadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open trace file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return Internal("short read from " + path);
+  }
+  return DeserializeTrace(std::span<const uint8_t>(bytes.data(), bytes.size()));
+}
+
+}  // namespace snic::trace

@@ -1,0 +1,36 @@
+// Trace serialization: a compact binary format for generated packet traces,
+// so experiment inputs can be produced once, stored, diffed, and replayed
+// bit-identically across runs and machines (the reproducibility story for
+// every trace-driven bench).
+//
+// Format (little-endian):
+//   magic "SNTR" | u32 version | u64 packet count
+//   per packet: u64 arrival_ns | u64 flow_rank | u32 frame_len | bytes
+
+#ifndef SNIC_TRACE_TRACE_IO_H_
+#define SNIC_TRACE_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/packet.h"
+
+namespace snic::trace {
+
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+// In-memory serialization.
+std::vector<uint8_t> SerializeTrace(const std::vector<net::Packet>& packets);
+Result<std::vector<net::Packet>> DeserializeTrace(
+    std::span<const uint8_t> bytes);
+
+// File helpers.
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<net::Packet>& packets);
+Result<std::vector<net::Packet>> ReadTraceFile(const std::string& path);
+
+}  // namespace snic::trace
+
+#endif  // SNIC_TRACE_TRACE_IO_H_

@@ -1,0 +1,378 @@
+// Tests for the accelerator substrate: Aho-Corasick correctness (including a
+// naive-matcher cross-check), ZIP round-trips (property-style over random
+// inputs), RAID parity/reconstruction, the virtual cluster pool's
+// single-owner semantics, and the DPI timing model's shape.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "src/accel/accelerator.h"
+#include "src/accel/aho_corasick.h"
+#include "src/accel/crypto_coproc.h"
+#include "src/accel/raid.h"
+#include "src/accel/zip.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace snic::accel {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// 16 clusters x 4 threads for each accelerator type.
+std::vector<ClusterConfig> SnicPoolForTest() {
+  std::vector<ClusterConfig> configs;
+  for (auto type : {AcceleratorType::kDpi, AcceleratorType::kZip,
+                    AcceleratorType::kRaid}) {
+    ClusterConfig c;
+    c.type = type;
+    c.total_threads = 64;
+    c.threads_per_cluster = 4;
+    c.tlb_entries_per_cluster = 8;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+// Naive reference matcher: counts all (overlapping) occurrences.
+uint64_t NaiveCount(const std::vector<std::string>& patterns,
+                    const std::string& text) {
+  uint64_t count = 0;
+  for (const auto& p : patterns) {
+    for (size_t pos = 0; pos + p.size() <= text.size(); ++pos) {
+      if (text.compare(pos, p.size(), p) == 0) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(AhoCorasickTest, BasicMatch) {
+  AhoCorasick ac({"he", "she", "his", "hers"});
+  const auto result = ac.Scan(Bytes("ushers"));
+  // "ushers" contains "she", "he", "hers".
+  EXPECT_EQ(result.match_count, 3u);
+}
+
+TEST(AhoCorasickTest, NoMatch) {
+  AhoCorasick ac({"abc", "def"});
+  EXPECT_EQ(ac.Scan(Bytes("xyzxyzxyz")).match_count, 0u);
+  EXPECT_FALSE(ac.Scan(Bytes("xyz")).Matched());
+}
+
+TEST(AhoCorasickTest, OverlappingMatchesCounted) {
+  AhoCorasick ac({"aa"});
+  EXPECT_EQ(ac.Scan(Bytes("aaaa")).match_count, 3u);
+}
+
+TEST(AhoCorasickTest, DuplicatePatternsCountedTwice) {
+  AhoCorasick ac({"ab", "ab"});
+  EXPECT_EQ(ac.Scan(Bytes("ab")).match_count, 2u);
+}
+
+TEST(AhoCorasickTest, FirstPatternIdReported) {
+  AhoCorasick ac({"foo", "bar"});
+  const auto result = ac.Scan(Bytes("xxbarfoo"));
+  EXPECT_EQ(result.first_pattern, 1u);  // "bar" matches first
+}
+
+TEST(AhoCorasickTest, ScanFirstMatchStopsEarly) {
+  AhoCorasick ac({"needle"});
+  std::string text(1000, 'x');
+  text.insert(10, "needle");
+  const auto result = ac.ScanFirstMatch(Bytes(text));
+  EXPECT_TRUE(result.Matched());
+  EXPECT_EQ(result.first_pattern, 0u);
+  EXPECT_LT(result.bytes_scanned, 20u);
+}
+
+TEST(AhoCorasickTest, MatchesNaiveOnRandomInputs) {
+  Rng rng(31337);
+  for (int round = 0; round < 20; ++round) {
+    // Small alphabet maximizes overlaps and fail-link traffic.
+    std::vector<std::string> patterns;
+    for (int i = 0; i < 12; ++i) {
+      std::string p;
+      const size_t len = 1 + rng.NextBounded(5);
+      for (size_t j = 0; j < len; ++j) {
+        p.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+      patterns.push_back(p);
+    }
+    std::string text;
+    for (int i = 0; i < 300; ++i) {
+      text.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    AhoCorasick ac(patterns);
+    EXPECT_EQ(ac.Scan(Bytes(text)).match_count, NaiveCount(patterns, text))
+        << "round " << round;
+  }
+}
+
+TEST(AhoCorasickTest, GeneratedRulesetProperties) {
+  const auto patterns = GenerateDpiRuleset(1000, 5);
+  EXPECT_EQ(patterns.size(), 1000u);
+  // Deterministic per seed.
+  EXPECT_EQ(GenerateDpiRuleset(1000, 5), patterns);
+  EXPECT_NE(GenerateDpiRuleset(1000, 6), patterns);
+  // Unique by construction.
+  std::set<std::string> unique(patterns.begin(), patterns.end());
+  EXPECT_EQ(unique.size(), patterns.size());
+}
+
+TEST(AhoCorasickTest, GraphBytesScaleWithPatterns) {
+  AhoCorasick small(GenerateDpiRuleset(100, 1));
+  AhoCorasick large(GenerateDpiRuleset(1000, 1));
+  EXPECT_GT(large.GraphBytes(), small.GraphBytes());
+  EXPECT_GT(large.node_count(), small.node_count());
+}
+
+// Property-style parameterized ZIP round-trip over payload shapes.
+struct ZipCase {
+  const char* name;
+  double entropy;       // 0 = repeating text, 1 = random bytes
+  size_t length;
+};
+
+class ZipRoundTripTest : public ::testing::TestWithParam<ZipCase> {};
+
+TEST_P(ZipRoundTripTest, RoundTrips) {
+  const ZipCase& c = GetParam();
+  Rng rng(0xccdd);
+  std::vector<uint8_t> input(c.length);
+  static constexpr char kText[] = "all work and no play makes jack ";
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.NextDouble() < c.entropy
+                   ? static_cast<uint8_t>(rng.NextU32())
+                   : static_cast<uint8_t>(kText[i % (sizeof(kText) - 1)]);
+  }
+  const ZipResult compressed =
+      ZipCompress(std::span<const uint8_t>(input.data(), input.size()));
+  const std::vector<uint8_t> output = ZipDecompress(std::span<const uint8_t>(
+      compressed.data.data(), compressed.data.size()));
+  EXPECT_EQ(output, input);
+  if (c.entropy == 0.0 && c.length > 1000) {
+    EXPECT_GT(compressed.CompressionRatio(), 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Payloads, ZipRoundTripTest,
+    ::testing::Values(ZipCase{"empty", 0.0, 0}, ZipCase{"tiny", 0.0, 3},
+                      ZipCase{"text1k", 0.0, 1024},
+                      ZipCase{"text64k", 0.0, 65536},
+                      ZipCase{"mixed4k", 0.5, 4096},
+                      ZipCase{"random4k", 1.0, 4096},
+                      ZipCase{"random128k", 1.0, 131072},
+                      ZipCase{"text200k", 0.1, 200000}),
+    [](const ::testing::TestParamInfo<ZipCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ZipTest, CompressesRepetitiveData) {
+  std::vector<uint8_t> input(100'000, 'A');
+  const ZipResult r =
+      ZipCompress(std::span<const uint8_t>(input.data(), input.size()));
+  EXPECT_GT(r.CompressionRatio(), 50.0);
+}
+
+TEST(ZipTest, WindowLimitRespected) {
+  // A repeat separated by more than the 32 KB window cannot be matched, but
+  // the stream must still round-trip.
+  Rng rng(5);
+  std::vector<uint8_t> input;
+  std::vector<uint8_t> chunk(1000);
+  for (auto& b : chunk) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  input.insert(input.end(), chunk.begin(), chunk.end());
+  for (int i = 0; i < 40; ++i) {  // 40 KB of noise
+    for (int j = 0; j < 1000; ++j) {
+      input.push_back(static_cast<uint8_t>(rng.NextU32()));
+    }
+  }
+  input.insert(input.end(), chunk.begin(), chunk.end());
+  const ZipResult r =
+      ZipCompress(std::span<const uint8_t>(input.data(), input.size()));
+  EXPECT_EQ(ZipDecompress(std::span<const uint8_t>(r.data.data(),
+                                                   r.data.size())),
+            input);
+}
+
+TEST(RaidTest, ParityXorProperty) {
+  const std::vector<uint8_t> a = {1, 2, 3, 4};
+  const std::vector<uint8_t> b = {5, 6, 7, 8};
+  const std::vector<uint8_t> c = {9, 10, 11, 12};
+  const auto parity = RaidParity({std::span<const uint8_t>(a.data(), 4),
+                                  std::span<const uint8_t>(b.data(), 4),
+                                  std::span<const uint8_t>(c.data(), 4)});
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parity[i], a[i] ^ b[i] ^ c[i]);
+  }
+}
+
+TEST(RaidTest, ReconstructionRecoversLostStripe) {
+  Rng rng(12);
+  std::vector<std::vector<uint8_t>> stripes(5, std::vector<uint8_t>(256));
+  for (auto& s : stripes) {
+    for (auto& byte : s) {
+      byte = static_cast<uint8_t>(rng.NextU32());
+    }
+  }
+  std::vector<std::span<const uint8_t>> views;
+  for (const auto& s : stripes) {
+    views.emplace_back(s.data(), s.size());
+  }
+  const auto parity = RaidParity(views);
+  // Lose stripe 2; reconstruct from the others + parity.
+  std::vector<std::span<const uint8_t>> survivors;
+  for (size_t i = 0; i < stripes.size(); ++i) {
+    if (i != 2) {
+      survivors.emplace_back(stripes[i].data(), stripes[i].size());
+    }
+  }
+  const auto recovered = RaidReconstruct(
+      survivors, std::span<const uint8_t>(parity.data(), parity.size()));
+  EXPECT_EQ(recovered, stripes[2]);
+}
+
+TEST(RaidTest, ScatterGatherMatchesFlat) {
+  std::vector<uint8_t> s1 = {1, 2, 3, 4, 5, 6};
+  std::vector<uint8_t> s2 = {7, 8, 9, 10, 11, 12};
+  ScatterGatherList sg1;
+  sg1.segments = {std::span<const uint8_t>(s1.data(), 2),
+                  std::span<const uint8_t>(s1.data() + 2, 4)};
+  ScatterGatherList sg2;
+  sg2.segments = {std::span<const uint8_t>(s2.data(), 5),
+                  std::span<const uint8_t>(s2.data() + 5, 1)};
+  const auto sg_parity = RaidParityScatterGather({sg1, sg2});
+  const auto flat_parity =
+      RaidParity({std::span<const uint8_t>(s1.data(), s1.size()),
+                  std::span<const uint8_t>(s2.data(), s2.size())});
+  EXPECT_EQ(sg_parity, flat_parity);
+}
+
+TEST(MemoryProfileTest, PaperBufferSizes) {
+  const auto dpi = AcceleratorMemoryProfile::Dpi(MiB(97));
+  const auto zip = AcceleratorMemoryProfile::Zip();
+  const auto raid = AcceleratorMemoryProfile::Raid();
+  // Totals per Table 7 (DPI ~101.9 MB with a 97.28 MB graph; ZIP 132.24 MB;
+  // RAID 8.13 MB).
+  EXPECT_NEAR(BytesToMiB(zip.TotalBytes()), 132.24, 0.1);
+  EXPECT_NEAR(BytesToMiB(raid.TotalBytes()), 8.13, 0.01);
+  EXPECT_GT(dpi.TotalBytes(), MiB(97));
+}
+
+TEST(ClusterPoolTest, AllocateAndRelease) {
+  VirtualAcceleratorPool pool(SnicPoolForTest());
+  const auto got = pool.Allocate(AcceleratorType::kDpi, 2, 42);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 2u);
+  EXPECT_EQ(pool.FreeClusters(AcceleratorType::kDpi), 14u);
+  EXPECT_EQ(pool.Owner(AcceleratorType::kDpi, got.value()[0]).value_or(0), 42u);
+  pool.ReleaseAll(42);
+  EXPECT_EQ(pool.FreeClusters(AcceleratorType::kDpi), 16u);
+}
+
+TEST(ClusterPoolTest, ExhaustionFailsAtomically) {
+  VirtualAcceleratorPool pool(SnicPoolForTest());
+  ASSERT_TRUE(pool.Allocate(AcceleratorType::kZip, 10, 1).ok());
+  const auto too_many = pool.Allocate(AcceleratorType::kZip, 7, 2);
+  EXPECT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), ErrorCode::kResourceExhausted);
+  // Nothing was taken by the failed request.
+  EXPECT_EQ(pool.FreeClusters(AcceleratorType::kZip), 6u);
+}
+
+TEST(ClusterPoolTest, ThreadAccessRequiresOwnerAndMapping) {
+  VirtualAcceleratorPool pool(SnicPoolForTest());
+  // Unbound cluster: denied.
+  EXPECT_EQ(pool.ThreadAccess(AcceleratorType::kDpi, 0, 0, false)
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+  const auto got = pool.Allocate(AcceleratorType::kDpi, 1, 7);
+  ASSERT_TRUE(got.ok());
+  const uint32_t cluster = got.value()[0];
+  // Bound but unmapped: TLB miss (fatal).
+  EXPECT_EQ(pool.ThreadAccess(AcceleratorType::kDpi, cluster, 0, false)
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+  // Map a window and retry.
+  sim::LockedTlb& tlb = pool.ClusterTlb(AcceleratorType::kDpi, cluster);
+  ASSERT_TRUE(
+      tlb.Install(sim::TlbEntry{0, MiB(2), MiB(2), /*writable=*/false}).ok());
+  tlb.Lock();
+  const auto ok = pool.ThreadAccess(AcceleratorType::kDpi, cluster, 0x10, false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), MiB(2) + 0x10);
+  // Write through a read-only mapping: denied.
+  EXPECT_EQ(pool.ThreadAccess(AcceleratorType::kDpi, cluster, 0x10, true)
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(ClusterPoolTest, ReleaseResetsTlb) {
+  VirtualAcceleratorPool pool(SnicPoolForTest());
+  const auto got = pool.Allocate(AcceleratorType::kRaid, 1, 9);
+  ASSERT_TRUE(got.ok());
+  sim::LockedTlb& tlb = pool.ClusterTlb(AcceleratorType::kRaid, got.value()[0]);
+  ASSERT_TRUE(tlb.Install(sim::TlbEntry{0, 0, MiB(2)}).ok());
+  tlb.Lock();
+  pool.ReleaseAll(9);
+  EXPECT_EQ(tlb.entry_count(), 0u);
+  EXPECT_FALSE(tlb.locked());
+}
+
+TEST(DpiTimingModelTest, SmallFramesFeedLimited) {
+  DpiTimingModel model;
+  // 64 B frames: adding threads beyond 16 barely helps (feed-limited).
+  const double t16 = model.ThroughputMpps(16, 64);
+  const double t48 = model.ThroughputMpps(48, 64);
+  EXPECT_NEAR(t16, t48, 0.01 * t16);
+}
+
+TEST(DpiTimingModelTest, JumboFramesScaleWithThreads) {
+  DpiTimingModel model;
+  const double t16 = model.ThroughputMpps(16, 9000);
+  const double t48 = model.ThroughputMpps(48, 9000);
+  EXPECT_NEAR(t48 / t16, 3.0, 0.05);
+}
+
+TEST(DpiTimingModelTest, ThroughputDecreasesWithFrameSize) {
+  DpiTimingModel model;
+  double prev = 1e18;
+  for (size_t frame : {64u, 512u, 1514u, 9000u}) {
+    const double mpps = model.ThroughputMpps(32, frame);
+    EXPECT_LT(mpps, prev);
+    prev = mpps;
+  }
+}
+
+TEST(CryptoCoprocTest, LatencyAccounting) {
+  CryptoCoprocessor coproc;
+  std::vector<uint8_t> data(470'000);  // 1 ms at 470 MB/s
+  coproc.Digest(std::span<const uint8_t>(data.data(), data.size()));
+  EXPECT_NEAR(coproc.elapsed_ms(), 1.0, 0.01);
+  coproc.AccountRsaSign();
+  EXPECT_NEAR(coproc.elapsed_ms(), 1.0 + 5.596 + 0.004, 0.02);
+  coproc.ResetElapsed();
+  EXPECT_DOUBLE_EQ(coproc.elapsed_ms(), 0.0);
+}
+
+TEST(CryptoCoprocTest, DigestMatchesLibrary) {
+  CryptoCoprocessor coproc;
+  const std::string msg = "abc";
+  EXPECT_EQ(coproc.Digest(Bytes(msg)), crypto::Sha256::Hash(Bytes(msg)));
+}
+
+}  // namespace
+}  // namespace snic::accel

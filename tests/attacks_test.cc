@@ -1,0 +1,71 @@
+// Tests for the §3.3 attack reproductions: each must succeed on the
+// commodity configuration and be stopped by S-NIC.
+
+#include <gtest/gtest.h>
+
+#include "src/core/attacks.h"
+
+namespace snic::core {
+namespace {
+
+SnicDevice MakeDevice(SecurityMode mode) {
+  SnicConfig config;
+  config.mode = mode;
+  config.num_cores = 8;
+  config.dram_bytes = 64ull << 20;
+  config.rsa_modulus_bits = 512;
+  Rng rng(7);
+  static crypto::VendorAuthority* vendor = [] {
+    Rng vrng(7);
+    return new crypto::VendorAuthority(512, vrng);
+  }();
+  return SnicDevice(config, *vendor);
+}
+
+TEST(PacketCorruptionAttackTest, SucceedsOnCommodityNic) {
+  SnicDevice device = MakeDevice(SecurityMode::kCommodity);
+  const AttackOutcome outcome = RunPacketCorruptionAttack(device);
+  EXPECT_TRUE(outcome.succeeded) << outcome.detail;
+}
+
+TEST(PacketCorruptionAttackTest, BlockedOnSnic) {
+  SnicDevice device = MakeDevice(SecurityMode::kSnic);
+  const AttackOutcome outcome = RunPacketCorruptionAttack(device);
+  EXPECT_FALSE(outcome.succeeded) << outcome.detail;
+}
+
+TEST(DpiStealingAttackTest, SucceedsOnCommodityNic) {
+  SnicDevice device = MakeDevice(SecurityMode::kCommodity);
+  const AttackOutcome outcome = RunDpiRulesetStealingAttack(device);
+  EXPECT_TRUE(outcome.succeeded) << outcome.detail;
+}
+
+TEST(DpiStealingAttackTest, BlockedOnSnic) {
+  SnicDevice device = MakeDevice(SecurityMode::kSnic);
+  const AttackOutcome outcome = RunDpiRulesetStealingAttack(device);
+  EXPECT_FALSE(outcome.succeeded) << outcome.detail;
+}
+
+TEST(BusDosAttackTest, FcfsVictimSuffers) {
+  const BusDosResult result = RunBusDosAttack(sim::BusPolicy::kFcfs, 50'000);
+  EXPECT_GT(result.victim_slowdown, 1.2);
+}
+
+TEST(BusDosAttackTest, TemporalPartitionBoundsDamage) {
+  const BusDosResult fcfs = RunBusDosAttack(sim::BusPolicy::kFcfs, 50'000);
+  const BusDosResult tp =
+      RunBusDosAttack(sim::BusPolicy::kTemporalPartition, 50'000);
+  // Temporal partitioning holds victim slowdown near the epoch tax and far
+  // below the FCFS pile-up.
+  EXPECT_LT(tp.victim_slowdown, fcfs.victim_slowdown);
+  EXPECT_LT(tp.victim_slowdown, 1.15);
+}
+
+TEST(BusDosAttackTest, RoundRobinIntermediate) {
+  const BusDosResult rr = RunBusDosAttack(sim::BusPolicy::kRoundRobin, 50'000);
+  const BusDosResult fcfs = RunBusDosAttack(sim::BusPolicy::kFcfs, 50'000);
+  EXPECT_LE(rr.victim_slowdown, fcfs.victim_slowdown * 1.05);
+}
+
+}  // namespace
+}  // namespace snic::core

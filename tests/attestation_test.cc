@@ -1,0 +1,151 @@
+// Tests for the attestation protocol (Appendix A): quote generation,
+// chain verification, nonce anti-replay, and measurement binding.
+
+#include <gtest/gtest.h>
+
+#include "src/core/attestation.h"
+#include "src/core/snic_device.h"
+
+namespace snic::core {
+namespace {
+
+class AttestationTest : public ::testing::Test {
+ protected:
+  AttestationTest()
+      : rng_(2024),
+        vendor_(512, rng_),
+        device_(Config(), vendor_),
+        group_(crypto::SmallTestGroup()) {
+    auto pages = device_.memory().AllocatePages(1, kPageNicOs);
+    SNIC_CHECK(pages.ok());
+    NfLaunchArgs args;
+    args.core_mask = 0b10;
+    args.image_pages = pages.value();
+    args.config_blob = {42};
+    auto id = device_.NfLaunch(args);
+    SNIC_CHECK(id.ok());
+    nf_id_ = id.value();
+  }
+
+  static SnicConfig Config() {
+    SnicConfig config;
+    config.num_cores = 4;
+    config.dram_bytes = 32ull << 20;
+    config.rsa_modulus_bits = 512;
+    return config;
+  }
+
+  AttestationRequest MakeRequest(crypto::DhParticipant& dh) {
+    AttestationRequest request;
+    request.group = group_;
+    request.nonce = {1, 2, 3, 4, 5, 6, 7, 8};
+    request.g_x = dh.public_value();
+    return request;
+  }
+
+  Rng rng_;
+  crypto::VendorAuthority vendor_;
+  SnicDevice device_;
+  crypto::DhGroup group_;
+  uint64_t nf_id_ = 0;
+};
+
+TEST_F(AttestationTest, ValidQuoteVerifies) {
+  crypto::DhParticipant dh(group_, rng_);
+  const auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  const auto v = VerifyQuote(vendor_.public_key(), quote.value(),
+                             {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_TRUE(v.chain_ok);
+  EXPECT_TRUE(v.signature_ok);
+  EXPECT_TRUE(v.nonce_ok);
+  EXPECT_TRUE(v.measurement_ok);
+  EXPECT_TRUE(v.Ok());
+}
+
+TEST_F(AttestationTest, MeasurementBindingChecked) {
+  crypto::DhParticipant dh(group_, rng_);
+  const auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  const crypto::Sha256Digest expected =
+      device_.MeasurementOf(nf_id_).value();
+  EXPECT_TRUE(VerifyQuote(vendor_.public_key(), quote.value(),
+                          {1, 2, 3, 4, 5, 6, 7, 8}, &expected)
+                  .Ok());
+  crypto::Sha256Digest wrong = expected;
+  wrong[0] ^= 1;
+  const auto v = VerifyQuote(vendor_.public_key(), quote.value(),
+                             {1, 2, 3, 4, 5, 6, 7, 8}, &wrong);
+  EXPECT_FALSE(v.measurement_ok);
+  EXPECT_FALSE(v.Ok());
+}
+
+TEST_F(AttestationTest, ReplayedNonceRejected) {
+  crypto::DhParticipant dh(group_, rng_);
+  const auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  const auto v =
+      VerifyQuote(vendor_.public_key(), quote.value(), {9, 9, 9, 9});
+  EXPECT_FALSE(v.nonce_ok);
+  EXPECT_FALSE(v.Ok());
+}
+
+TEST_F(AttestationTest, TamperedMeasurementBreaksSignature) {
+  crypto::DhParticipant dh(group_, rng_);
+  auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  AttestationQuote tampered = quote.value();
+  tampered.measurement[5] ^= 0xff;
+  const auto v = VerifyQuote(vendor_.public_key(), tampered,
+                             {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_FALSE(v.signature_ok);
+}
+
+TEST_F(AttestationTest, TamperedDhValueBreaksSignature) {
+  crypto::DhParticipant dh(group_, rng_);
+  auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  AttestationQuote tampered = quote.value();
+  tampered.g_x = crypto::BigUint(12345);  // MITM swaps the DH share
+  const auto v = VerifyQuote(vendor_.public_key(), tampered,
+                             {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_FALSE(v.signature_ok);
+  EXPECT_FALSE(v.Ok());
+}
+
+TEST_F(AttestationTest, WrongVendorChainRejected) {
+  crypto::DhParticipant dh(group_, rng_);
+  const auto quote = device_.NfAttest(nf_id_, MakeRequest(dh));
+  ASSERT_TRUE(quote.ok());
+  Rng other_rng(555);
+  crypto::VendorAuthority other_vendor(512, other_rng);
+  const auto v = VerifyQuote(other_vendor.public_key(), quote.value(),
+                             {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_FALSE(v.chain_ok);
+}
+
+TEST_F(AttestationTest, QuotePayloadDeterministic) {
+  const crypto::Sha256Digest m{};
+  const auto p1 = QuotePayload(m, group_, {1, 2}, crypto::BigUint(7));
+  const auto p2 = QuotePayload(m, group_, {1, 2}, crypto::BigUint(7));
+  const auto p3 = QuotePayload(m, group_, {1, 3}, crypto::BigUint(7));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+}
+
+TEST_F(AttestationTest, EndToEndKeyAgreement) {
+  // Function side draws x; verifier draws y; both derive the same key after
+  // a successful quote check.
+  crypto::DhParticipant function_dh(group_, rng_);
+  const auto quote = device_.NfAttest(nf_id_, MakeRequest(function_dh));
+  ASSERT_TRUE(quote.ok());
+  ASSERT_TRUE(VerifyQuote(vendor_.public_key(), quote.value(),
+                          {1, 2, 3, 4, 5, 6, 7, 8})
+                  .Ok());
+  crypto::DhParticipant verifier_dh(group_, rng_);
+  EXPECT_EQ(function_dh.DeriveChannelKey(verifier_dh.public_value()),
+            verifier_dh.DeriveChannelKey(quote.value().g_x));
+}
+
+}  // namespace
+}  // namespace snic::core

@@ -1,0 +1,226 @@
+// Unit tests for src/common: status/result, RNG, Zipf sampling, statistics,
+// table printing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table_printer.h"
+#include "src/common/units.h"
+#include "src/common/zipf.h"
+
+namespace snic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = PermissionDenied("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(s.ToString(), "PERMISSION_DENIED: nope");
+}
+
+TEST(StatusTest, EveryErrorCodeHasAName) {
+  for (auto code : {ErrorCode::kOk, ErrorCode::kInvalidArgument,
+                    ErrorCode::kResourceExhausted, ErrorCode::kAlreadyOwned,
+                    ErrorCode::kNotFound, ErrorCode::kPermissionDenied,
+                    ErrorCode::kFailedPrecondition, ErrorCode::kInternal,
+                    ErrorCode::kUnimplemented}) {
+    EXPECT_FALSE(ErrorCodeName(code).empty());
+    EXPECT_NE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedWellMixed) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(rng.NextU64());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.1);
+  double total = 0.0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    total += zipf.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfSampler zipf(100, 1.1);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(50));
+}
+
+TEST(ZipfTest, EmpiricalSkewMatchesPmf) {
+  ZipfSampler zipf(1000, 1.1);
+  Rng rng(5);
+  std::vector<uint64_t> counts(1000, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  // Empirical frequency of rank 0 within 10% of analytic PMF.
+  const double freq = static_cast<double>(counts[0]) / n;
+  EXPECT_NEAR(freq, zipf.Pmf(0), 0.1 * zipf.Pmf(0));
+  // Monotone-ish: rank 0 >> rank 100.
+  EXPECT_GT(counts[0], counts[100] * 5);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler zipf(10, 2.0);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 10u);
+  }
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  SampleSet s;
+  for (double v : {3.0, 1.0, 2.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.5);
+}
+
+TEST(StatsTest, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  SampleSet s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.001);
+}
+
+TEST(StatsTest, SingleSample) {
+  SampleSet s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 3.5);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-3.0);   // clamps to bucket 0
+  h.Add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(9), 2u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(KiB(128), 131072u);
+  EXPECT_DOUBLE_EQ(BytesToMiB(MiB(3)), 3.0);
+  EXPECT_EQ(MiBToBytes(0.5), 524288u);
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"xxxx", "y"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Pct(0.0837, 2), "8.37%");
+}
+
+}  // namespace
+}  // namespace snic

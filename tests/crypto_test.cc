@@ -1,0 +1,356 @@
+// Tests for the from-scratch crypto substrate: SHA-256 against FIPS vectors,
+// HMAC against RFC 4231, big-integer arithmetic (including randomized
+// cross-checks against native 64-bit math), RSA sign/verify, Diffie-Hellman,
+// and the endorsement/attestation key chain.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/crypto/bignum.h"
+#include "src/crypto/diffie_hellman.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha256.h"
+
+namespace snic::crypto {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Sha256Test, FipsVectorEmpty) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, FipsVectorAbc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, FipsVectorTwoBlocks) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(DigestToHex(Sha256::Hash(Bytes(msg))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(Bytes(chunk));
+  }
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) {
+    h.Update(&c, 1);
+  }
+  EXPECT_EQ(h.Finalize(), Sha256::Hash(Bytes(msg)));
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Lengths around the 64-byte block boundary must all round-trip the
+  // padding logic.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 split;
+    split.Update(Bytes(msg.substr(0, len / 2)));
+    split.Update(Bytes(msg.substr(len / 2)));
+    EXPECT_EQ(split.Finalize(), Sha256::Hash(Bytes(msg))) << "len=" << len;
+  }
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  EXPECT_EQ(DigestToHex(HmacSha256(Bytes(key), Bytes(msg))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyHashedDown) {
+  const std::string key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(DigestToHex(HmacSha256(Bytes(key), Bytes(msg))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(BigUintTest, HexRoundTrip) {
+  const BigUint v = BigUint::FromHex("deadbeefcafebabe0123456789");
+  EXPECT_EQ(v.ToHex(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigUintTest, ZeroProperties) {
+  BigUint z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_FALSE(z.IsOdd());
+}
+
+TEST(BigUintTest, BytesRoundTrip) {
+  const BigUint v = BigUint::FromHex("0102030405060708090a");
+  const auto bytes = v.ToBytes();
+  EXPECT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(BigUint::FromBytes(bytes), v);
+}
+
+TEST(BigUintTest, PaddedBytes) {
+  const BigUint v(0x1234);
+  const auto padded = v.ToBytesPadded(8);
+  EXPECT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[6], 0x12);
+  EXPECT_EQ(padded[7], 0x34);
+  EXPECT_EQ(padded[0], 0x00);
+}
+
+TEST(BigUintTest, AddSubCarryChains) {
+  const BigUint a = BigUint::FromHex("ffffffffffffffffffffffff");
+  const BigUint one(1);
+  const BigUint sum = BigUint::Add(a, one);
+  EXPECT_EQ(sum.ToHex(), "1000000000000000000000000");
+  EXPECT_EQ(BigUint::Sub(sum, one), a);
+}
+
+TEST(BigUintTest, MulKnownProduct) {
+  const BigUint a = BigUint::FromHex("ffffffff");
+  const BigUint b = BigUint::FromHex("ffffffff");
+  EXPECT_EQ(BigUint::Mul(a, b).ToHex(), "fffffffe00000001");
+}
+
+TEST(BigUintTest, DivModBasics) {
+  BigUint q, r;
+  BigUint::DivMod(BigUint(100), BigUint(7), &q, &r);
+  EXPECT_EQ(q.ToU64(), 14u);
+  EXPECT_EQ(r.ToU64(), 2u);
+}
+
+TEST(BigUintTest, DivModSmallerDividend) {
+  BigUint q, r;
+  BigUint::DivMod(BigUint(3), BigUint(10), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToU64(), 3u);
+}
+
+// Randomized cross-check of multi-limb arithmetic against __int128 where the
+// operands fit.
+TEST(BigUintTest, RandomizedArithmeticAgainstNative) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x = rng.NextU64() >> 1;
+    const uint64_t y = (rng.NextU64() >> 1) | 1;  // nonzero
+    const BigUint bx(x);
+    const BigUint by(y);
+    EXPECT_EQ(BigUint::Add(bx, by).ToU64(), x + y);
+    if (x >= y) {
+      EXPECT_EQ(BigUint::Sub(bx, by).ToU64(), x - y);
+    }
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(y);
+    const BigUint bprod = BigUint::Mul(bx, by);
+    BigUint q, r;
+    BigUint::DivMod(bprod, by, &q, &r);
+    EXPECT_EQ(q.ToU64(), static_cast<uint64_t>(prod / y));
+    EXPECT_TRUE(r.IsZero());
+    EXPECT_EQ(BigUint::Mod(bx, by).ToU64(), x % y);
+  }
+}
+
+TEST(BigUintTest, RandomizedDivModInvariant) {
+  // For random big operands: a == q*b + r and r < b.
+  Rng rng(78);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint a = BigUint::RandomWithBits(256, rng);
+    const BigUint b = BigUint::RandomWithBits(96 + i % 64, rng);
+    BigUint q, r;
+    BigUint::DivMod(a, b, &q, &r);
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(BigUint::Add(BigUint::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigUintTest, ShiftRoundTrip) {
+  const BigUint v = BigUint::FromHex("123456789abcdef");
+  for (size_t shift : {1u, 7u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(v.ShiftLeft(shift).ShiftRight(shift), v) << shift;
+  }
+}
+
+TEST(BigUintTest, PowModFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, a not divisible.
+  const BigUint p(1000003);
+  for (uint64_t a : {2ull, 17ull, 65537ull, 999999ull}) {
+    EXPECT_EQ(
+        BigUint::PowMod(BigUint(a), BigUint::Sub(p, BigUint(1)), p).ToU64(),
+        1u)
+        << a;
+  }
+}
+
+TEST(BigUintTest, InvModMatchesDefinition) {
+  Rng rng(79);
+  const BigUint m(1000003);  // prime modulus: everything nonzero invertible
+  for (int i = 0; i < 100; ++i) {
+    const BigUint a(1 + rng.NextBounded(1000002));
+    BigUint inv;
+    ASSERT_TRUE(BigUint::InvMod(a, m, &inv));
+    EXPECT_EQ(BigUint::MulMod(a, inv, m).ToU64(), 1u);
+  }
+}
+
+TEST(BigUintTest, InvModRejectsNonCoprime) {
+  BigUint inv;
+  EXPECT_FALSE(BigUint::InvMod(BigUint(6), BigUint(9), &inv));
+}
+
+TEST(BigUintTest, MillerRabinKnownPrimesAndComposites) {
+  Rng rng(80);
+  for (uint64_t p : {2ull, 3ull, 5ull, 104729ull, 1000003ull, 2147483647ull}) {
+    EXPECT_TRUE(BigUint::IsProbablePrime(BigUint(p), 20, rng)) << p;
+  }
+  for (uint64_t c : {1ull, 4ull, 100ull, 104730ull, 561ull, 41041ull}) {
+    // 561 and 41041 are Carmichael numbers.
+    EXPECT_FALSE(BigUint::IsProbablePrime(BigUint(c), 20, rng)) << c;
+  }
+}
+
+TEST(BigUintTest, GeneratePrimeHasExactBitsAndIsPrime) {
+  Rng rng(81);
+  const BigUint p = BigUint::GeneratePrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(BigUint::IsProbablePrime(p, 30, rng));
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  Rng rng(42);
+  const RsaKeyPair kp = GenerateRsaKeyPair(512, rng);
+  const std::string msg = "attest me";
+  const auto sig = RsaSign(kp.private_key, Bytes(msg));
+  EXPECT_EQ(sig.size(), kp.public_key.ModulusBytes());
+  EXPECT_TRUE(RsaVerify(kp.public_key, Bytes(msg), sig));
+}
+
+TEST(RsaTest, TamperedSignatureRejected) {
+  Rng rng(43);
+  const RsaKeyPair kp = GenerateRsaKeyPair(512, rng);
+  const std::string msg = "attest me";
+  auto sig = RsaSign(kp.private_key, Bytes(msg));
+  sig[10] ^= 0x40;
+  EXPECT_FALSE(RsaVerify(kp.public_key, Bytes(msg), sig));
+}
+
+TEST(RsaTest, TamperedMessageRejected) {
+  Rng rng(44);
+  const RsaKeyPair kp = GenerateRsaKeyPair(512, rng);
+  const auto sig = RsaSign(kp.private_key, Bytes(std::string("hello")));
+  EXPECT_FALSE(RsaVerify(kp.public_key, Bytes(std::string("hellp")), sig));
+}
+
+TEST(RsaTest, WrongKeyRejected) {
+  Rng rng(45);
+  const RsaKeyPair kp1 = GenerateRsaKeyPair(512, rng);
+  const RsaKeyPair kp2 = GenerateRsaKeyPair(512, rng);
+  const auto sig = RsaSign(kp1.private_key, Bytes(std::string("msg")));
+  EXPECT_FALSE(RsaVerify(kp2.public_key, Bytes(std::string("msg")), sig));
+}
+
+TEST(RsaTest, DigestInterfaceMatchesMessageInterface) {
+  Rng rng(46);
+  const RsaKeyPair kp = GenerateRsaKeyPair(512, rng);
+  const std::string msg = "digest path";
+  const auto sig1 = RsaSign(kp.private_key, Bytes(msg));
+  const auto sig2 = RsaSignDigest(kp.private_key, Sha256::Hash(Bytes(msg)));
+  EXPECT_EQ(sig1, sig2);
+  EXPECT_TRUE(RsaVerifyDigest(kp.public_key, Sha256::Hash(Bytes(msg)), sig1));
+}
+
+TEST(DhTest, SharedSecretAgrees) {
+  Rng rng(47);
+  const DhGroup group = SmallTestGroup();
+  DhParticipant alice(group, rng);
+  DhParticipant bob(group, rng);
+  EXPECT_EQ(alice.ComputeSharedSecret(bob.public_value()),
+            bob.ComputeSharedSecret(alice.public_value()));
+  EXPECT_EQ(alice.DeriveChannelKey(bob.public_value()),
+            bob.DeriveChannelKey(alice.public_value()));
+}
+
+TEST(DhTest, DistinctParticipantsDistinctKeys) {
+  Rng rng(48);
+  const DhGroup group = SmallTestGroup();
+  DhParticipant alice(group, rng);
+  DhParticipant bob(group, rng);
+  DhParticipant eve(group, rng);
+  EXPECT_NE(alice.DeriveChannelKey(bob.public_value()),
+            alice.DeriveChannelKey(eve.public_value()));
+}
+
+TEST(DhTest, TestGroupPrimeIsPrime) {
+  Rng rng(49);
+  EXPECT_TRUE(BigUint::IsProbablePrime(SmallTestGroup().p, 30, rng));
+  EXPECT_EQ(SmallTestGroup().p.BitLength(), 256u);
+}
+
+TEST(DhTest, Modp1536GroupShape) {
+  const DhGroup g = Modp1536Group();
+  EXPECT_EQ(g.p.BitLength(), 1536u);
+  EXPECT_EQ(g.g.ToU64(), 2u);
+  EXPECT_TRUE(g.p.IsOdd());
+}
+
+TEST(KeysTest, CertificateChainVerifies) {
+  Rng rng(50);
+  VendorAuthority vendor(512, rng);
+  NicRootOfTrust rot(vendor, 512, rng);
+  EXPECT_TRUE(VendorAuthority::VerifyCertificate(vendor.public_key(),
+                                                 rot.ek_certificate()));
+  EXPECT_TRUE(NicRootOfTrust::VerifyAkChain(
+      vendor.public_key(), rot.ek_certificate(), rot.ak_public(),
+      std::span<const uint8_t>(rot.ak_endorsement().data(),
+                               rot.ak_endorsement().size())));
+}
+
+TEST(KeysTest, WrongVendorRejected) {
+  Rng rng(51);
+  VendorAuthority vendor(512, rng);
+  VendorAuthority other(512, rng);
+  NicRootOfTrust rot(vendor, 512, rng);
+  EXPECT_FALSE(NicRootOfTrust::VerifyAkChain(
+      other.public_key(), rot.ek_certificate(), rot.ak_public(),
+      std::span<const uint8_t>(rot.ak_endorsement().data(),
+                               rot.ak_endorsement().size())));
+}
+
+TEST(KeysTest, ForeignAkRejected) {
+  Rng rng(52);
+  VendorAuthority vendor(512, rng);
+  NicRootOfTrust rot1(vendor, 512, rng);
+  NicRootOfTrust rot2(vendor, 512, rng);
+  // rot2's AK presented with rot1's endorsement must fail.
+  EXPECT_FALSE(NicRootOfTrust::VerifyAkChain(
+      vendor.public_key(), rot1.ek_certificate(), rot2.ak_public(),
+      std::span<const uint8_t>(rot1.ak_endorsement().data(),
+                               rot1.ak_endorsement().size())));
+}
+
+TEST(KeysTest, AkSignsPayloads) {
+  Rng rng(53);
+  VendorAuthority vendor(512, rng);
+  NicRootOfTrust rot(vendor, 512, rng);
+  const std::string payload = "quote-payload";
+  const auto sig = rot.SignWithAk(Bytes(payload));
+  EXPECT_TRUE(RsaVerify(rot.ak_public(), Bytes(payload), sig));
+}
+
+}  // namespace
+}  // namespace snic::crypto

@@ -1,0 +1,145 @@
+// Tests for the McPAT-lite cost model and the TCO model — these pin the
+// calibration against the paper's published numbers (Tables 2-5, §5.2), so a
+// regression here means the cost tables would stop reproducing.
+
+#include <gtest/gtest.h>
+
+#include "src/hwmodel/tco.h"
+#include "src/hwmodel/tlb_cost.h"
+
+namespace snic::hwmodel {
+namespace {
+
+// Paper data points: per-TLB (entries -> mm^2, W) recovered from Tables 2-5.
+struct PaperPoint {
+  size_t entries;
+  double area_mm2;
+  double power_w;
+  double tolerance;  // relative
+};
+
+class TlbCalibrationTest : public ::testing::TestWithParam<PaperPoint> {};
+
+TEST_P(TlbCalibrationTest, WithinTolerance) {
+  const PaperPoint& pt = GetParam();
+  const TlbCost cost = TlbBankCost(pt.entries);
+  EXPECT_NEAR(cost.area_mm2, pt.area_mm2, pt.tolerance * pt.area_mm2)
+      << pt.entries << " entries (area)";
+  EXPECT_NEAR(cost.power_w, pt.power_w, pt.tolerance * pt.power_w)
+      << pt.entries << " entries (power)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPoints, TlbCalibrationTest,
+    ::testing::Values(
+        // Table 4: 12 VPP units at 3 entries -> 0.037 mm^2 / 0.017 W.
+        PaperPoint{3, 0.037 / 12, 0.017 / 12, 0.03},
+        // Table 3 RAID: 16 clusters at 5 entries -> 0.050 / 0.023.
+        PaperPoint{5, 0.050 / 16, 0.023 / 16, 0.03},
+        // Table 5 Flex 13 entries x 48 cores -> 0.150 / 0.069.
+        PaperPoint{13, 0.150 / 48, 0.069 / 48, 0.03},
+        // Table 5 Flex 51 entries x 48 cores -> 0.214 / 0.106.
+        PaperPoint{51, 0.214 / 48, 0.106 / 48, 0.04},
+        // Table 3 DPI: 16 clusters at 54 entries -> 0.074 / 0.037.
+        PaperPoint{54, 0.074 / 16, 0.037 / 16, 0.03},
+        // Table 3 ZIP: 16 clusters at 70 entries -> 0.091 / 0.044.
+        PaperPoint{70, 0.091 / 16, 0.044 / 16, 0.07},
+        // Table 2: 4 cores at 183 entries -> 0.045 / 0.026.
+        PaperPoint{183, 0.045 / 4, 0.026 / 4, 0.04},
+        // Table 2: 256 entries -> 0.060 / 0.035.
+        PaperPoint{256, 0.060 / 4, 0.035 / 4, 0.07},
+        // Table 2: 512 entries -> 0.163 / 0.088.
+        PaperPoint{512, 0.163 / 4, 0.088 / 4, 0.05}));
+
+TEST(TlbCostTest, MonotoneInEntries) {
+  double prev_area = 0.0, prev_power = 0.0;
+  for (size_t e = 1; e <= 1024; e *= 2) {
+    const TlbCost c = TlbBankCost(e);
+    EXPECT_GE(c.area_mm2, prev_area);
+    EXPECT_GE(c.power_w, prev_power);
+    prev_area = c.area_mm2;
+    prev_power = c.power_w;
+  }
+}
+
+TEST(TlbCostTest, BanksScaleLinearly) {
+  const TlbCost one = TlbBankCost(183);
+  const TlbCost twelve = TlbBanksCost(183, 12);
+  EXPECT_NEAR(twelve.area_mm2, 12 * one.area_mm2, 1e-12);
+  EXPECT_NEAR(twelve.power_w, 12 * one.power_w, 1e-12);
+}
+
+TEST(TlbCostTest, FloorForTinyBanks) {
+  EXPECT_DOUBLE_EQ(TlbBankCost(2).area_mm2, TlbBankCost(3).area_mm2);
+  EXPECT_DOUBLE_EQ(TlbBankCost(1).power_w, TlbBankCost(2).power_w);
+}
+
+TEST(TlbCostTest, EntriesFor2MbPages) {
+  EXPECT_EQ(EntriesFor2MbPages(366.0), 183u);
+  EXPECT_EQ(EntriesFor2MbPages(512.0), 256u);
+  EXPECT_EQ(EntriesFor2MbPages(1024.0), 512u);
+  EXPECT_EQ(EntriesFor2MbPages(1.0), 1u);
+}
+
+TEST(TlbCostTest, A9TotalsMatchTable2) {
+  const A9Baseline baseline;
+  // 183-entry config: total 4.984 mm^2 / 1.909 W.
+  const TlbCost t183 = A9TotalWith(baseline, TlbBanksCost(183, 4));
+  EXPECT_NEAR(t183.area_mm2, 4.984, 0.01);
+  EXPECT_NEAR(t183.power_w, 1.909, 0.005);
+  // 512-entry config: total 5.102 mm^2 / 1.971 W.
+  const TlbCost t512 = A9TotalWith(baseline, TlbBanksCost(512, 4));
+  EXPECT_NEAR(t512.area_mm2, 5.102, 0.01);
+  EXPECT_NEAR(t512.power_w, 1.971, 0.005);
+}
+
+TEST(TlbCostTest, HeadlineOverheadsReproduce) {
+  // §5.2 headline: all S-NIC TLBs add 8.89% area / 11.45% power relative to
+  // a 4-core A9 with 512-entry TLBs (5.102 mm^2 / 1.971 W).
+  const TlbCost core_tlbs = TlbBanksCost(512, 4);
+  const TlbCost accel = TlbBanksCost(54, 16) + TlbBanksCost(70, 16) +
+                        TlbBanksCost(5, 16);
+  const TlbCost vpp_dma = TlbBanksCost(3, 12) + TlbBanksCost(2, 12);
+  const A9Baseline baseline;
+  const double ref_area = baseline.area_mm2 + core_tlbs.area_mm2;
+  const double ref_power = baseline.power_w + core_tlbs.power_w;
+  const double area_overhead =
+      (core_tlbs.area_mm2 + accel.area_mm2 + vpp_dma.area_mm2) / ref_area;
+  const double power_overhead =
+      (core_tlbs.power_w + accel.power_w + vpp_dma.power_w) / ref_power;
+  EXPECT_NEAR(area_overhead, 0.0889, 0.004);
+  EXPECT_NEAR(power_overhead, 0.1145, 0.005);
+}
+
+TEST(TcoTest, PaperNumbersReproduce) {
+  const TcoReport report = ComputeTco();
+  EXPECT_NEAR(report.nic_tco_per_core, 38.97, 0.01);
+  EXPECT_NEAR(report.host_tco_per_core, 163.56, 0.01);
+  EXPECT_NEAR(report.snic_tco_per_core, 42.53, 0.01);
+  EXPECT_NEAR(report.advantage_reduction, 0.0837, 0.0005);
+  EXPECT_NEAR(report.advantage_preserved, 0.916, 0.001);
+}
+
+TEST(TcoTest, PerCoreFormula) {
+  // A zero-power device costs purchase/cores.
+  const DeviceCost free_power{1200.0, 0.0, 12};
+  EXPECT_DOUBLE_EQ(TcoPerCore(free_power, 0.0733, 3.0), 100.0);
+}
+
+TEST(TcoTest, MorePowerMoreTco) {
+  DeviceCost a{420.0, 24.7, 12};
+  DeviceCost b{420.0, 49.4, 12};
+  EXPECT_GT(TcoPerCore(b, 0.0733, 3.0), TcoPerCore(a, 0.0733, 3.0));
+}
+
+TEST(TcoTest, ZeroOverheadMeansNoReduction) {
+  TcoParams params;
+  params.snic_area_overhead = 0.0;
+  params.snic_power_overhead = 0.0;
+  const TcoReport report = ComputeTco(params);
+  EXPECT_NEAR(report.advantage_reduction, 0.0, 1e-12);
+  EXPECT_NEAR(report.snic_tco_per_core, report.nic_tco_per_core, 1e-12);
+}
+
+}  // namespace
+}  // namespace snic::hwmodel

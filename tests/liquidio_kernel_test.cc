@@ -1,0 +1,154 @@
+// Tests for the SE-UM kernel model: syscall-mediated packet IO, per-process
+// address spaces, and the §3.2 conclusion that "functions cannot protect
+// themselves from a buggy or malicious OS" on commodity NICs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/liquidio_kernel.h"
+#include "src/net/parser.h"
+
+namespace snic::core {
+namespace {
+
+class SeUmTest : public ::testing::Test {
+ protected:
+  SeUmTest()
+      : memory_(64ull << 20, 2ull << 20),
+        kernel_(&memory_, LiquidIoMode::kSeUmNoXkphys) {}
+
+  uint64_t Spawn(uint8_t fill = 0xf0) {
+    std::vector<uint8_t> image(4096, fill);
+    const auto pid = kernel_.CreateProcess(
+        std::span<const uint8_t>(image.data(), image.size()), 2);
+    SNIC_CHECK(pid.ok());
+    return pid.value();
+  }
+
+  static net::Packet SomePacket() {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4FromString("10.0.0.1");
+    t.dst_ip = net::Ipv4FromString("10.0.0.2");
+    t.src_port = 1;
+    t.dst_port = 2;
+    t.protocol = 6;
+    return net::PacketBuilder().SetTuple(t).Build();
+  }
+
+  PhysicalMemory memory_;
+  LiquidIoKernel kernel_;
+};
+
+TEST_F(SeUmTest, ProcessSeesItsImageThroughXuseg) {
+  const uint64_t pid = Spawn(0xab);
+  EXPECT_EQ(kernel_.UserRead(pid, 0).value(), 0xab);
+  EXPECT_EQ(kernel_.UserRead(pid, 4095).value(), 0xab);
+  ASSERT_TRUE(kernel_.UserWrite(pid, 100, 0x11).ok());
+  EXPECT_EQ(kernel_.UserRead(pid, 100).value(), 0x11);
+}
+
+TEST_F(SeUmTest, ProcessCannotReachBeyondItsMapping) {
+  const uint64_t pid = Spawn();
+  // Past its two pages: TLB refill failure.
+  EXPECT_EQ(kernel_.UserRead(pid, 4ull << 20).status().code(),
+            ErrorCode::kPermissionDenied);
+  // xkphys disabled in this configuration.
+  EXPECT_EQ(kernel_.UserRead(pid, kXkphysBase).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SeUmTest, ProcessesAreMutuallyInvisibleViaTheirOwnContexts) {
+  const uint64_t a = Spawn(0xaa);
+  const uint64_t b = Spawn(0xbb);
+  // Same virtual address, different physical backing.
+  EXPECT_EQ(kernel_.UserRead(a, 0).value(), 0xaa);
+  EXPECT_EQ(kernel_.UserRead(b, 0).value(), 0xbb);
+  ASSERT_TRUE(kernel_.UserWrite(a, 0, 0x01).ok());
+  EXPECT_EQ(kernel_.UserRead(b, 0).value(), 0xbb);
+}
+
+TEST_F(SeUmTest, SyscallPacketRoundTrip) {
+  const uint64_t pid = Spawn();
+  const net::Packet packet = SomePacket();
+  ASSERT_TRUE(kernel_.DeliverToProcess(pid, packet).ok());
+
+  // The process receives into a buffer in its second page.
+  const uint64_t buffer = 2ull << 20;
+  const auto len = kernel_.SysRecvPacket(pid, buffer, 2048);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(len.value(), packet.size());
+  EXPECT_EQ(kernel_.UserRead(pid, buffer).value(), packet.bytes()[0]);
+
+  // ...mutates it and sends it back out.
+  ASSERT_TRUE(kernel_.SysSendPacket(pid, buffer, len.value()).ok());
+  ASSERT_EQ(kernel_.wire_tx().size(), 1u);
+  EXPECT_EQ(kernel_.wire_tx().front().size(), packet.size());
+}
+
+TEST_F(SeUmTest, RecvIntoUnmappedBufferFaults) {
+  const uint64_t pid = Spawn();
+  ASSERT_TRUE(kernel_.DeliverToProcess(pid, SomePacket()).ok());
+  EXPECT_EQ(kernel_.SysRecvPacket(pid, 64ull << 20, 2048).status().code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(SeUmTest, RecvWithoutPendingPacketsReported) {
+  const uint64_t pid = Spawn();
+  EXPECT_EQ(kernel_.SysRecvPacket(pid, 0, 2048).status().code(),
+            ErrorCode::kNotFound);
+}
+
+// §3.2: even in the safest commodity configuration (SE-UM, no xkphys,
+// syscall IO), the kernel reads and rewrites function state at will.
+TEST_F(SeUmTest, KernelReadsAndTampersWithFunctionState) {
+  const uint64_t pid = Spawn();
+  const std::string secret = "nat-translation-key";
+  for (size_t i = 0; i < secret.size(); ++i) {
+    ASSERT_TRUE(kernel_.UserWrite(pid, 500 + i,
+                                  static_cast<uint8_t>(secret[i]))
+                    .ok());
+  }
+  std::string stolen;
+  for (size_t i = 0; i < secret.size(); ++i) {
+    stolen.push_back(
+        static_cast<char>(kernel_.KernelReadUser(pid, 500 + i).value()));
+  }
+  EXPECT_EQ(stolen, secret);
+  ASSERT_TRUE(kernel_.KernelWriteUser(pid, 500, 'X').ok());
+  EXPECT_EQ(kernel_.UserRead(pid, 500).value(), 'X');
+}
+
+TEST_F(SeUmTest, DestroyLeavesResidue) {
+  // A commodity kernel does not scrub freed pages — the residue S-NIC's
+  // nf_teardown explicitly zeroes.
+  const uint64_t pid = Spawn(0xcd);
+  const uint64_t phys_page =
+      memory_.PagesOwnedBy(pid).front() * memory_.page_bytes();
+  ASSERT_TRUE(kernel_.DestroyProcess(pid).ok());
+  EXPECT_EQ(memory_.ReadByte(phys_page), 0xcd);  // still readable!
+}
+
+TEST_F(SeUmTest, SeSModeHasNoProcessApi) {
+  LiquidIoKernel ses(&memory_, LiquidIoMode::kSeS);
+  std::vector<uint8_t> image(10, 1);
+  EXPECT_EQ(ses.CreateProcess(
+                   std::span<const uint8_t>(image.data(), image.size()), 1)
+                .status()
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SeUmTest, XkphysModeExposesEverything) {
+  LiquidIoKernel unsafe(&memory_, LiquidIoMode::kSeUm);
+  std::vector<uint8_t> image(10, 1);
+  const auto pid = unsafe.CreateProcess(
+      std::span<const uint8_t>(image.data(), image.size()), 1);
+  ASSERT_TRUE(pid.ok());
+  // With xkphys granted "for performance", the function can read any
+  // physical byte — including other tenants' pages.
+  EXPECT_TRUE(unsafe.UserRead(pid.value(), kXkphysBase + 0x12345).ok());
+}
+
+}  // namespace
+}  // namespace snic::core

@@ -1,0 +1,141 @@
+// Tests for the multi-core replay engine: IPC accounting, hierarchy
+// latencies, partitioning effects, and the baseline-vs-secure comparison
+// that underlies Fig. 5.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/mem_access.h"
+#include "src/sim/replay.h"
+
+namespace snic::sim {
+namespace {
+
+InstructionTrace LoopTrace(size_t events, uint64_t working_set_bytes,
+                           uint32_t compute_per_access, uint64_t seed = 1) {
+  InstructionTrace trace;
+  uint64_t x = seed;
+  const uint64_t lines = working_set_bytes / 64;
+  for (size_t i = 0; i < events; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    trace.RecordCompute(compute_per_access);
+    trace.RecordAccess((x % lines) * 64, AccessType::kRead);
+  }
+  return trace;
+}
+
+TEST(InstructionTraceTest, CountsInstructions) {
+  InstructionTrace t;
+  t.RecordCompute(10);
+  t.RecordAccess(0, AccessType::kRead);
+  t.RecordCompute(5);
+  t.RecordAccess(64, AccessType::kWrite);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.TotalInstructions(), 17u);
+}
+
+TEST(ReplayTest, PureComputeNearUnitIpc) {
+  InstructionTrace t;
+  for (int i = 0; i < 1000; ++i) {
+    t.RecordCompute(100);
+    t.RecordAccess(0, AccessType::kRead);  // same line: L1 hit after first
+  }
+  const auto result =
+      Replay(MachineConfig::MarvellLike(1, 4 << 20, false), {t}, 0.0);
+  // 100 compute cycles + ~2-cycle L1 hit per event: IPC ~= 101/102.
+  EXPECT_GT(result.cores[0].Ipc(), 0.95);
+  EXPECT_LE(result.cores[0].Ipc(), 1.0);
+}
+
+TEST(ReplayTest, DramBoundIpcMuchLower) {
+  // Working set far beyond L2: most accesses go to DRAM.
+  const auto trace = LoopTrace(20'000, 256ull << 20, 4);
+  const auto result =
+      Replay(MachineConfig::MarvellLike(1, 1 << 20, false), {trace}, 0.1);
+  EXPECT_LT(result.cores[0].Ipc(), 0.15);
+  EXPECT_GT(result.cores[0].l2_misses, 10'000u);
+}
+
+TEST(ReplayTest, CacheResidentWorkingSetFast) {
+  const auto trace = LoopTrace(20'000, 64 << 10, 4);
+  const auto result =
+      Replay(MachineConfig::MarvellLike(1, 4 << 20, false), {trace}, 0.2);
+  EXPECT_GT(result.cores[0].Ipc(), 0.25);
+  EXPECT_LT(result.cores[0].l2_misses, 100u);
+}
+
+TEST(ReplayTest, PerCoreResultsIndependentAddressSpaces) {
+  // Two cores replaying the *same* trace must not share cache lines (the
+  // engine tags addresses per core): both see identical miss behaviour.
+  const auto trace = LoopTrace(10'000, 1 << 20, 4);
+  const auto result = Replay(MachineConfig::MarvellLike(2, 4 << 20, false),
+                             {trace, trace}, 0.1);
+  EXPECT_EQ(result.cores[0].l1_misses, result.cores[1].l1_misses);
+  EXPECT_NEAR(static_cast<double>(result.cores[0].l2_misses),
+              static_cast<double>(result.cores[1].l2_misses),
+              0.05 * static_cast<double>(result.cores[0].l2_misses) + 50);
+}
+
+TEST(ReplayTest, SecureModeCostsSomethingButNotMuch) {
+  // Header-processing-like traces: small hot set, some DRAM traffic.
+  std::vector<InstructionTrace> traces;
+  traces.push_back(LoopTrace(30'000, 2 << 20, 16, 7));
+  traces.push_back(LoopTrace(30'000, 2 << 20, 16, 13));
+  const auto base =
+      Replay(MachineConfig::MarvellLike(2, 4 << 20, false), traces, 0.2);
+  const auto secure =
+      Replay(MachineConfig::MarvellLike(2, 4 << 20, true), traces, 0.2);
+  const double base_ipc = base.cores[0].Ipc();
+  const double secure_ipc = secure.cores[0].Ipc();
+  EXPECT_LE(secure_ipc, base_ipc * 1.02);  // secure should not be faster
+  EXPECT_GT(secure_ipc, base_ipc * 0.5);   // ...and not catastrophically slower
+}
+
+TEST(ReplayTest, MoreDomainsMoreTemporalTax) {
+  // With a fixed per-core workload, the temporal-partitioning tax grows
+  // with co-tenancy (each domain owns a shrinking fraction of bus time).
+  auto run = [](uint32_t cores) {
+    std::vector<InstructionTrace> traces;
+    for (uint32_t c = 0; c < cores; ++c) {
+      traces.push_back(LoopTrace(8'000, 64ull << 20, 8, 100 + c));
+    }
+    const auto secure =
+        Replay(MachineConfig::MarvellLike(cores, 4 << 20, true), traces, 0.1);
+    const auto base =
+        Replay(MachineConfig::MarvellLike(cores, 4 << 20, false), traces, 0.1);
+    return 1.0 - secure.cores[0].Ipc() / base.cores[0].Ipc();
+  };
+  const double degradation2 = run(2);
+  const double degradation8 = run(8);
+  EXPECT_GT(degradation8, degradation2);
+}
+
+TEST(ReplayTest, WarmupExcludedFromCounters) {
+  const auto trace = LoopTrace(10'000, 1 << 20, 4);
+  const auto all = Replay(MachineConfig::MarvellLike(1, 4 << 20, false),
+                          {trace}, 0.0);
+  const auto warmed = Replay(MachineConfig::MarvellLike(1, 4 << 20, false),
+                             {trace}, 0.5);
+  EXPECT_LT(warmed.cores[0].instructions, all.cores[0].instructions);
+  EXPECT_GT(warmed.cores[0].instructions, 0u);
+}
+
+TEST(ReplayTest, BusStatsPopulated) {
+  const auto trace = LoopTrace(5'000, 128ull << 20, 2);
+  const auto result =
+      Replay(MachineConfig::MarvellLike(1, 1 << 20, false), {trace}, 0.0);
+  EXPECT_GT(result.bus_stats.requests, 0u);
+  EXPECT_GT(result.l2_stats.misses, 0u);
+}
+
+TEST(MachineConfigTest, MarvellLikeShape) {
+  const auto secure = MachineConfig::MarvellLike(4, 4 << 20, true);
+  EXPECT_EQ(secure.l2.policy, PartitionPolicy::kStaticEqual);
+  EXPECT_EQ(secure.bus_policy, BusPolicy::kTemporalPartition);
+  EXPECT_EQ(secure.l2.num_domains, 4u);
+  const auto base = MachineConfig::MarvellLike(4, 4 << 20, false);
+  EXPECT_EQ(base.l2.policy, PartitionPolicy::kShared);
+  EXPECT_EQ(base.bus_policy, BusPolicy::kFcfs);
+}
+
+}  // namespace
+}  // namespace snic::sim

@@ -1,0 +1,107 @@
+// Tests for the SecDCP resize controller — especially its one-way
+// information-flow property: function behaviour must never influence the
+// partition layout.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/secdcp.h"
+
+namespace snic::sim {
+namespace {
+
+CacheConfig SecDcpCacheConfig() {
+  CacheConfig config;
+  config.size_bytes = 256 << 10;
+  config.line_bytes = 64;
+  config.associativity = 16;
+  config.policy = PartitionPolicy::kSecDcp;
+  config.num_domains = 2;  // domain 0 = NIC OS, domain 1 = the function
+  return config;
+}
+
+SecDcpControllerConfig ControllerConfig() {
+  SecDcpControllerConfig config;
+  config.epoch_accesses = 1024;
+  config.max_os_ways = 12;
+  return config;
+}
+
+TEST(SecDcpControllerTest, GrowsUnderOsPressure) {
+  Cache cache(SecDcpCacheConfig());
+  SecDcpController controller(&cache, ControllerConfig());
+  const uint32_t before = controller.os_ways();
+  // The NIC OS streams a working set far beyond its initial share.
+  Rng rng(1);
+  for (int i = 0; i < 50'000; ++i) {
+    controller.OsAccess(rng.NextU64() % (1u << 21));
+  }
+  EXPECT_GT(controller.os_ways(), before);
+  EXPECT_GT(controller.resizes(), 0u);
+  EXPECT_LE(controller.os_ways(), ControllerConfig().max_os_ways);
+}
+
+TEST(SecDcpControllerTest, ShrinksWhenOsGoesQuiet) {
+  Cache cache(SecDcpCacheConfig());
+  SecDcpController controller(&cache, ControllerConfig());
+  Rng rng(2);
+  for (int i = 0; i < 50'000; ++i) {
+    controller.OsAccess(rng.NextU64() % (1u << 21));
+  }
+  const uint32_t grown = controller.os_ways();
+  // Now the OS touches a tiny loop that always hits.
+  for (int i = 0; i < 50'000; ++i) {
+    controller.OsAccess(static_cast<uint64_t>(i % 16) * 64);
+  }
+  EXPECT_LT(controller.os_ways(), grown);
+  EXPECT_GE(controller.os_ways(), ControllerConfig().min_os_ways);
+}
+
+// The security property: the partition trajectory is a pure function of the
+// NIC OS's access stream — function-side behaviour cannot perturb it.
+TEST(SecDcpControllerTest, FunctionBehaviourCannotInfluenceResizing) {
+  auto run = [](bool function_thrashes) {
+    Cache cache(SecDcpCacheConfig());
+    SecDcpController controller(&cache, ControllerConfig());
+    Rng os_rng(3);
+    Rng nf_rng(4);
+    std::vector<uint32_t> trajectory;
+    for (int i = 0; i < 30'000; ++i) {
+      controller.OsAccess(os_rng.NextU64() % (1u << 20));
+      if (function_thrashes) {
+        // A hostile function hammering the cache between OS accesses.
+        controller.FunctionAccess(nf_rng.NextU64() % (1u << 26), 1);
+        controller.FunctionAccess(nf_rng.NextU64() % (1u << 26), 1);
+      }
+      if (i % 1000 == 0) {
+        trajectory.push_back(controller.os_ways());
+      }
+    }
+    return trajectory;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SecDcpControllerTest, FunctionKeepsItsFloor) {
+  Cache cache(SecDcpCacheConfig());
+  SecDcpControllerConfig config = ControllerConfig();
+  config.max_os_ways = 15;
+  SecDcpController controller(&cache, config);
+  Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) {
+    controller.OsAccess(rng.NextU64() % (1u << 22));
+  }
+  // Even under maximal OS pressure the function retains >= 1 way.
+  EXPECT_GE(cache.WaysForDomain(1), 1u);
+  EXPECT_LE(controller.os_ways(), 15u);
+}
+
+TEST(SecDcpControllerTest, RequiresSecDcpCache) {
+  CacheConfig config = SecDcpCacheConfig();
+  Cache cache(config);
+  SecDcpController controller(&cache, ControllerConfig());
+  EXPECT_EQ(controller.os_ways(), cache.WaysForDomain(0));
+}
+
+}  // namespace
+}  // namespace snic::sim

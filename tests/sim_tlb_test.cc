@@ -1,0 +1,104 @@
+// Tests for the lockable TLB: install validation, translation, locking
+// semantics, and capacity limits.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/tlb.h"
+
+namespace snic::sim {
+namespace {
+
+TlbEntry Entry(uint64_t virt, uint64_t phys, uint64_t page,
+               bool writable = true) {
+  return TlbEntry{virt, phys, page, writable};
+}
+
+TEST(LockedTlbTest, InstallAndTranslate) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0x200000, 0x200000)).ok());
+  const auto t = tlb.Translate(0x1234);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->phys_addr, 0x201234u);
+  EXPECT_TRUE(t->writable);
+}
+
+TEST(LockedTlbTest, MissOutsideMappedRange) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0x200000, 0x200000)).ok());
+  EXPECT_FALSE(tlb.Translate(0x200000).has_value());
+  EXPECT_FALSE(tlb.Translate(UINT64_MAX).has_value());
+}
+
+TEST(LockedTlbTest, MultipleEntriesVariablePageSizes) {
+  LockedTlb tlb(4);
+  // Bases must be aligned to their own page size (hardware constraint).
+  ASSERT_TRUE(tlb.Install(Entry(0, 0x10000000, 2 << 20)).ok());
+  ASSERT_TRUE(tlb.Install(Entry(32ull << 20, 0x20000000, 32ull << 20)).ok());
+  const auto small = tlb.Translate(0x100);
+  const auto big = tlb.Translate((32ull << 20) + 0x100);
+  ASSERT_TRUE(small.has_value());
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(small->phys_addr, 0x10000100u);
+  EXPECT_EQ(big->phys_addr, 0x20000100u);
+  EXPECT_EQ(tlb.MappedBytes(), (2ull << 20) + (32ull << 20));
+}
+
+TEST(LockedTlbTest, CapacityEnforced) {
+  LockedTlb tlb(1);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0, 4096)).ok());
+  const Status s = tlb.Install(Entry(4096, 4096, 4096));
+  EXPECT_EQ(s.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(LockedTlbTest, LockPreventsInstall) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0, 4096)).ok());
+  tlb.Lock();
+  const Status s = tlb.Install(Entry(4096, 4096, 4096));
+  EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(tlb.locked());
+}
+
+TEST(LockedTlbTest, ResetUnlocksAndClears) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0, 4096)).ok());
+  tlb.Lock();
+  tlb.Reset();
+  EXPECT_FALSE(tlb.locked());
+  EXPECT_EQ(tlb.entry_count(), 0u);
+  EXPECT_FALSE(tlb.Translate(0).has_value());
+  EXPECT_TRUE(tlb.Install(Entry(0, 0, 4096)).ok());
+}
+
+TEST(LockedTlbTest, RejectsBadPageSize) {
+  LockedTlb tlb(4);
+  EXPECT_EQ(tlb.Install(Entry(0, 0, 3000)).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tlb.Install(Entry(0, 0, 0)).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(LockedTlbTest, RejectsMisalignedBases) {
+  LockedTlb tlb(4);
+  EXPECT_EQ(tlb.Install(Entry(100, 0, 4096)).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tlb.Install(Entry(0, 100, 4096)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(LockedTlbTest, RejectsOverlappingVirtualRanges) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0, 8192)).ok());
+  EXPECT_EQ(tlb.Install(Entry(4096, 0x10000, 4096)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(LockedTlbTest, ReadOnlyMappingReported) {
+  LockedTlb tlb(4);
+  ASSERT_TRUE(tlb.Install(Entry(0, 0, 4096, /*writable=*/false)).ok());
+  const auto t = tlb.Translate(10);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->writable);
+}
+
+}  // namespace
+}  // namespace snic::sim

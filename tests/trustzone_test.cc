@@ -1,0 +1,120 @@
+// Tests for the BlueField/TrustZone baseline model — including the two
+// documented gaps that motivate S-NIC: no protection from the secure-world
+// OS, and no microarchitectural isolation hooks.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/trustzone.h"
+
+namespace snic::core {
+namespace {
+
+class TrustZoneTest : public ::testing::Test {
+ protected:
+  TrustZoneTest() : nic_(16ull << 20, 2ull << 20, 4ull << 20) {}
+
+  TrustZoneNic nic_;
+};
+
+TEST_F(TrustZoneTest, NormalWorldBlockedFromSecureMemory) {
+  const uint64_t secure_addr = nic_.secure_base() + 100;
+  EXPECT_EQ(nic_.Read(World::kNormal, secure_addr).status().code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(nic_.Write(World::kNormal, secure_addr, 1).code(),
+            ErrorCode::kPermissionDenied);
+  // Normal memory works for everyone.
+  EXPECT_TRUE(nic_.Write(World::kNormal, 0x1000, 0xaa).ok());
+  EXPECT_EQ(nic_.Read(World::kNormal, 0x1000).value(), 0xaa);
+}
+
+TEST_F(TrustZoneTest, SecureWorldSeesEverything) {
+  ASSERT_TRUE(nic_.Write(World::kNormal, 0x2000, 0x11).ok());
+  EXPECT_EQ(nic_.Read(World::kSecure, 0x2000).value(), 0x11);
+  EXPECT_TRUE(nic_.Write(World::kSecure, nic_.secure_base() + 8, 0x22).ok());
+  EXPECT_EQ(nic_.Read(World::kSecure, nic_.secure_base() + 8).value(), 0x22);
+}
+
+TEST_F(TrustZoneTest, DmaCannotTouchSecureMemory) {
+  // Normal-to-normal DMA works.
+  ASSERT_TRUE(nic_.Write(World::kNormal, 0x100, 0x5a).ok());
+  ASSERT_TRUE(nic_.NormalDma(0x100, 0x900, 1).ok());
+  EXPECT_EQ(nic_.Read(World::kNormal, 0x900).value(), 0x5a);
+  // Any overlap with the secure region is blocked, in both directions.
+  EXPECT_EQ(nic_.NormalDma(nic_.secure_base(), 0x900, 1).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(nic_.NormalDma(0x100, nic_.secure_base(), 1).code(),
+            ErrorCode::kPermissionDenied);
+  // A range *straddling* the boundary is blocked too.
+  EXPECT_EQ(nic_.NormalDma(nic_.secure_base() - 4, 0x900, 8).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TrustZoneTest, OnlySecureCodeResizesTheSplit) {
+  EXPECT_EQ(nic_.ResizeSecureRegion(World::kNormal, 8ull << 20).code(),
+            ErrorCode::kPermissionDenied);
+  const uint64_t old_base = nic_.secure_base();
+  ASSERT_TRUE(nic_.ResizeSecureRegion(World::kSecure, 8ull << 20).ok());
+  EXPECT_LT(nic_.secure_base(), old_base);
+  // Newly secured memory immediately becomes invisible to normal code.
+  EXPECT_FALSE(nic_.Read(World::kNormal, nic_.secure_base()).ok());
+}
+
+TEST_F(TrustZoneTest, SmcSwitchesWorlds) {
+  EXPECT_EQ(nic_.Smc(World::kNormal), World::kSecure);
+  EXPECT_EQ(nic_.Smc(World::kSecure), World::kNormal);
+}
+
+// Gap 1 (§3.2): "BlueField does not isolate a network function from the
+// secure-world management OS." A trustlet's key material is fully exposed
+// to any secure-world code.
+TEST_F(TrustZoneTest, SecureOsCanSteamTrustletSecrets) {
+  const std::string key = "tenant-tls-private-key";
+  const auto addr = nic_.InstallTrustlet(
+      "tls-mbox", std::span<const uint8_t>(
+                      reinterpret_cast<const uint8_t*>(key.data()),
+                      key.size()));
+  ASSERT_TRUE(addr.ok());
+  // The normal world cannot reach it...
+  EXPECT_FALSE(nic_.Read(World::kNormal, addr.value()).ok());
+  // ...but the (untrusted, datacenter-provided) secure OS reads every byte.
+  std::string stolen;
+  for (size_t i = 0; i < key.size(); ++i) {
+    stolen.push_back(static_cast<char>(
+        nic_.Read(World::kSecure, addr.value() + i).value()));
+  }
+  EXPECT_EQ(stolen, key);
+  // ...and can tamper with it undetected.
+  EXPECT_TRUE(nic_.Write(World::kSecure, addr.value(), 'X').ok());
+  EXPECT_EQ(nic_.Read(World::kSecure, addr.value()).value(), 'X');
+}
+
+TEST_F(TrustZoneTest, TrustletLifecycleValidation) {
+  const std::vector<uint8_t> state = {1, 2, 3};
+  ASSERT_TRUE(nic_.InstallTrustlet(
+                     "a", std::span<const uint8_t>(state.data(), state.size()))
+                  .ok());
+  EXPECT_EQ(nic_.InstallTrustlet(
+                    "a", std::span<const uint8_t>(state.data(), state.size()))
+                .status()
+                .code(),
+            ErrorCode::kAlreadyOwned);
+  EXPECT_TRUE(nic_.TrustletAddress("a").ok());
+  EXPECT_EQ(nic_.TrustletAddress("b").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(TrustZoneTest, ShrinkRefusedWhileTrustletsWouldBeExposed) {
+  const std::vector<uint8_t> state(1024, 7);
+  ASSERT_TRUE(nic_.InstallTrustlet(
+                     "t", std::span<const uint8_t>(state.data(), state.size()))
+                  .ok());
+  // Shrinking below the trustlet's address would expose it: refused.
+  EXPECT_EQ(nic_.ResizeSecureRegion(World::kSecure, 1ull << 10).code(),
+            ErrorCode::kFailedPrecondition);
+  // Growing is fine.
+  EXPECT_TRUE(nic_.ResizeSecureRegion(World::kSecure, 8ull << 20).ok());
+}
+
+}  // namespace
+}  // namespace snic::core

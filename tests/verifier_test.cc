@@ -1,0 +1,162 @@
+// Tests for the tenant-side verifier: the §4.8 claim that a hostile NIC OS
+// "improperly setting up" a function (dropped pages, altered configuration,
+// swapped rules) is always caught by attestation.
+
+#include <gtest/gtest.h>
+
+#include "src/mgmt/verifier.h"
+#include "src/net/parser.h"
+
+namespace snic::mgmt {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest()
+      : rng_(80), vendor_(512, rng_), device_(Config(), vendor_),
+        nic_os_(&device_) {}
+
+  static core::SnicConfig Config() {
+    core::SnicConfig config;
+    config.num_cores = 8;
+    config.dram_bytes = 64ull << 20;
+    config.rsa_modulus_bits = 512;
+    return config;
+  }
+
+  static FunctionImage Image() {
+    FunctionImage image;
+    image.name = "tenant-fn";
+    image.code_and_data.assign(5000, 0x61);
+    image.code_and_data[4000] = 0x7f;  // non-uniform content
+    image.memory_bytes = 6ull << 20;
+    net::SwitchRule rule;
+    rule.dst_port = 443;
+    image.switch_rules.push_back(rule);
+    return image;
+  }
+
+  core::AttestationQuote QuoteFor(uint64_t nf_id,
+                                  const std::vector<uint8_t>& nonce,
+                                  const crypto::DhParticipant& dh) {
+    core::AttestationRequest request;
+    request.group = crypto::SmallTestGroup();
+    request.nonce = nonce;
+    request.g_x = dh.public_value();
+    auto quote = device_.NfAttest(nf_id, request);
+    SNIC_CHECK(quote.ok());
+    return quote.value();
+  }
+
+  Rng rng_;
+  crypto::VendorAuthority vendor_;
+  core::SnicDevice device_;
+  NicOs nic_os_;
+};
+
+TEST_F(VerifierTest, ExpectedMeasurementMatchesHardware) {
+  const FunctionImage image = Image();
+  const auto id = nic_os_.NfCreate(image);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(ExpectedMeasurement(image, device_.config().page_bytes),
+            device_.MeasurementOf(id.value()).value());
+}
+
+TEST_F(VerifierTest, HonestLaunchVerifiesAndKeysChannel) {
+  const FunctionImage image = Image();
+  const auto id = nic_os_.NfCreate(image);
+  ASSERT_TRUE(id.ok());
+
+  Verifier verifier(vendor_.public_key());
+  verifier.ExpectFunction(
+      image.name, ExpectedMeasurement(image, device_.config().page_bytes));
+
+  crypto::DhParticipant function_dh(crypto::SmallTestGroup(), rng_);
+  crypto::DhParticipant verifier_dh(crypto::SmallTestGroup(), rng_);
+  const std::vector<uint8_t> nonce = {5, 5, 5, 5};
+  const auto quote = QuoteFor(id.value(), nonce, function_dh);
+
+  const auto channel =
+      verifier.VerifyAndKey(image.name, quote, nonce, verifier_dh);
+  ASSERT_TRUE(channel.ok());
+  // Both sides hold the same key.
+  EXPECT_EQ(channel.value().key(),
+            function_dh.DeriveChannelKey(verifier_dh.public_value()));
+}
+
+TEST_F(VerifierTest, HostileOsTruncatingCodeDetected) {
+  // The NIC OS launches a truncated image (omitting the tail page, §4.8).
+  FunctionImage truncated = Image();
+  truncated.code_and_data.resize(1000);
+  const auto id = nic_os_.NfCreate(truncated);
+  ASSERT_TRUE(id.ok());
+
+  Verifier verifier(vendor_.public_key());
+  verifier.ExpectFunction(
+      "tenant-fn", ExpectedMeasurement(Image(), device_.config().page_bytes));
+  crypto::DhParticipant dh(crypto::SmallTestGroup(), rng_);
+  const auto quote = QuoteFor(id.value(), {1}, dh);
+  const auto channel = verifier.VerifyAndKey("tenant-fn", quote, {1}, dh);
+  EXPECT_FALSE(channel.ok());
+  EXPECT_EQ(channel.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_NE(channel.status().message().find("measurement mismatch"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, HostileOsAlteringRulesDetected) {
+  // The OS swaps the tenant's switch rule for one steering traffic away.
+  FunctionImage tampered = Image();
+  tampered.switch_rules.clear();
+  net::SwitchRule hostile;
+  hostile.dst_port = 1;  // not what the tenant asked for
+  tampered.switch_rules.push_back(hostile);
+  const auto id = nic_os_.NfCreate(tampered);
+  ASSERT_TRUE(id.ok());
+
+  Verifier verifier(vendor_.public_key());
+  verifier.ExpectFunction(
+      "tenant-fn", ExpectedMeasurement(Image(), device_.config().page_bytes));
+  crypto::DhParticipant dh(crypto::SmallTestGroup(), rng_);
+  const auto quote = QuoteFor(id.value(), {2}, dh);
+  EXPECT_FALSE(verifier.VerifyAndKey("tenant-fn", quote, {2}, dh).ok());
+}
+
+TEST_F(VerifierTest, FlippedImageByteDetected) {
+  FunctionImage flipped = Image();
+  flipped.code_and_data[123] ^= 1;
+  const auto id = nic_os_.NfCreate(flipped);
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(ExpectedMeasurement(Image(), device_.config().page_bytes),
+            device_.MeasurementOf(id.value()).value());
+}
+
+TEST_F(VerifierTest, UnknownFunctionRejected) {
+  Verifier verifier(vendor_.public_key());
+  crypto::DhParticipant dh(crypto::SmallTestGroup(), rng_);
+  const auto id = nic_os_.NfCreate(Image());
+  ASSERT_TRUE(id.ok());
+  const auto quote = QuoteFor(id.value(), {3}, dh);
+  EXPECT_EQ(verifier.VerifyAndKey("never-registered", quote, {3}, dh)
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(VerifierTest, StaleNonceRejected) {
+  const FunctionImage image = Image();
+  const auto id = nic_os_.NfCreate(image);
+  ASSERT_TRUE(id.ok());
+  Verifier verifier(vendor_.public_key());
+  verifier.ExpectFunction(
+      image.name, ExpectedMeasurement(image, device_.config().page_bytes));
+  crypto::DhParticipant dh(crypto::SmallTestGroup(), rng_);
+  const auto quote = QuoteFor(id.value(), {7, 7}, dh);
+  // The verifier expected a different nonce (replay scenario).
+  EXPECT_EQ(verifier.VerifyAndKey(image.name, quote, {8, 8}, dh)
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace snic::mgmt
