@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bus_arbiters.dir/ablation_bus_arbiters.cc.o"
+  "CMakeFiles/ablation_bus_arbiters.dir/ablation_bus_arbiters.cc.o.d"
+  "ablation_bus_arbiters"
+  "ablation_bus_arbiters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus_arbiters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_denylist.dir/ablation_denylist.cc.o"
+  "CMakeFiles/ablation_denylist.dir/ablation_denylist.cc.o.d"
+  "ablation_denylist"
+  "ablation_denylist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_denylist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

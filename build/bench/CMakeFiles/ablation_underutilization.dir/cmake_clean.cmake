@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_underutilization.dir/ablation_underutilization.cc.o"
+  "CMakeFiles/ablation_underutilization.dir/ablation_underutilization.cc.o.d"
+  "ablation_underutilization"
+  "ablation_underutilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_underutilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_bench.dir/attacks_bench.cc.o"
+  "CMakeFiles/attacks_bench.dir/attacks_bench.cc.o.d"
+  "attacks_bench"
+  "attacks_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_ipc_vs_cache.dir/fig5a_ipc_vs_cache.cc.o"
+  "CMakeFiles/fig5a_ipc_vs_cache.dir/fig5a_ipc_vs_cache.cc.o.d"
+  "fig5a_ipc_vs_cache"
+  "fig5a_ipc_vs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_ipc_vs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_ipc_vs_cotenancy.dir/fig5b_ipc_vs_cotenancy.cc.o"
+  "CMakeFiles/fig5b_ipc_vs_cotenancy.dir/fig5b_ipc_vs_cotenancy.cc.o.d"
+  "fig5b_ipc_vs_cotenancy"
+  "fig5b_ipc_vs_cotenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_ipc_vs_cotenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_instruction_latency.dir/fig6_instruction_latency.cc.o"
+  "CMakeFiles/fig6_instruction_latency.dir/fig6_instruction_latency.cc.o.d"
+  "fig6_instruction_latency"
+  "fig6_instruction_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_instruction_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_monitor_timeseries.dir/fig7_monitor_timeseries.cc.o"
+  "CMakeFiles/fig7_monitor_timeseries.dir/fig7_monitor_timeseries.cc.o.d"
+  "fig7_monitor_timeseries"
+  "fig7_monitor_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_monitor_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

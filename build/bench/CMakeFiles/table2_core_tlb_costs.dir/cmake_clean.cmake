@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_core_tlb_costs.dir/table2_core_tlb_costs.cc.o"
+  "CMakeFiles/table2_core_tlb_costs.dir/table2_core_tlb_costs.cc.o.d"
+  "table2_core_tlb_costs"
+  "table2_core_tlb_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_core_tlb_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

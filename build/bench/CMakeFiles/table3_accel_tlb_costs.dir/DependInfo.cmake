@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_accel_tlb_costs.cc" "bench/CMakeFiles/table3_accel_tlb_costs.dir/table3_accel_tlb_costs.cc.o" "gcc" "bench/CMakeFiles/table3_accel_tlb_costs.dir/table3_accel_tlb_costs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/snic_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/snic_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/snic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/snic_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/snic_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_vpp_dma_tlb_costs.dir/table4_vpp_dma_tlb_costs.cc.o"
+  "CMakeFiles/table4_vpp_dma_tlb_costs.dir/table4_vpp_dma_tlb_costs.cc.o.d"
+  "table4_vpp_dma_tlb_costs"
+  "table4_vpp_dma_tlb_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vpp_dma_tlb_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

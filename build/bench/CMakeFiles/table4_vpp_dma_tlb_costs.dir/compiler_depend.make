@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_vpp_dma_tlb_costs.
+# This may be replaced when dependencies are built.

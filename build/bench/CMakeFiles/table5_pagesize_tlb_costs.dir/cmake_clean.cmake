@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pagesize_tlb_costs.dir/table5_pagesize_tlb_costs.cc.o"
+  "CMakeFiles/table5_pagesize_tlb_costs.dir/table5_pagesize_tlb_costs.cc.o.d"
+  "table5_pagesize_tlb_costs"
+  "table5_pagesize_tlb_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pagesize_tlb_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_pagesize_tlb_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_nf_memory_profiles.dir/table6_nf_memory_profiles.cc.o"
+  "CMakeFiles/table6_nf_memory_profiles.dir/table6_nf_memory_profiles.cc.o.d"
+  "table6_nf_memory_profiles"
+  "table6_nf_memory_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_nf_memory_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_nf_memory_profiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_analysis.dir/tco_analysis.cc.o"
+  "CMakeFiles/tco_analysis.dir/tco_analysis.cc.o.d"
+  "tco_analysis"
+  "tco_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_chain.dir/function_chain.cpp.o"
+  "CMakeFiles/function_chain.dir/function_chain.cpp.o.d"
+  "function_chain"
+  "function_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_gallery.dir/nf_gallery.cpp.o"
+  "CMakeFiles/nf_gallery.dir/nf_gallery.cpp.o.d"
+  "nf_gallery"
+  "nf_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

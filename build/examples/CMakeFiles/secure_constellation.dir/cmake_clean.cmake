@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_constellation.dir/secure_constellation.cpp.o"
+  "CMakeFiles/secure_constellation.dir/secure_constellation.cpp.o.d"
+  "secure_constellation"
+  "secure_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/snic_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/snic_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/aho_corasick.cc" "src/accel/CMakeFiles/snic_accel.dir/aho_corasick.cc.o" "gcc" "src/accel/CMakeFiles/snic_accel.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/accel/crypto_coproc.cc" "src/accel/CMakeFiles/snic_accel.dir/crypto_coproc.cc.o" "gcc" "src/accel/CMakeFiles/snic_accel.dir/crypto_coproc.cc.o.d"
+  "/root/repo/src/accel/raid.cc" "src/accel/CMakeFiles/snic_accel.dir/raid.cc.o" "gcc" "src/accel/CMakeFiles/snic_accel.dir/raid.cc.o.d"
+  "/root/repo/src/accel/zip.cc" "src/accel/CMakeFiles/snic_accel.dir/zip.cc.o" "gcc" "src/accel/CMakeFiles/snic_accel.dir/zip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snic_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

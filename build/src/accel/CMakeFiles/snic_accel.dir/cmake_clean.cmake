@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_accel.dir/accelerator.cc.o"
+  "CMakeFiles/snic_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/snic_accel.dir/aho_corasick.cc.o"
+  "CMakeFiles/snic_accel.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/snic_accel.dir/crypto_coproc.cc.o"
+  "CMakeFiles/snic_accel.dir/crypto_coproc.cc.o.d"
+  "CMakeFiles/snic_accel.dir/raid.cc.o"
+  "CMakeFiles/snic_accel.dir/raid.cc.o.d"
+  "CMakeFiles/snic_accel.dir/zip.cc.o"
+  "CMakeFiles/snic_accel.dir/zip.cc.o.d"
+  "libsnic_accel.a"
+  "libsnic_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

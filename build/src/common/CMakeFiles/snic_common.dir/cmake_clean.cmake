@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_common.dir/stats.cc.o"
+  "CMakeFiles/snic_common.dir/stats.cc.o.d"
+  "CMakeFiles/snic_common.dir/status.cc.o"
+  "CMakeFiles/snic_common.dir/status.cc.o.d"
+  "CMakeFiles/snic_common.dir/table_printer.cc.o"
+  "CMakeFiles/snic_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/snic_common.dir/zipf.cc.o"
+  "CMakeFiles/snic_common.dir/zipf.cc.o.d"
+  "libsnic_common.a"
+  "libsnic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

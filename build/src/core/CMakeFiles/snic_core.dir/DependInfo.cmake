@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacks.cc" "src/core/CMakeFiles/snic_core.dir/attacks.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/attacks.cc.o.d"
+  "/root/repo/src/core/attestation.cc" "src/core/CMakeFiles/snic_core.dir/attestation.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/attestation.cc.o.d"
+  "/root/repo/src/core/attestation_wire.cc" "src/core/CMakeFiles/snic_core.dir/attestation_wire.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/attestation_wire.cc.o.d"
+  "/root/repo/src/core/chaining.cc" "src/core/CMakeFiles/snic_core.dir/chaining.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/chaining.cc.o.d"
+  "/root/repo/src/core/denylist.cc" "src/core/CMakeFiles/snic_core.dir/denylist.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/denylist.cc.o.d"
+  "/root/repo/src/core/dpi_device.cc" "src/core/CMakeFiles/snic_core.dir/dpi_device.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/dpi_device.cc.o.d"
+  "/root/repo/src/core/liquidio_kernel.cc" "src/core/CMakeFiles/snic_core.dir/liquidio_kernel.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/liquidio_kernel.cc.o.d"
+  "/root/repo/src/core/mips_segments.cc" "src/core/CMakeFiles/snic_core.dir/mips_segments.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/mips_segments.cc.o.d"
+  "/root/repo/src/core/physical_memory.cc" "src/core/CMakeFiles/snic_core.dir/physical_memory.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/physical_memory.cc.o.d"
+  "/root/repo/src/core/snic_device.cc" "src/core/CMakeFiles/snic_core.dir/snic_device.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/snic_device.cc.o.d"
+  "/root/repo/src/core/tlb_sizing.cc" "src/core/CMakeFiles/snic_core.dir/tlb_sizing.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/tlb_sizing.cc.o.d"
+  "/root/repo/src/core/trustzone.cc" "src/core/CMakeFiles/snic_core.dir/trustzone.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/trustzone.cc.o.d"
+  "/root/repo/src/core/vpp.cc" "src/core/CMakeFiles/snic_core.dir/vpp.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/vpp.cc.o.d"
+  "/root/repo/src/core/watermark.cc" "src/core/CMakeFiles/snic_core.dir/watermark.cc.o" "gcc" "src/core/CMakeFiles/snic_core.dir/watermark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/snic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snic_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_core.dir/attacks.cc.o"
+  "CMakeFiles/snic_core.dir/attacks.cc.o.d"
+  "CMakeFiles/snic_core.dir/attestation.cc.o"
+  "CMakeFiles/snic_core.dir/attestation.cc.o.d"
+  "CMakeFiles/snic_core.dir/attestation_wire.cc.o"
+  "CMakeFiles/snic_core.dir/attestation_wire.cc.o.d"
+  "CMakeFiles/snic_core.dir/chaining.cc.o"
+  "CMakeFiles/snic_core.dir/chaining.cc.o.d"
+  "CMakeFiles/snic_core.dir/denylist.cc.o"
+  "CMakeFiles/snic_core.dir/denylist.cc.o.d"
+  "CMakeFiles/snic_core.dir/dpi_device.cc.o"
+  "CMakeFiles/snic_core.dir/dpi_device.cc.o.d"
+  "CMakeFiles/snic_core.dir/liquidio_kernel.cc.o"
+  "CMakeFiles/snic_core.dir/liquidio_kernel.cc.o.d"
+  "CMakeFiles/snic_core.dir/mips_segments.cc.o"
+  "CMakeFiles/snic_core.dir/mips_segments.cc.o.d"
+  "CMakeFiles/snic_core.dir/physical_memory.cc.o"
+  "CMakeFiles/snic_core.dir/physical_memory.cc.o.d"
+  "CMakeFiles/snic_core.dir/snic_device.cc.o"
+  "CMakeFiles/snic_core.dir/snic_device.cc.o.d"
+  "CMakeFiles/snic_core.dir/tlb_sizing.cc.o"
+  "CMakeFiles/snic_core.dir/tlb_sizing.cc.o.d"
+  "CMakeFiles/snic_core.dir/trustzone.cc.o"
+  "CMakeFiles/snic_core.dir/trustzone.cc.o.d"
+  "CMakeFiles/snic_core.dir/vpp.cc.o"
+  "CMakeFiles/snic_core.dir/vpp.cc.o.d"
+  "CMakeFiles/snic_core.dir/watermark.cc.o"
+  "CMakeFiles/snic_core.dir/watermark.cc.o.d"
+  "libsnic_core.a"
+  "libsnic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnic_core.a"
+)

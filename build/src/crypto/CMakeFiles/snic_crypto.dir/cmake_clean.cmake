@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_crypto.dir/bignum.cc.o"
+  "CMakeFiles/snic_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/snic_crypto.dir/diffie_hellman.cc.o"
+  "CMakeFiles/snic_crypto.dir/diffie_hellman.cc.o.d"
+  "CMakeFiles/snic_crypto.dir/drbg.cc.o"
+  "CMakeFiles/snic_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/snic_crypto.dir/keys.cc.o"
+  "CMakeFiles/snic_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/snic_crypto.dir/rsa.cc.o"
+  "CMakeFiles/snic_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/snic_crypto.dir/sha256.cc.o"
+  "CMakeFiles/snic_crypto.dir/sha256.cc.o.d"
+  "libsnic_crypto.a"
+  "libsnic_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_hwmodel.dir/tco.cc.o"
+  "CMakeFiles/snic_hwmodel.dir/tco.cc.o.d"
+  "CMakeFiles/snic_hwmodel.dir/tlb_cost.cc.o"
+  "CMakeFiles/snic_hwmodel.dir/tlb_cost.cc.o.d"
+  "libsnic_hwmodel.a"
+  "libsnic_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/autoscaler.cc" "src/mgmt/CMakeFiles/snic_mgmt.dir/autoscaler.cc.o" "gcc" "src/mgmt/CMakeFiles/snic_mgmt.dir/autoscaler.cc.o.d"
+  "/root/repo/src/mgmt/constellation.cc" "src/mgmt/CMakeFiles/snic_mgmt.dir/constellation.cc.o" "gcc" "src/mgmt/CMakeFiles/snic_mgmt.dir/constellation.cc.o.d"
+  "/root/repo/src/mgmt/dma.cc" "src/mgmt/CMakeFiles/snic_mgmt.dir/dma.cc.o" "gcc" "src/mgmt/CMakeFiles/snic_mgmt.dir/dma.cc.o.d"
+  "/root/repo/src/mgmt/nic_os.cc" "src/mgmt/CMakeFiles/snic_mgmt.dir/nic_os.cc.o" "gcc" "src/mgmt/CMakeFiles/snic_mgmt.dir/nic_os.cc.o.d"
+  "/root/repo/src/mgmt/verifier.cc" "src/mgmt/CMakeFiles/snic_mgmt.dir/verifier.cc.o" "gcc" "src/mgmt/CMakeFiles/snic_mgmt.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/snic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

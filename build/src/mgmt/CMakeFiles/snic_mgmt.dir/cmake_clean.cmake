@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_mgmt.dir/autoscaler.cc.o"
+  "CMakeFiles/snic_mgmt.dir/autoscaler.cc.o.d"
+  "CMakeFiles/snic_mgmt.dir/constellation.cc.o"
+  "CMakeFiles/snic_mgmt.dir/constellation.cc.o.d"
+  "CMakeFiles/snic_mgmt.dir/dma.cc.o"
+  "CMakeFiles/snic_mgmt.dir/dma.cc.o.d"
+  "CMakeFiles/snic_mgmt.dir/nic_os.cc.o"
+  "CMakeFiles/snic_mgmt.dir/nic_os.cc.o.d"
+  "CMakeFiles/snic_mgmt.dir/verifier.cc.o"
+  "CMakeFiles/snic_mgmt.dir/verifier.cc.o.d"
+  "libsnic_mgmt.a"
+  "libsnic_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

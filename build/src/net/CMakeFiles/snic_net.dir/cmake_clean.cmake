@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_net.dir/parser.cc.o"
+  "CMakeFiles/snic_net.dir/parser.cc.o.d"
+  "CMakeFiles/snic_net.dir/switching.cc.o"
+  "CMakeFiles/snic_net.dir/switching.cc.o.d"
+  "libsnic_net.a"
+  "libsnic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

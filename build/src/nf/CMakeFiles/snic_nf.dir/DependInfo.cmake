@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/compressor.cc" "src/nf/CMakeFiles/snic_nf.dir/compressor.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/compressor.cc.o.d"
+  "/root/repo/src/nf/dpi_nf.cc" "src/nf/CMakeFiles/snic_nf.dir/dpi_nf.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/dpi_nf.cc.o.d"
+  "/root/repo/src/nf/firewall.cc" "src/nf/CMakeFiles/snic_nf.dir/firewall.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/firewall.cc.o.d"
+  "/root/repo/src/nf/lpm.cc" "src/nf/CMakeFiles/snic_nf.dir/lpm.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/lpm.cc.o.d"
+  "/root/repo/src/nf/maglev_lb.cc" "src/nf/CMakeFiles/snic_nf.dir/maglev_lb.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/maglev_lb.cc.o.d"
+  "/root/repo/src/nf/monitor.cc" "src/nf/CMakeFiles/snic_nf.dir/monitor.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/monitor.cc.o.d"
+  "/root/repo/src/nf/nat.cc" "src/nf/CMakeFiles/snic_nf.dir/nat.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/nat.cc.o.d"
+  "/root/repo/src/nf/network_function.cc" "src/nf/CMakeFiles/snic_nf.dir/network_function.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/network_function.cc.o.d"
+  "/root/repo/src/nf/nf_factory.cc" "src/nf/CMakeFiles/snic_nf.dir/nf_factory.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/nf_factory.cc.o.d"
+  "/root/repo/src/nf/nf_memory.cc" "src/nf/CMakeFiles/snic_nf.dir/nf_memory.cc.o" "gcc" "src/nf/CMakeFiles/snic_nf.dir/nf_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/snic_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snic_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_nf.dir/compressor.cc.o"
+  "CMakeFiles/snic_nf.dir/compressor.cc.o.d"
+  "CMakeFiles/snic_nf.dir/dpi_nf.cc.o"
+  "CMakeFiles/snic_nf.dir/dpi_nf.cc.o.d"
+  "CMakeFiles/snic_nf.dir/firewall.cc.o"
+  "CMakeFiles/snic_nf.dir/firewall.cc.o.d"
+  "CMakeFiles/snic_nf.dir/lpm.cc.o"
+  "CMakeFiles/snic_nf.dir/lpm.cc.o.d"
+  "CMakeFiles/snic_nf.dir/maglev_lb.cc.o"
+  "CMakeFiles/snic_nf.dir/maglev_lb.cc.o.d"
+  "CMakeFiles/snic_nf.dir/monitor.cc.o"
+  "CMakeFiles/snic_nf.dir/monitor.cc.o.d"
+  "CMakeFiles/snic_nf.dir/nat.cc.o"
+  "CMakeFiles/snic_nf.dir/nat.cc.o.d"
+  "CMakeFiles/snic_nf.dir/network_function.cc.o"
+  "CMakeFiles/snic_nf.dir/network_function.cc.o.d"
+  "CMakeFiles/snic_nf.dir/nf_factory.cc.o"
+  "CMakeFiles/snic_nf.dir/nf_factory.cc.o.d"
+  "CMakeFiles/snic_nf.dir/nf_memory.cc.o"
+  "CMakeFiles/snic_nf.dir/nf_memory.cc.o.d"
+  "libsnic_nf.a"
+  "libsnic_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

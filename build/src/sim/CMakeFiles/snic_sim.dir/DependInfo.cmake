@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cc" "src/sim/CMakeFiles/snic_sim.dir/bus.cc.o" "gcc" "src/sim/CMakeFiles/snic_sim.dir/bus.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/snic_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/snic_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/sim/CMakeFiles/snic_sim.dir/replay.cc.o" "gcc" "src/sim/CMakeFiles/snic_sim.dir/replay.cc.o.d"
+  "/root/repo/src/sim/secdcp.cc" "src/sim/CMakeFiles/snic_sim.dir/secdcp.cc.o" "gcc" "src/sim/CMakeFiles/snic_sim.dir/secdcp.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/snic_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/snic_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

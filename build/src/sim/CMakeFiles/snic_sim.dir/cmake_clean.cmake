@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_sim.dir/bus.cc.o"
+  "CMakeFiles/snic_sim.dir/bus.cc.o.d"
+  "CMakeFiles/snic_sim.dir/cache.cc.o"
+  "CMakeFiles/snic_sim.dir/cache.cc.o.d"
+  "CMakeFiles/snic_sim.dir/replay.cc.o"
+  "CMakeFiles/snic_sim.dir/replay.cc.o.d"
+  "CMakeFiles/snic_sim.dir/secdcp.cc.o"
+  "CMakeFiles/snic_sim.dir/secdcp.cc.o.d"
+  "CMakeFiles/snic_sim.dir/tlb.cc.o"
+  "CMakeFiles/snic_sim.dir/tlb.cc.o.d"
+  "libsnic_sim.a"
+  "libsnic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snic_trace.dir/trace_gen.cc.o"
+  "CMakeFiles/snic_trace.dir/trace_gen.cc.o.d"
+  "CMakeFiles/snic_trace.dir/trace_io.cc.o"
+  "CMakeFiles/snic_trace.dir/trace_io.cc.o.d"
+  "libsnic_trace.a"
+  "libsnic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

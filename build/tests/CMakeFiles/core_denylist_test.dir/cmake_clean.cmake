@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_denylist_test.dir/core_denylist_test.cc.o"
+  "CMakeFiles/core_denylist_test.dir/core_denylist_test.cc.o.d"
+  "core_denylist_test"
+  "core_denylist_test.pdb"
+  "core_denylist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_denylist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tlb_sizing_test.dir/core_tlb_sizing_test.cc.o"
+  "CMakeFiles/core_tlb_sizing_test.dir/core_tlb_sizing_test.cc.o.d"
+  "core_tlb_sizing_test"
+  "core_tlb_sizing_test.pdb"
+  "core_tlb_sizing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tlb_sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vpp_test.dir/core_vpp_test.cc.o"
+  "CMakeFiles/core_vpp_test.dir/core_vpp_test.cc.o.d"
+  "core_vpp_test"
+  "core_vpp_test.pdb"
+  "core_vpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquidio_kernel_test.dir/liquidio_kernel_test.cc.o"
+  "CMakeFiles/liquidio_kernel_test.dir/liquidio_kernel_test.cc.o.d"
+  "liquidio_kernel_test"
+  "liquidio_kernel_test.pdb"
+  "liquidio_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquidio_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_bus_test.dir/sim_bus_test.cc.o"
+  "CMakeFiles/sim_bus_test.dir/sim_bus_test.cc.o.d"
+  "sim_bus_test"
+  "sim_bus_test.pdb"
+  "sim_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

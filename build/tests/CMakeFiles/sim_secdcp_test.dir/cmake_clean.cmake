@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_secdcp_test.dir/sim_secdcp_test.cc.o"
+  "CMakeFiles/sim_secdcp_test.dir/sim_secdcp_test.cc.o.d"
+  "sim_secdcp_test"
+  "sim_secdcp_test.pdb"
+  "sim_secdcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_secdcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

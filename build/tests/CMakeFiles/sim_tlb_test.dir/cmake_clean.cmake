@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tlb_test.dir/sim_tlb_test.cc.o"
+  "CMakeFiles/sim_tlb_test.dir/sim_tlb_test.cc.o.d"
+  "sim_tlb_test"
+  "sim_tlb_test.pdb"
+  "sim_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trustzone_test.dir/trustzone_test.cc.o"
+  "CMakeFiles/trustzone_test.dir/trustzone_test.cc.o.d"
+  "trustzone_test"
+  "trustzone_test.pdb"
+  "trustzone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trustzone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

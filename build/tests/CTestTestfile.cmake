@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_secdcp_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/accel_test[1]_include.cmake")
+include("/root/repo/build/tests/nf_test[1]_include.cmake")
+include("/root/repo/build/tests/hwmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_device_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tlb_sizing_test[1]_include.cmake")
+include("/root/repo/build/tests/core_denylist_test[1]_include.cmake")
+include("/root/repo/build/tests/core_vpp_test[1]_include.cmake")
+include("/root/repo/build/tests/attestation_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/mgmt_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/trustzone_test[1]_include.cmake")
+include("/root/repo/build/tests/liquidio_kernel_test[1]_include.cmake")
