@@ -20,6 +20,17 @@ inline bool QuickMode(int argc, char** argv) {
   return false;
 }
 
+// Value of a `--name=<value>` flag; empty string when the flag is absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& name) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return {};
+}
+
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title.c_str());

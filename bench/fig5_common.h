@@ -49,22 +49,41 @@ inline std::array<sim::InstructionTrace, kNumNfs> RecordNfTraces(
 }
 
 // Replays one colocation mix under baseline and S-NIC configurations and
-// returns the per-core IPC degradation.
+// returns the per-core IPC degradation. When `metrics` / `trace` are set the
+// two replays publish their series with a `config=baseline` / `config=snic`
+// label (trace lanes for the S-NIC run sit above the baseline's).
 inline std::vector<double> DegradationForMix(
     const std::array<sim::InstructionTrace, kNumNfs>& traces,
-    const std::vector<size_t>& mix_kinds, uint64_t l2_bytes) {
+    const std::vector<size_t>& mix_kinds, uint64_t l2_bytes,
+    obs::MetricRegistry* metrics = nullptr, obs::TraceLog* trace = nullptr) {
   std::vector<const sim::InstructionTrace*> mix;
   mix.reserve(mix_kinds.size());
   for (size_t kind : mix_kinds) {
     mix.push_back(&traces[kind]);
   }
   const auto cores = static_cast<uint32_t>(mix.size());
+  sim::ReplayObs baseline_obs;
+  sim::ReplayObs secure_obs;
+  const sim::ReplayObs* baseline_hooks = nullptr;
+  const sim::ReplayObs* secure_hooks = nullptr;
+  if (metrics != nullptr || trace != nullptr) {
+    baseline_obs.metrics = metrics;
+    baseline_obs.trace = trace;
+    baseline_obs.labels.emplace_back("config", "baseline");
+    baseline_obs.trace_pid_base = 0;
+    secure_obs.metrics = metrics;
+    secure_obs.trace = trace;
+    secure_obs.labels.emplace_back("config", "snic");
+    secure_obs.trace_pid_base = cores + 1;  // own lanes above the baseline's
+    baseline_hooks = &baseline_obs;
+    secure_hooks = &secure_obs;
+  }
   const auto baseline = sim::Replay(
       sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/false), mix,
-      /*warmup_fraction=*/0.3);
+      /*warmup_fraction=*/0.3, baseline_hooks);
   const auto secure = sim::Replay(
       sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/true), mix,
-      /*warmup_fraction=*/0.3);
+      /*warmup_fraction=*/0.3, secure_hooks);
   std::vector<double> degradation(mix.size());
   for (size_t c = 0; c < mix.size(); ++c) {
     degradation[c] = 1.0 - secure.cores[c].Ipc() / baseline.cores[c].Ipc();

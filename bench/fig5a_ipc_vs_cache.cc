@@ -3,11 +3,14 @@
 // (and p1/p99) is taken over every possible partner pairing.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/fig5_common.h"
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 
 int main(int argc, char** argv) {
   const bool quick = snic::bench::QuickMode(argc, argv);
@@ -16,6 +19,18 @@ int main(int argc, char** argv) {
 
   PrintHeader("Fig. 5a: IPC degradation vs L2 cache size (2 colocated NFs)",
               "S-NIC (EuroSys'24) Figure 5a");
+
+  // --metrics-out=<file>: JSON snapshot of every replay series (per-core
+  // L1/L2 hit+miss counters, per-domain bus wait-cycle histograms, ...).
+  // --trace-out=<file>: Chrome-trace spans for the first replayed pair.
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
+  // The global registry already holds the nf.* series the NFs published
+  // while their traces were recorded; replay series join them there.
+  obs::MetricRegistry& metrics = obs::GlobalRegistry();
+  obs::TraceLog trace;
+  obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
+  obs::TraceLog* trace_sink = trace_out.empty() ? nullptr : &trace;
 
   const size_t events = quick ? 20'000 : 120'000;
   std::printf("Recording NF traces (%zu events/NF, Zipf 1.1 over 100k flows)"
@@ -35,7 +50,11 @@ int main(int argc, char** argv) {
     std::array<SampleSet, kNumNfs> samples;
     for (size_t i = 0; i < kNumNfs; ++i) {
       for (size_t j = i; j < kNumNfs; ++j) {
-        const auto degradation = DegradationForMix(traces, {i, j}, l2);
+        const auto degradation =
+            DegradationForMix(traces, {i, j}, l2, metrics_sink, trace_sink);
+        // Trace lanes restart at cycle 0 per replay, so only the first pair
+        // is traced; metrics keep accumulating across the whole sweep.
+        trace_sink = nullptr;
         samples[i].Add(degradation[0] * 100.0);
         samples[j].Add(degradation[1] * 100.0);
       }
@@ -53,6 +72,24 @@ int main(int argc, char** argv) {
       "Values are median IPC-degradation %% across all partner pairings.\n"
       "Paper shape: degradation rises as L2 shrinks; FW/DPI/NAT suffer most\n"
       "(larger working sets); at 4MB with 2 NFs the median is ~0.24%%.\n");
+  if (!metrics_out.empty()) {
+    if (metrics.WriteJsonFile(metrics_out).ok()) {
+      std::printf("Wrote metrics snapshot (%zu series) to %s\n",
+                  metrics.NumSeries(), metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "Failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (trace.WriteFile(trace_out).ok()) {
+      std::printf("Wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
+                  trace.size(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "Failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
   (void)kinds;
   return 0;
 }

@@ -5,12 +5,14 @@
 // 3.41% @8, 9.44% @16).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/fig5_common.h"
 #include "src/common/rng.h"
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 
 int main(int argc, char** argv) {
   const bool quick = snic::bench::QuickMode(argc, argv);
@@ -19,6 +21,10 @@ int main(int argc, char** argv) {
 
   PrintHeader("Fig. 5b: IPC degradation vs co-tenancy (4MB L2)",
               "S-NIC (EuroSys'24) Figure 5b");
+
+  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  obs::MetricRegistry& metrics = obs::GlobalRegistry();
+  obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
 
   const size_t events = quick ? 20'000 : 120'000;
   std::printf("Recording NF traces (%zu events/NF)...\n\n", events);
@@ -41,7 +47,7 @@ int main(int argc, char** argv) {
         kind = rng.NextBounded(kNumNfs);
       }
       const auto degradation =
-          DegradationForMix(traces, mix, MiB(4));
+          DegradationForMix(traces, mix, MiB(4), metrics_sink);
       for (size_t c = 0; c < mix.size(); ++c) {
         per_nf[mix[c]].Add(degradation[c] * 100.0);
         all.Add(degradation[c] * 100.0);
@@ -62,5 +68,14 @@ int main(int argc, char** argv) {
       "Paper reference (median / p99 across colocations): 2 NFs 0.24%%;\n"
       "4 NFs 0.93%% / 1.66%%; 8 NFs 3.41%% / 5.12%%; 16 NFs 9.44%% / 13.71%%.\n"
       "Shape to verify: monotone growth with co-tenancy; FW/DPI/NAT worst.\n");
+  if (!metrics_out.empty()) {
+    if (metrics.WriteJsonFile(metrics_out).ok()) {
+      std::printf("Wrote metrics snapshot (%zu series) to %s\n",
+                  metrics.NumSeries(), metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "Failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

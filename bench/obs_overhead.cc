@@ -1,0 +1,119 @@
+// Measures the runtime cost of the observability layer on the Fig. 5a hot
+// path: the same colocation replay is timed with no obs hooks (the
+// SNIC_OBS_DISABLED proxy: every instrumentation site degrades to a
+// null-pointer check) and with a live metrics registry attached. The
+// acceptance bar is <2% slowdown; results land in BENCH_obs_overhead.json.
+//
+// Tracing is measured separately and has no budget: it allocates an event
+// per DRAM round trip and is meant for targeted runs, not always-on use.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fig5_common.h"
+#include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = snic::bench::QuickMode(argc, argv);
+  using namespace snic;
+  using namespace snic::bench;
+
+  PrintHeader("Observability overhead on the Fig. 5a replay path",
+              "instrumentation budget: <2% vs uninstrumented");
+
+  const size_t events = quick ? 20'000 : 120'000;
+  const size_t reps = quick ? 5 : 9;
+  std::printf("Recording NF traces (%zu events/NF, %zu timed reps)...\n\n",
+              events, reps);
+  const auto traces = RecordNfTraces(events, 2024);
+
+  // The full Fig. 5a inner loop at one cache size: every unordered NF pair,
+  // replayed under both configurations.
+  auto sweep = [&traces](obs::MetricRegistry* metrics, obs::TraceLog* trace) {
+    double checksum = 0.0;
+    for (size_t i = 0; i < kNumNfs; ++i) {
+      for (size_t j = i; j < kNumNfs; ++j) {
+        const auto degradation =
+            DegradationForMix(traces, {i, j}, KiB(512), metrics, trace);
+        checksum += degradation[0] + degradation[1];
+      }
+    }
+    return checksum;
+  };
+  auto timed = [&sweep, reps](obs::MetricRegistry* metrics,
+                              obs::TraceLog* trace) {
+    std::vector<double> samples;
+    samples.reserve(reps);
+    double checksum = 0.0;
+    for (size_t r = 0; r < reps; ++r) {
+      if (metrics != nullptr) {
+        metrics->ResetAll();
+      }
+      if (trace != nullptr) {
+        trace->Clear();
+      }
+      const auto start = Clock::now();
+      checksum += sweep(metrics, trace);
+      const auto stop = Clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+    std::printf("  (checksum %.6f)\n", checksum);
+    return MedianMs(std::move(samples));
+  };
+
+  std::printf("Timing uninstrumented sweeps...\n");
+  const double base_ms = timed(nullptr, nullptr);
+  std::printf("Timing metrics-instrumented sweeps...\n");
+  obs::MetricRegistry metrics;
+  const double metrics_ms = timed(&metrics, nullptr);
+  std::printf("Timing metrics+trace sweeps...\n");
+  obs::TraceLog trace;
+  const double trace_ms = timed(&metrics, &trace);
+
+  const double metrics_pct = (metrics_ms / base_ms - 1.0) * 100.0;
+  const double trace_pct = (trace_ms / base_ms - 1.0) * 100.0;
+  std::printf("\nmedian sweep: uninstrumented %.1f ms, metrics %.1f ms "
+              "(%+.2f%%), metrics+trace %.1f ms (%+.2f%%)\n",
+              base_ms, metrics_ms, metrics_pct, trace_ms, trace_pct);
+  std::printf("budget: metrics overhead must stay below 2%%  ->  %s\n",
+              metrics_pct < 2.0 ? "PASS" : "FAIL");
+
+  const std::string out_path = [&] {
+    const std::string flag = FlagValue(argc, argv, "--out");
+    return flag.empty() ? std::string("BENCH_obs_overhead.json") : flag;
+  }();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"obs_overhead\",\"events_per_nf\":%zu,"
+               "\"reps\":%zu,\"uninstrumented_ms\":%.3f,"
+               "\"metrics_ms\":%.3f,\"metrics_overhead_pct\":%.3f,"
+               "\"metrics_trace_ms\":%.3f,\"trace_overhead_pct\":%.3f,"
+               "\"budget_pct\":2.0,\"pass\":%s}\n",
+               events, reps, base_ms, metrics_ms, metrics_pct, trace_ms,
+               trace_pct, metrics_pct < 2.0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return metrics_pct < 2.0 ? 0 : 1;
+}

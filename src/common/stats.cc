@@ -2,23 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/status.h"
 
 namespace snic {
 
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+void SampleSet::Add(double v) {
+  if (std::isnan(v)) {
+    ++nan_dropped_;
+    return;
+  }
+  samples_.push_back(v);
+}
+
 double SampleSet::Min() const {
-  SNIC_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return kNan;
+  }
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleSet::Max() const {
-  SNIC_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return kNan;
+  }
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double SampleSet::Mean() const {
-  SNIC_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return kNan;
+  }
   double acc = 0.0;
   for (double v : samples_) {
     acc += v;
@@ -27,7 +46,9 @@ double SampleSet::Mean() const {
 }
 
 double SampleSet::Percentile(double p) const {
-  SNIC_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return kNan;
+  }
   SNIC_CHECK(p >= 0.0 && p <= 100.0);
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -60,6 +81,10 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
 }
 
 void Histogram::Add(double v) {
+  if (std::isnan(v)) {
+    ++nan_count_;
+    return;
+  }
   const double span = hi_ - lo_;
   double pos = (v - lo_) / span * static_cast<double>(counts_.size());
   if (pos < 0.0) {

@@ -13,19 +13,25 @@
 namespace snic {
 
 // Accumulates samples; computes order statistics on demand.
+//
+// Defined edge-case behavior (the metrics layer queries possibly-empty
+// series): NaN inputs are dropped (and counted via nan_dropped()); Min / Max
+// / Mean / Percentile on an empty set return quiet NaN rather than aborting.
 class SampleSet {
  public:
-  void Add(double v) { samples_.push_back(v); }
+  void Add(double v);
 
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  // NaN inputs rejected by Add since construction.
+  uint64_t nan_dropped() const { return nan_dropped_; }
 
-  double Min() const;
-  double Max() const;
-  double Mean() const;
+  double Min() const;   // NaN when empty
+  double Max() const;   // NaN when empty
+  double Mean() const;  // NaN when empty
   double Median() const { return Percentile(50.0); }
 
-  // Linear-interpolated percentile, p in [0, 100].
+  // Linear-interpolated percentile, p in [0, 100]; NaN when empty.
   double Percentile(double p) const;
 
   // Sample standard deviation (n-1 denominator); 0 for n < 2.
@@ -35,10 +41,12 @@ class SampleSet {
 
  private:
   std::vector<double> samples_;
+  uint64_t nan_dropped_ = 0;
 };
 
 // Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
-// edge buckets. Used by trace statistics and the bus-interference ablation.
+// edge buckets, NaN samples are dropped and counted separately. Used by
+// trace statistics, the metrics layer, and the bus-interference ablation.
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t buckets);
@@ -47,6 +55,7 @@ class Histogram {
   uint64_t BucketCount(size_t i) const { return counts_[i]; }
   size_t NumBuckets() const { return counts_.size(); }
   uint64_t TotalCount() const { return total_; }
+  uint64_t NanCount() const { return nan_count_; }
   double BucketLow(size_t i) const;
 
  private:
@@ -54,6 +63,7 @@ class Histogram {
   double hi_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t nan_count_ = 0;
 };
 
 }  // namespace snic

@@ -30,6 +30,22 @@ SnicDevice::SnicDevice(const SnicConfig& config,
       root_of_trust_(vendor, config.rsa_modulus_bits, rng_) {
   SNIC_CHECK(config_.num_cores >= 2);  // NIC-OS core + at least one NF core
   SNIC_CHECK(config_.num_cores <= 64);
+  SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+}
+
+void SnicDevice::AttachObs(obs::MetricRegistry* registry) {
+  SNIC_OBS({
+    obs_registry_ = registry;
+    obs_launches_ = &registry->GetCounter("snic.nf.launches");
+    obs_launch_failures_ = &registry->GetCounter("snic.nf.launch_failures");
+    obs_teardowns_ = &registry->GetCounter("snic.nf.teardowns");
+    obs_attests_ = &registry->GetCounter("snic.nf.attests");
+    obs_denylist_rejections_ =
+        &registry->GetCounter("snic.denylist.rejections");
+    obs_unmatched_drops_ = &registry->GetCounter("snic.rx.unmatched_drops");
+    obs_live_nfs_ = &registry->GetGauge("snic.nf.live");
+  });
+  (void)registry;
 }
 
 Result<const SnicDevice::NfRecord*> SnicDevice::FindNf(uint64_t nf_id) const {
@@ -81,6 +97,7 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
     return FailedPrecondition("nf_launch requires S-NIC mode");
   }
   if (Status check = CheckLaunchArgs(args); !check.ok()) {
+    SNIC_OBS(if (obs_launch_failures_ != nullptr) obs_launch_failures_->Inc());
     return check;
   }
   // Reserve accelerator clusters first (atomic failure path: nothing else
@@ -95,6 +112,8 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
                                           args.accel_clusters[t], nf_id);
     if (!allocated.ok()) {
       accel_pool_.ReleaseAll(nf_id);
+      SNIC_OBS(
+          if (obs_launch_failures_ != nullptr) obs_launch_failures_->Inc());
       return allocated.status();
     }
     clusters[t] = std::move(allocated.value());
@@ -106,6 +125,8 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
     auto heap = memory_.AllocatePages(args.heap_pages, nf_id);
     if (!heap.ok()) {
       accel_pool_.ReleaseAll(nf_id);
+      SNIC_OBS(
+          if (obs_launch_failures_ != nullptr) obs_launch_failures_->Inc());
       return heap.status();
     }
     pages.insert(pages.end(), heap.value().begin(), heap.value().end());
@@ -114,6 +135,11 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
   // Commit: build the record.
   ++next_nf_id_;
   auto record = std::make_unique<NfRecord>(nf_id, config_.core_tlb_entries);
+  SNIC_OBS(if (obs_registry_ != nullptr) {
+    obs::Labels tlb_labels;
+    tlb_labels.emplace_back("nf_id", std::to_string(nf_id));
+    record->tlb.AttachObs(obs_registry_, tlb_labels);
+  });
   record->core_mask = args.core_mask;
   record->pages = pages;
   record->clusters = clusters;
@@ -187,6 +213,14 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
   record->vpp = std::make_unique<VirtualPacketPipeline>(nf_id, args.vpp);
 
   nfs_[nf_id] = std::move(record);
+  SNIC_OBS({
+    if (obs_launches_ != nullptr) {
+      obs_launches_->Inc();
+    }
+    if (obs_live_nfs_ != nullptr) {
+      obs_live_nfs_->Set(static_cast<double>(nfs_.size()));
+    }
+  });
   return nf_id;
 }
 
@@ -217,6 +251,14 @@ Status SnicDevice::NfTeardown(uint64_t nf_id) {
   core_allocation_mask_ &= ~record->core_mask;
   accel_pool_.ReleaseAll(nf_id);
   nfs_.erase(nf_id);
+  SNIC_OBS({
+    if (obs_teardowns_ != nullptr) {
+      obs_teardowns_->Inc();
+    }
+    if (obs_live_nfs_ != nullptr) {
+      obs_live_nfs_->Set(static_cast<double>(nfs_.size()));
+    }
+  });
   return OkStatus();
 }
 
@@ -241,6 +283,7 @@ Result<AttestationQuote> SnicDevice::NfAttest(uint64_t nf_id,
   coproc_.AccountRsaSign();
   quote.signature = root_of_trust_.SignWithAk(
       std::span<const uint8_t>(payload.data(), payload.size()));
+  SNIC_OBS(if (obs_attests_ != nullptr) obs_attests_->Inc());
   quote.ak_public = root_of_trust_.ak_public();
   quote.ak_endorsement = root_of_trust_.ak_endorsement();
   quote.ek_certificate = root_of_trust_.ek_certificate();
@@ -314,6 +357,9 @@ Result<uint8_t> SnicDevice::MgmtReadPhys(uint64_t paddr) const {
   }
   if (config_.mode == SecurityMode::kSnic &&
       mgmt_denylist_->IsDenied(paddr / memory_.page_bytes())) {
+    SNIC_OBS(if (obs_denylist_rejections_ != nullptr) {
+      obs_denylist_rejections_->Inc();
+    });
     return PermissionDenied("denylisted page (owned by a live NF)");
   }
   return memory_.ReadByte(paddr);
@@ -325,6 +371,9 @@ Status SnicDevice::MgmtWritePhys(uint64_t paddr, uint8_t value) {
   }
   if (config_.mode == SecurityMode::kSnic &&
       mgmt_denylist_->IsDenied(paddr / memory_.page_bytes())) {
+    SNIC_OBS(if (obs_denylist_rejections_ != nullptr) {
+      obs_denylist_rejections_->Inc();
+    });
     return PermissionDenied("denylisted page (owned by a live NF)");
   }
   memory_.WriteByte(paddr, value);
@@ -364,6 +413,9 @@ Status SnicDevice::DeliverFromWire(net::Packet packet) {
   const auto parsed = net::Parse(packet.bytes());
   if (!parsed.ok()) {
     ++unmatched_rx_drops_;
+    SNIC_OBS(if (obs_unmatched_drops_ != nullptr) {
+      obs_unmatched_drops_->Inc();
+    });
     return parsed.status();
   }
   for (auto& [id, record] : nfs_) {
@@ -372,6 +424,9 @@ Status SnicDevice::DeliverFromWire(net::Packet packet) {
     }
   }
   ++unmatched_rx_drops_;
+  SNIC_OBS(if (obs_unmatched_drops_ != nullptr) {
+    obs_unmatched_drops_->Inc();
+  });
   return NotFound("no switch rule matched");
 }
 

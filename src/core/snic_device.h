@@ -35,6 +35,7 @@
 #include "src/core/vpp.h"
 #include "src/crypto/keys.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
 #include "src/sim/tlb.h"
 
 namespace snic::core {
@@ -169,6 +170,12 @@ class SnicDevice {
   // Free core count (excludes the NIC-OS core in S-NIC mode).
   uint32_t FreeCores() const;
 
+  // Points the trusted-instruction counters (`snic.nf.launches`,
+  // `snic.nf.teardowns`, `snic.nf.attests`, `snic.denylist.rejections`,
+  // `snic.rx.unmatched_drops`, ...) at `registry`. The constructor attaches
+  // to obs::GlobalRegistry() by default; pass a private registry in tests.
+  void AttachObs(obs::MetricRegistry* registry);
+
  private:
   struct NfRecord {
     uint64_t id;
@@ -202,6 +209,15 @@ class SnicDevice {
   uint64_t unmatched_rx_drops_ = 0;
   LaunchLatency launch_latency_;
   TeardownLatency teardown_latency_;
+
+  obs::MetricRegistry* obs_registry_ = nullptr;
+  obs::Counter* obs_launches_ = nullptr;
+  obs::Counter* obs_launch_failures_ = nullptr;
+  obs::Counter* obs_teardowns_ = nullptr;
+  obs::Counter* obs_attests_ = nullptr;
+  obs::Counter* obs_denylist_rejections_ = nullptr;
+  obs::Counter* obs_unmatched_drops_ = nullptr;
+  obs::Gauge* obs_live_nfs_ = nullptr;
 };
 
 }  // namespace snic::core

@@ -53,8 +53,27 @@ Result<uint64_t> NicOs::PickCores(uint32_t count) const {
   return mask;
 }
 
+void NicOs::AttachObs(obs::MetricRegistry* registry) {
+  SNIC_OBS({
+    obs_create_ok_ = &registry->GetCounter("mgmt.nf_create.ok");
+    obs_create_failures_ = &registry->GetCounter("mgmt.nf_create.failures");
+  });
+  (void)registry;
+}
+
 Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
+  auto count_result = [this](bool ok) {
+    SNIC_OBS({
+      obs::Counter* c = ok ? obs_create_ok_ : obs_create_failures_;
+      if (c != nullptr) {
+        c->Inc();
+      }
+    });
+    (void)this;
+    (void)ok;
+  };
   if (image.code_and_data.empty()) {
+    count_result(false);
     return InvalidArgument("function image has no code");
   }
   const uint64_t page_bytes = device_->memory().page_bytes();
@@ -65,6 +84,7 @@ Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
 
   auto cores = PickCores(image.cores);
   if (!cores.ok()) {
+    count_result(false);
     return cores.status();
   }
 
@@ -72,6 +92,7 @@ Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
   // RAM described in §4.1).
   auto staged = device_->memory().AllocatePages(image_pages, core::kPageNicOs);
   if (!staged.ok()) {
+    count_result(false);
     return staged.status();
   }
   size_t written = 0;
@@ -102,8 +123,10 @@ Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
     for (uint64_t page : staged.value()) {
       device_->memory().SetOwner(page, core::kPageFree);
     }
+    count_result(false);
     return launched.status();
   }
+  count_result(true);
   return launched;
 }
 

@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/core/snic_device.h"
 #include "src/net/switching.h"
+#include "src/obs/metrics.h"
 
 namespace snic::mgmt {
 
@@ -40,7 +41,9 @@ struct FunctionImage {
 
 class NicOs {
  public:
-  explicit NicOs(core::SnicDevice* device) : device_(device) {}
+  explicit NicOs(core::SnicDevice* device) : device_(device) {
+    SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+  }
 
   // NF_create: stage pages, pick cores, invoke nf_launch.
   Result<uint64_t> NfCreate(const FunctionImage& image);
@@ -59,11 +62,18 @@ class NicOs {
 
   core::SnicDevice& device() { return *device_; }
 
+  // Points the management-plane counters (`mgmt.nf_create.ok`,
+  // `mgmt.nf_create.failures`) at `registry`; the constructor attaches to
+  // obs::GlobalRegistry() by default.
+  void AttachObs(obs::MetricRegistry* registry);
+
  private:
   // Lowest `count` free programmable cores as a mask.
   Result<uint64_t> PickCores(uint32_t count) const;
 
   core::SnicDevice* device_;
+  obs::Counter* obs_create_ok_ = nullptr;
+  obs::Counter* obs_create_failures_ = nullptr;
 };
 
 }  // namespace snic::mgmt

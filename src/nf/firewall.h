@@ -49,6 +49,9 @@ class Firewall : public NetworkFunction {
  protected:
   Verdict HandlePacket(net::Packet& packet) override;
   ImageSections Image() const override { return {0.87, 0.08, 2.50}; }
+  uint64_t FlowTableEntries() const override {
+    return cache_ == nullptr ? 0 : cache_->size();
+  }
 
  private:
   void Init(std::vector<FirewallRule> rules, size_t cache_max_entries);

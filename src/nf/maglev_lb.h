@@ -43,6 +43,9 @@ class MaglevLb : public NetworkFunction {
  protected:
   Verdict HandlePacket(net::Packet& packet) override;
   ImageSections Image() const override { return {0.86, 0.05, 2.49}; }
+  uint64_t FlowTableEntries() const override {
+    return connections_ == nullptr ? 0 : connections_->size();
+  }
 
  private:
   void BuildTable();

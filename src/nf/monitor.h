@@ -39,6 +39,9 @@ class Monitor : public NetworkFunction {
  protected:
   Verdict HandlePacket(net::Packet& packet) override;
   ImageSections Image() const override { return {0.85, 0.05, 2.48}; }
+  uint64_t FlowTableEntries() const override {
+    return flows_ == nullptr ? 0 : flows_->size();
+  }
 
  private:
   std::unique_ptr<FlowHashMap<uint64_t>> flows_;

@@ -36,6 +36,9 @@ class Nat : public NetworkFunction {
  protected:
   Verdict HandlePacket(net::Packet& packet) override;
   ImageSections Image() const override { return {0.86, 0.05, 2.49}; }
+  uint64_t FlowTableEntries() const override {
+    return outbound_ == nullptr ? 0 : outbound_->size();
+  }
 
  private:
   // Per-mapping state mirrors MazuNAT/Click: the rewrite target plus the

@@ -19,7 +19,28 @@ Verdict NetworkFunction::Process(net::Packet& packet) {
   } else {
     ++counters_.dropped;
   }
+  SNIC_OBS(if (obs_packets_ != nullptr) {
+    obs_packets_->Inc();
+    obs_bytes_->Inc(packet.size());
+    (verdict == Verdict::kForward ? obs_forwarded_ : obs_dropped_)->Inc();
+    if (counters_.packets % kFlowGaugePeriod == 0) {
+      obs_flow_entries_->Set(static_cast<double>(FlowTableEntries()));
+    }
+  });
   return verdict;
+}
+
+void NetworkFunction::AttachObs(obs::MetricRegistry* registry) {
+  SNIC_OBS({
+    obs::Labels labels;
+    labels.emplace_back("nf", name_);
+    obs_packets_ = &registry->GetCounter("nf.packets", labels);
+    obs_forwarded_ = &registry->GetCounter("nf.forwarded", labels);
+    obs_dropped_ = &registry->GetCounter("nf.dropped", labels);
+    obs_bytes_ = &registry->GetCounter("nf.bytes", labels);
+    obs_flow_entries_ = &registry->GetGauge("nf.flow_entries", labels);
+  });
+  (void)registry;
 }
 
 void NetworkFunction::ModelDpdkInit(double staging_mib) {

@@ -16,6 +16,7 @@
 
 #include "src/net/packet.h"
 #include "src/nf/nf_memory.h"
+#include "src/obs/metrics.h"
 
 namespace snic::nf {
 
@@ -34,7 +35,9 @@ struct NfCounters {
 class NetworkFunction {
  public:
   explicit NetworkFunction(std::string name)
-      : name_(std::move(name)), arena_(name_) {}
+      : name_(std::move(name)), arena_(name_) {
+    SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+  }
   virtual ~NetworkFunction() = default;
 
   NetworkFunction(const NetworkFunction&) = delete;
@@ -54,6 +57,11 @@ class NetworkFunction {
   // The Table 6 row: modeled image sections + measured heap/stack peak.
   NfMemoryProfile Profile() const;
 
+  // Points the per-NF series (`nf.packets{nf=<name>}`, `nf.forwarded`,
+  // `nf.dropped`, `nf.bytes`, `nf.flow_entries`) at `registry`. The
+  // constructor attaches to obs::GlobalRegistry() by default.
+  void AttachObs(obs::MetricRegistry* registry);
+
  protected:
   virtual Verdict HandlePacket(net::Packet& packet) = 0;
 
@@ -67,6 +75,10 @@ class NetworkFunction {
   // ratios to exactly this.
   void ModelDpdkInit(double staging_mib);
 
+  // Live flow-table occupancy, exported as the `nf.flow_entries` gauge every
+  // kFlowGaugePeriod packets. NFs without per-flow state keep the default.
+  virtual uint64_t FlowTableEntries() const { return 0; }
+
   // Approximate per-packet framework instructions (parse, queue handling).
   static constexpr uint32_t kPerPacketOverheadInstructions = 180;
   // Modeled packet-buffer ring. Freshly DMA'd packet bytes are compulsory
@@ -78,9 +90,17 @@ class NetworkFunction {
   MemoryRecorder recorder_;
 
  private:
+  static constexpr uint64_t kFlowGaugePeriod = 1024;
+
   std::string name_;
   NfArena arena_;
   NfCounters counters_;
+
+  obs::Counter* obs_packets_ = nullptr;
+  obs::Counter* obs_forwarded_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Gauge* obs_flow_entries_ = nullptr;
 };
 
 }  // namespace snic::nf

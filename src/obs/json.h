@@ -1,0 +1,71 @@
+// Minimal zero-dependency JSON support for the observability layer.
+//
+// The exporters (metrics snapshots, Chrome trace events, bench sidecars)
+// emit JSON by string concatenation; this header provides the escaping they
+// share plus a small recursive-descent parser so the tests can load the
+// output back and assert on structure instead of substring-matching. The
+// parser handles the full JSON grammar the exporters produce (objects,
+// arrays, strings with \uXXXX escapes, numbers, true/false/null); it is not
+// intended as a general-purpose JSON library.
+
+#ifndef SNIC_OBS_JSON_H_
+#define SNIC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace snic::obs::json {
+
+// JSON string literal for `s`: quotes, backslash-escapes, and \u00XX for
+// control characters.
+std::string Quote(std::string_view s);
+
+// Parsed JSON value. Object member order is preserved.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& AsObject() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Parses one JSON document (must consume the whole input modulo trailing
+  // whitespace).
+  static Result<Value> Parse(std::string_view text);
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace snic::obs::json
+
+#endif  // SNIC_OBS_JSON_H_

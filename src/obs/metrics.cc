@@ -1,0 +1,284 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace snic::obs {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), histogram_(lo, hi, buckets) {}
+
+void LatencyHistogram::Record(double v) {
+  if (std::isnan(v)) {
+    return;  // NaN samples are dropped (see SampleSet::Add)
+  }
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  histogram_.Add(v);
+}
+
+double LatencyHistogram::MinValue() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double LatencyHistogram::MaxValue() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double LatencyHistogram::MeanValue() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::PercentileEstimate(double p) const {
+  if (count_ == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  const size_t n = histogram_.NumBuckets();
+  const double bucket_width = (hi_ - lo_) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t in_bucket = histogram_.BucketCount(i);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Linear interpolation within the bucket, clamped to observed extremes
+      // (edge buckets absorb out-of-range samples).
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double value = histogram_.BucketLow(i) + frac * bucket_width;
+      return std::clamp(value, min_, max_);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  histogram_ = snic::Histogram(lo_, hi_, histogram_.NumBuckets());
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricRegistry::Key MetricRegistry::MakeKey(std::string_view name,
+                                            Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
+  auto& slot = counters_[MakeKey(name, std::move(labels))];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
+  auto& slot = gauges_[MakeKey(name, std::move(labels))];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name,
+                                               Labels labels, double lo,
+                                               double hi, size_t buckets) {
+  auto& slot = histograms_[MakeKey(name, std::move(labels))];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>(lo, hi, buckets);
+  }
+  return *slot;
+}
+
+const Counter* MetricRegistry::FindCounter(std::string_view name,
+                                           const Labels& labels) const {
+  const auto it = counters_.find(MakeKey(name, labels));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::FindGauge(std::string_view name,
+                                       const Labels& labels) const {
+  const auto it = gauges_.find(MakeKey(name, labels));
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyHistogram* MetricRegistry::FindHistogram(
+    std::string_view name, const Labels& labels) const {
+  const auto it = histograms_.find(MakeKey(name, labels));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+size_t MetricRegistry::NumSeries() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricRegistry::ResetAll() {
+  for (auto& [key, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [key, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [key, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+namespace {
+
+std::string LabelsSuffix(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+void AppendLabelsJson(std::string* out, const Labels& labels) {
+  *out += "\"labels\":{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      *out += ",";
+    }
+    *out += json::Quote(labels[i].first) + ":" + json::Quote(labels[i].second);
+  }
+  *out += "}";
+}
+
+std::string FmtDouble(double v) {
+  if (std::isnan(v)) {
+    return "null";  // JSON has no NaN
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricRegistry::ExportText() const {
+  std::string out;
+  for (const auto& [key, counter] : counters_) {
+    out += key.name + LabelsSuffix(key.labels) + " " +
+           std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out += key.name + LabelsSuffix(key.labels) + " " +
+           FmtDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    out += key.name + LabelsSuffix(key.labels) + " count=" +
+           std::to_string(histogram->count()) +
+           " mean=" + FmtDouble(histogram->MeanValue()) +
+           " p50=" + FmtDouble(histogram->PercentileEstimate(50)) +
+           " p99=" + FmtDouble(histogram->PercentileEstimate(99)) +
+           " max=" + FmtDouble(histogram->MaxValue()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricRegistry::ExportJson() const {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":" + json::Quote(key.name) + ",";
+    AppendLabelsJson(&out, key.labels);
+    out += ",\"value\":" + std::to_string(counter->value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":" + json::Quote(key.name) + ",";
+    AppendLabelsJson(&out, key.labels);
+    out += ",\"value\":" + FmtDouble(gauge->value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":" + json::Quote(key.name) + ",";
+    AppendLabelsJson(&out, key.labels);
+    out += ",\"count\":" + std::to_string(histogram->count());
+    out += ",\"sum\":" + FmtDouble(histogram->sum());
+    out += ",\"min\":" + FmtDouble(histogram->MinValue());
+    out += ",\"max\":" + FmtDouble(histogram->MaxValue());
+    out += ",\"mean\":" + FmtDouble(histogram->MeanValue());
+    out += ",\"p50\":" + FmtDouble(histogram->PercentileEstimate(50));
+    out += ",\"p99\":" + FmtDouble(histogram->PercentileEstimate(99));
+    out += ",\"buckets\":[";
+    const snic::Histogram& h = histogram->histogram();
+    bool first_bucket = true;
+    for (size_t i = 0; i < h.NumBuckets(); ++i) {
+      if (h.BucketCount(i) == 0) {
+        continue;  // sparse: empty buckets are implicit
+      }
+      if (!first_bucket) {
+        out += ",";
+      }
+      first_bucket = false;
+      out += "{\"lo\":" + FmtDouble(h.BucketLow(i)) +
+             ",\"count\":" + std::to_string(h.BucketCount(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status MetricRegistry::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InvalidArgument("cannot open metrics output file: " + path);
+  }
+  const std::string body = ExportJson();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Internal("short write to metrics output file: " + path);
+  }
+  return OkStatus();
+}
+
+MetricRegistry& GlobalRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace snic::obs

@@ -4,11 +4,29 @@
 
 namespace snic::sim {
 
+void BusArbiter::AttachObs(obs::MetricRegistry* registry,
+                           const obs::Labels& labels, uint32_t num_domains) {
+  SNIC_OBS({
+    obs_requests_.clear();
+    obs_wait_cycles_.clear();
+    for (uint32_t d = 0; d < num_domains; ++d) {
+      obs::Labels domain_labels = labels;
+      domain_labels.emplace_back("domain", std::to_string(d));
+      obs_requests_.push_back(
+          &registry->GetCounter("sim.bus.requests", domain_labels));
+      obs_wait_cycles_.push_back(&registry->GetHistogram(
+          "sim.bus.wait_cycles", domain_labels, 0.0, 4096.0, 64));
+    }
+  });
+  (void)registry;
+  (void)labels;
+  (void)num_domains;
+}
+
 uint64_t FcfsArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
-  (void)domain;
   const uint64_t grant = std::max(arrival_cycle, busy_until_);
   busy_until_ = grant + transfer_cycles_;
-  RecordGrant(arrival_cycle, grant);
+  RecordGrant(arrival_cycle, grant, domain);
   return grant;
 }
 
@@ -34,7 +52,7 @@ uint64_t RoundRobinArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
   // are contending.
   domain_ready_[domain] = grant + static_cast<uint64_t>(transfer_cycles_) *
                                       num_domains_;
-  RecordGrant(arrival_cycle, grant);
+  RecordGrant(arrival_cycle, grant, domain);
   return grant;
 }
 
@@ -81,7 +99,7 @@ uint64_t TemporalPartitionArbiter::Grant(uint64_t arrival_cycle,
       std::max(arrival_cycle, domain_busy_until_[domain]);
   const uint64_t grant = NextIssueSlot(earliest, domain);
   domain_busy_until_[domain] = grant + config_.transfer_cycles;
-  RecordGrant(arrival_cycle, grant);
+  RecordGrant(arrival_cycle, grant, domain);
   return grant;
 }
 

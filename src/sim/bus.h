@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace snic::sim {
 
@@ -50,14 +51,28 @@ class BusArbiter {
   const BusStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BusStats(); }
 
+  // Registers `sim.bus.requests{domain=d}` counters and
+  // `sim.bus.wait_cycles{domain=d}` histograms for domains [0, num_domains)
+  // under `labels`. Per-grant cost when attached: one increment plus one
+  // histogram add; zero under SNIC_OBS_DISABLED.
+  void AttachObs(obs::MetricRegistry* registry, const obs::Labels& labels,
+                 uint32_t num_domains);
+
  protected:
-  void RecordGrant(uint64_t arrival, uint64_t grant) {
+  void RecordGrant(uint64_t arrival, uint64_t grant, uint32_t domain) {
     ++stats_.requests;
     stats_.total_wait_cycles += grant - arrival;
     stats_.total_busy_cycles += transfer_cycles();
+    SNIC_OBS(if (domain < obs_requests_.size()) {
+      obs_requests_[domain]->Inc();
+      obs_wait_cycles_[domain]->Record(static_cast<double>(grant - arrival));
+    });
+    (void)domain;
   }
 
   BusStats stats_;
+  std::vector<obs::Counter*> obs_requests_;
+  std::vector<obs::LatencyHistogram*> obs_wait_cycles_;
 };
 
 // First-come-first-served: a single busy-until register. Models commodity

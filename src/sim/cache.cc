@@ -28,6 +28,17 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   }
 }
 
+void Cache::AttachObs(obs::MetricRegistry* registry,
+                      const obs::Labels& labels) {
+  SNIC_OBS({
+    obs_hits_ = &registry->GetCounter("sim.cache.hits", labels);
+    obs_misses_ = &registry->GetCounter("sim.cache.misses", labels);
+    obs_evictions_ = &registry->GetCounter("sim.cache.evictions", labels);
+  });
+  (void)registry;
+  (void)labels;
+}
+
 void Cache::DomainWayRange(uint32_t domain, uint32_t* begin,
                            uint32_t* end) const {
   switch (config_.policy) {
@@ -88,11 +99,13 @@ bool Cache::Access(uint64_t addr, uint32_t domain) {
       line.lru = tick_;
       line.domain = domain;
       ++stats_.hits;
+      SNIC_OBS(if (obs_hits_ != nullptr) obs_hits_->Inc());
       return true;
     }
   }
 
   ++stats_.misses;
+  SNIC_OBS(if (obs_misses_ != nullptr) obs_misses_->Inc());
   // Victim: invalid way first, else LRU within the allowed range (with
   // occasional random-way eviction under pseudo-LRU).
   Line* victim = nullptr;
@@ -116,6 +129,7 @@ bool Cache::Access(uint64_t addr, uint32_t domain) {
   }
   if (victim->valid) {
     ++stats_.evictions;
+    SNIC_OBS(if (obs_evictions_ != nullptr) obs_evictions_->Inc());
   }
   victim->valid = true;
   victim->tag = tag;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace snic::sim {
 
@@ -74,6 +75,11 @@ class Cache {
   CacheStats& mutable_stats() { return stats_; }
   void ResetStats() { stats_ = CacheStats(); }
 
+  // Registers `sim.cache.{hits,misses,evictions}` counters under `labels`
+  // (callers add `level`/`core`/`config` dimensions). Hot-path cost when
+  // attached: one pointer increment per event; zero under SNIC_OBS_DISABLED.
+  void AttachObs(obs::MetricRegistry* registry, const obs::Labels& labels);
+
   uint32_t num_sets() const { return num_sets_; }
 
  private:
@@ -94,6 +100,9 @@ class Cache {
   std::vector<Line> lines_;  // num_sets_ * associativity, row-major by set
   std::vector<uint32_t> secdcp_ways_;  // per-domain way counts under kSecDcp
   CacheStats stats_;
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
 };
 
 }  // namespace snic::sim

@@ -39,7 +39,7 @@ MachineConfig MachineConfig::MarvellLike(uint32_t cores, uint64_t l2_bytes,
 
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<const InstructionTrace*>& traces,
-                    double warmup_fraction) {
+                    double warmup_fraction, const ReplayObs* obs_hooks) {
   SNIC_CHECK(!traces.empty());
   SNIC_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
   const auto num_cores = static_cast<uint32_t>(traces.size());
@@ -57,16 +57,53 @@ ReplayResult Replay(const MachineConfig& config,
       MakeArbiter(config.bus_policy, config.bus_transfer_cycles, num_cores,
                   config.bus_epoch_cycles, config.bus_dead_time_cycles);
 
+  // Observability sinks. Both stay null under SNIC_OBS_DISABLED, so every
+  // `if (trace != nullptr)` below is dead code in that build.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
+  uint32_t trace_pid_base = 0;
+  SNIC_OBS(if (obs_hooks != nullptr) {
+    metrics = obs_hooks->metrics;
+    trace = obs_hooks->trace;
+    trace_pid_base = obs_hooks->trace_pid_base;
+  });
+  (void)obs_hooks;
+  const uint32_t bus_pid = trace_pid_base + num_cores;
+  if (metrics != nullptr) {
+    obs::Labels l2_labels = obs_hooks->labels;
+    l2_labels.emplace_back("level", "l2");
+    l2.AttachObs(metrics, l2_labels);
+    for (uint32_t c = 0; c < num_cores; ++c) {
+      obs::Labels l1_labels = obs_hooks->labels;
+      l1_labels.emplace_back("level", "l1");
+      l1_labels.emplace_back("core", std::to_string(c));
+      l1s[c].AttachObs(metrics, l1_labels);
+    }
+    bus->AttachObs(metrics, obs_hooks->labels, num_cores);
+  }
+  if (trace != nullptr) {
+    for (uint32_t c = 0; c < num_cores; ++c) {
+      trace->SetProcessName(trace_pid_base + c,
+                            "core" + std::to_string(c));
+    }
+    trace->SetProcessName(bus_pid, "bus");
+    for (uint32_t c = 0; c < num_cores; ++c) {
+      trace->SetThreadName(bus_pid, c, "domain" + std::to_string(c));
+    }
+  }
+
   struct CoreState {
     size_t next_event = 0;
     uint64_t cycle = 0;
     uint64_t instructions = 0;
+    uint64_t mem_accesses = 0;
     uint64_t l1_misses = 0;
     uint64_t l2_misses = 0;
     size_t warmup_events = 0;
     // Snapshot taken when the core crosses its warmup boundary.
     uint64_t cycle_at_reset = 0;
     uint64_t instr_at_reset = 0;
+    uint64_t mem_at_reset = 0;
     uint64_t l1_miss_at_reset = 0;
     uint64_t l2_miss_at_reset = 0;
     bool reset_done = false;
@@ -122,6 +159,10 @@ ReplayResult Replay(const MachineConfig& config,
       // Core-issued uncached ops (semaphores, device registers) do cross
       // the arbitrated bus.
       const uint64_t grant = bus->Grant(core.cycle + 1, best);
+      if (trace != nullptr) {
+        trace->AddComplete("xfer", grant, config.bus_transfer_cycles, bus_pid,
+                           best);
+      }
       {
         // Store-queue model: the core retires the store immediately unless
         // more than kStoreQueueDepth transfers are queued ahead of it.
@@ -132,6 +173,7 @@ ReplayResult Replay(const MachineConfig& config,
         latency = backlog > queue_cap ? 1 + (backlog - queue_cap) : 1;
       }
     } else {
+      ++core.mem_accesses;
       latency = config.l1.hit_latency_cycles;
       if (!l1s[best].Access(addr, 0)) {
         ++core.l1_misses;
@@ -142,6 +184,16 @@ ReplayResult Replay(const MachineConfig& config,
           const uint64_t grant = bus->Grant(request_time, best);
           latency = (grant - core.cycle) + config.bus_transfer_cycles +
                     config.dram_latency_cycles;
+          if (trace != nullptr) {
+            // One span on the core's lane for the whole DRAM round trip
+            // (arbitration wait + transfer + DRAM), one on the bus lane for
+            // the transfer itself.
+            trace->AddComplete("dram", request_time,
+                               (core.cycle + latency) - request_time,
+                               trace_pid_base + best, 0);
+            trace->AddComplete("xfer", grant, config.bus_transfer_cycles,
+                               bus_pid, best);
+          }
         }
       }
     }
@@ -154,8 +206,13 @@ ReplayResult Replay(const MachineConfig& config,
       core.reset_done = true;
       core.cycle_at_reset = core.cycle;
       core.instr_at_reset = core.instructions;
+      core.mem_at_reset = core.mem_accesses;
       core.l1_miss_at_reset = core.l1_misses;
       core.l2_miss_at_reset = core.l2_misses;
+      if (trace != nullptr) {
+        trace->AddInstant("warmup_done", core.cycle, trace_pid_base + best,
+                          0);
+      }
       if (!stats_reset_issued) {
         bool all_reset = true;
         for (const CoreState& s : cores) {
@@ -177,23 +234,43 @@ ReplayResult Replay(const MachineConfig& config,
     CoreResult& r = result.cores[c];
     r.instructions = s.instructions - s.instr_at_reset;
     r.cycles = s.cycle - s.cycle_at_reset;
+    r.mem_accesses = s.mem_accesses - s.mem_at_reset;
     r.l1_misses = s.l1_misses - s.l1_miss_at_reset;
     r.l2_misses = s.l2_misses - s.l2_miss_at_reset;
   }
   result.l2_stats = l2.stats();
   result.bus_stats = bus->stats();
+
+  // Per-core post-warmup counters: published once at the end of the run, so
+  // they cost nothing on the hot path.
+  if (metrics != nullptr) {
+    for (uint32_t c = 0; c < num_cores; ++c) {
+      obs::Labels core_labels = obs_hooks->labels;
+      core_labels.emplace_back("core", std::to_string(c));
+      const CoreResult& r = result.cores[c];
+      metrics->GetCounter("sim.core.instructions", core_labels)
+          .Inc(r.instructions);
+      metrics->GetCounter("sim.core.cycles", core_labels).Inc(r.cycles);
+      metrics->GetCounter("sim.core.l1.hits", core_labels).Inc(r.L1Hits());
+      metrics->GetCounter("sim.core.l1.misses", core_labels)
+          .Inc(r.l1_misses);
+      metrics->GetCounter("sim.core.l2.hits", core_labels).Inc(r.L2Hits());
+      metrics->GetCounter("sim.core.l2.misses", core_labels)
+          .Inc(r.l2_misses);
+    }
+  }
   return result;
 }
 
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<InstructionTrace>& traces,
-                    double warmup_fraction) {
+                    double warmup_fraction, const ReplayObs* obs_hooks) {
   std::vector<const InstructionTrace*> ptrs;
   ptrs.reserve(traces.size());
   for (const InstructionTrace& t : traces) {
     ptrs.push_back(&t);
   }
-  return Replay(config, ptrs, warmup_fraction);
+  return Replay(config, ptrs, warmup_fraction, obs_hooks);
 }
 
 }  // namespace snic::sim

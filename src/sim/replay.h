@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "src/sim/bus.h"
 #include "src/sim/cache.h"
 #include "src/sim/mem_access.h"
@@ -53,8 +55,12 @@ struct MachineConfig {
 struct CoreResult {
   uint64_t instructions = 0;
   uint64_t cycles = 0;
+  uint64_t mem_accesses = 0;  // cacheable loads/stores (post-warmup)
   uint64_t l1_misses = 0;
   uint64_t l2_misses = 0;
+
+  uint64_t L1Hits() const { return mem_accesses - l1_misses; }
+  uint64_t L2Hits() const { return l1_misses - l2_misses; }
 
   double Ipc() const {
     return cycles == 0 ? 0.0 : static_cast<double>(instructions) /
@@ -68,16 +74,35 @@ struct ReplayResult {
   BusStats bus_stats;
 };
 
+// Observability sinks for one replay. All optional; when `metrics` is set the
+// engine registers per-core counters (`sim.core.l1.hits{core=c}`, ...,
+// `sim.core.l2.misses{core=c}`), cache-level counters (`sim.cache.*`), and
+// per-domain bus series (`sim.bus.requests` / `sim.bus.wait_cycles`). When
+// `trace` is set, every DRAM-bound access becomes a Chrome-trace span: one
+// lane per core (pid = trace_pid_base + core) plus a shared bus lane
+// (pid = trace_pid_base + num_cores, tid = domain), so FCFS-vs-temporal bus
+// schedules are directly visible in Perfetto.
+struct ReplayObs {
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
+  // Extra labels stamped on every series (e.g. {{"config","snic"}}).
+  obs::Labels labels;
+  // Offset for trace pids so two replays can share one trace file.
+  uint32_t trace_pid_base = 0;
+};
+
 // Replays one trace per core. `warmup_fraction` of each trace runs before
 // statistics reset (the paper warms 1 B instructions before measuring 100 M).
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<const InstructionTrace*>& traces,
-                    double warmup_fraction = 0.1);
+                    double warmup_fraction = 0.1,
+                    const ReplayObs* obs_hooks = nullptr);
 
 // Convenience overload owning copies.
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<InstructionTrace>& traces,
-                    double warmup_fraction = 0.1);
+                    double warmup_fraction = 0.1,
+                    const ReplayObs* obs_hooks = nullptr);
 
 }  // namespace snic::sim
 

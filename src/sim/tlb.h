@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace snic::sim {
 
@@ -42,7 +43,10 @@ class LockedTlb {
 
   // Locks the TLB (post-nf_launch state). Irreversible for the lifetime of
   // the owning virtual NIC; Reset() models nf_teardown.
-  void Lock() { locked_ = true; }
+  void Lock() {
+    locked_ = true;
+    SNIC_OBS(if (obs_locks_ != nullptr) obs_locks_->Inc());
+  }
   bool locked() const { return locked_; }
 
   // Translates; nullopt = TLB miss (fatal for an S-NIC function).
@@ -58,10 +62,19 @@ class LockedTlb {
   // Total virtual bytes mapped (the TLB "reach").
   uint64_t MappedBytes() const;
 
+  // Registers `sim.tlb.{translations,misses,installs,locks}` counters under
+  // `labels` (callers add `nf_id`/`component`). A TLB miss is fatal for an
+  // S-NIC function, so the miss counter doubles as a defect detector.
+  void AttachObs(obs::MetricRegistry* registry, const obs::Labels& labels);
+
  private:
   size_t max_entries_;
   bool locked_ = false;
   std::vector<TlbEntry> entries_;
+  obs::Counter* obs_translations_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_installs_ = nullptr;
+  obs::Counter* obs_locks_ = nullptr;
 };
 
 }  // namespace snic::sim

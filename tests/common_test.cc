@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include <set>
 
 #include "src/common/rng.h"
@@ -186,6 +189,37 @@ TEST(StatsTest, SingleSample) {
   EXPECT_DOUBLE_EQ(s.Median(), 3.5);
   EXPECT_DOUBLE_EQ(s.Percentile(99), 3.5);
   EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(StatsTest, EmptySetOrderStatisticsAreNaN) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.Min()));
+  EXPECT_TRUE(std::isnan(s.Max()));
+  EXPECT_TRUE(std::isnan(s.Mean()));
+  EXPECT_TRUE(std::isnan(s.Median()));
+  EXPECT_TRUE(std::isnan(s.Percentile(99)));
+}
+
+TEST(StatsTest, NanInputsAreDroppedAndCounted) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(std::numeric_limits<double>::quiet_NaN());
+  s.Add(3.0);
+  s.Add(std::nan(""));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.nan_dropped(), 2u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);  // NaN never poisons the aggregate
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+}
+
+TEST(HistogramTest, NanInputsAreDroppedAndCounted) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.NanCount(), 1u);
+  EXPECT_EQ(h.BucketCount(5), 1u);
 }
 
 TEST(HistogramTest, BucketsAndClamping) {

@@ -1,0 +1,47 @@
+// Proves the SNIC_OBS macro compiles out: this translation unit defines
+// SNIC_OBS_DISABLED *before* including the obs headers, so every wrapped
+// statement must vanish — including ones referencing members or calling
+// functions with side effects. This is the same preprocessor state a full
+// -DSNIC_OBS_DISABLED build gives every file.
+
+#define SNIC_OBS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace snic::obs {
+namespace {
+
+TEST(ObsDisabled, WrappedStatementsDoNotExecute) {
+  int executed = 0;
+  SNIC_OBS(++executed);
+  SNIC_OBS({
+    executed += 10;
+    executed += 100;
+  });
+  EXPECT_EQ(executed, 0);
+}
+
+TEST(ObsDisabled, WrappedStatementsAreNotEvaluated) {
+  // Even the condition of a wrapped if must not run.
+  bool probed = false;
+  auto probe = [&probed] {
+    probed = true;
+    return true;
+  };
+  SNIC_OBS(if (probe()) { probed = true; });
+  EXPECT_FALSE(probed);
+  (void)probe;
+}
+
+TEST(ObsDisabled, RegistryStillWorksWhenUsedDirectly) {
+  // Compile-out removes *instrumentation sites*, not the library: tools
+  // that explicitly snapshot metrics keep functioning.
+  MetricRegistry registry;
+  registry.GetCounter("direct.use").Inc(3);
+  EXPECT_EQ(registry.FindCounter("direct.use")->value(), 3u);
+}
+
+}  // namespace
+}  // namespace snic::obs
