@@ -4,8 +4,12 @@
 #define SNIC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+
+#include "src/runtime/thread_pool.h"
 
 namespace snic::bench {
 
@@ -29,6 +33,30 @@ inline std::string FlagValue(int argc, char** argv, const std::string& name) {
     }
   }
   return {};
+}
+
+// `--jobs=N`: worker count for the sweep runtime. Defaults to the hardware
+// concurrency; 1 forces the historical serial path. Results are
+// byte-identical at every jobs count (docs/RUNTIME.md).
+inline size_t JobsFlag(int argc, char** argv) {
+  const std::string value = FlagValue(argc, argv, "--jobs");
+  if (value.empty()) {
+    return runtime::HardwareConcurrency();
+  }
+  const long n = std::strtol(value.c_str(), nullptr, 10);
+  return n < 1 ? 1 : static_cast<size_t>(n);
+}
+
+// Pool for `jobs` workers; null (the inline serial path) when jobs <= 1.
+// The jobs count goes to stderr so stdout stays diffable across jobs
+// counts (CI compares --jobs=1 against --jobs=2 output byte-for-byte).
+inline std::unique_ptr<runtime::ThreadPool> MakePool(size_t jobs) {
+  std::fprintf(stderr, "[sweep runtime: %zu job%s]\n", jobs,
+               jobs == 1 ? "" : "s");
+  if (jobs <= 1) {
+    return nullptr;
+  }
+  return std::make_unique<runtime::ThreadPool>(jobs);
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

@@ -7,6 +7,13 @@
 // L2, FCFS bus) and S-NIC (statically partitioned L2, temporally partitioned
 // bus) — at equal co-tenancy, and per-NF IPC degradation is
 //   1 - IPC_snic / IPC_baseline.
+//
+// Parallelism: trace recording and mix replays are self-contained per task,
+// so both fan out over a runtime::ThreadPool. Determinism is structural
+// (docs/RUNTIME.md): seeds derive from the task index, results land in
+// index-addressed slots, and per-task metric/trace shards merge in task
+// order — so every jobs count, including the serial `--jobs=1` path, emits
+// byte-identical tables and snapshots.
 
 #ifndef SNIC_BENCH_FIG5_COMMON_H_
 #define SNIC_BENCH_FIG5_COMMON_H_
@@ -19,6 +26,9 @@
 #include "src/common/stats.h"
 #include "src/net/packet.h"
 #include "src/nf/nf_factory.h"
+#include "src/obs/trace_event.h"
+#include "src/runtime/sweep.h"
+#include "src/runtime/thread_pool.h"
 #include "src/sim/mem_access.h"
 #include "src/sim/replay.h"
 #include "src/trace/trace_gen.h"
@@ -27,24 +37,34 @@ namespace snic::bench {
 
 inline constexpr size_t kNumNfs = nf::kNumNfKinds;
 
-// Records one instruction trace per NF kind (full-size NF configurations).
+// Records one instruction trace per NF kind (full-size NF configurations),
+// fanning the six recordings across `pool` (inline serial when null). Each
+// task's NF attaches its nf.* series to a private shard that merges into
+// the global registry at join.
 inline std::array<sim::InstructionTrace, kNumNfs> RecordNfTraces(
-    size_t events_per_nf, uint64_t seed) {
+    size_t events_per_nf, uint64_t seed,
+    runtime::ThreadPool* pool = nullptr) {
   std::array<sim::InstructionTrace, kNumNfs> traces;
   const auto kinds = nf::AllNfKinds();
-  for (size_t k = 0; k < kinds.size(); ++k) {
-    const auto fn = nf::MakeNf(kinds[k]);
-    fn->recorder().Attach(&traces[k]);
-    trace::TraceConfig config = trace::TraceConfig::IctfLike(seed + k);
-    config.num_flows = 100'000;
-    config.zipf_skew = 1.1;
-    trace::PacketStream stream(config);
-    while (traces[k].size() < events_per_nf) {
-      net::Packet packet = stream.Next();
-      fn->Process(packet);
-    }
-    fn->recorder().Detach();
-  }
+  runtime::ShardedParallelFor(
+      pool, kinds.size(), &obs::GlobalRegistry(),
+      [&](size_t k, obs::MetricRegistry& shard) {
+        obs::ScopedDefaultRegistry scoped(&shard);
+        const auto fn = nf::MakeNf(kinds[k]);
+        fn->recorder().Attach(&traces[k]);
+        // Per-task seed: kept as the historical `seed + k` (a pure function
+        // of base seed and task index) so recorded traces stay bit-identical
+        // to pre-runtime builds at every jobs count.
+        trace::TraceConfig config = trace::TraceConfig::IctfLike(seed + k);
+        config.num_flows = 100'000;
+        config.zipf_skew = 1.1;
+        trace::PacketStream stream(config);
+        while (traces[k].size() < events_per_nf) {
+          net::Packet packet = stream.Next();
+          fn->Process(packet);
+        }
+        fn->recorder().Detach();
+      });
   return traces;
 }
 
@@ -89,6 +109,55 @@ inline std::vector<double> DegradationForMix(
     degradation[c] = 1.0 - secure.cores[c].Ipc() / baseline.cores[c].Ipc();
   }
   return degradation;
+}
+
+// One replay job of a sweep: a colocation mix at one L2 capacity.
+struct SweepJob {
+  std::vector<size_t> mix_kinds;
+  uint64_t l2_bytes = 0;
+};
+
+// Which jobs record Chrome-trace events when a TraceLog sink is given.
+// Fig. 5a traces only the first replayed pair (lanes restart at cycle 0 per
+// replay, so later pairs would overdraw it); obs_overhead costs tracing on
+// every pair.
+enum class SweepTrace {
+  kFirstJob,
+  kAllJobs,
+};
+
+// Replays every job across `pool` and returns per-job degradations indexed
+// identically to `jobs`. Each task records metrics into a private shard;
+// shards merge into `metrics` in job order at join, so the final registry —
+// like the returned results — is byte-identical at every jobs count. Trace
+// events are likewise captured in per-job logs stitched into `trace` in job
+// order.
+inline std::vector<std::vector<double>> RunDegradationSweep(
+    runtime::ThreadPool* pool,
+    const std::array<sim::InstructionTrace, kNumNfs>& traces,
+    const std::vector<SweepJob>& jobs, obs::MetricRegistry* metrics,
+    obs::TraceLog* trace = nullptr,
+    SweepTrace trace_mode = SweepTrace::kFirstJob) {
+  std::vector<std::vector<double>> results(jobs.size());
+  std::vector<obs::TraceLog> trace_shards(trace == nullptr ? 0 : jobs.size());
+  runtime::ShardedParallelFor(
+      pool, jobs.size(), metrics,
+      [&](size_t j, obs::MetricRegistry& shard) {
+        obs::MetricRegistry* metric_sink = metrics == nullptr ? nullptr
+                                                              : &shard;
+        obs::TraceLog* trace_sink = nullptr;
+        if (trace != nullptr &&
+            (trace_mode == SweepTrace::kAllJobs || j == 0)) {
+          trace_sink = &trace_shards[j];
+        }
+        results[j] = DegradationForMix(traces, jobs[j].mix_kinds,
+                                       jobs[j].l2_bytes, metric_sink,
+                                       trace_sink);
+      });
+  for (const obs::TraceLog& shard : trace_shards) {
+    trace->Append(shard);
+  }
+  return results;
 }
 
 }  // namespace snic::bench

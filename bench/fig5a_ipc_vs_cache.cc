@@ -23,8 +23,10 @@ int main(int argc, char** argv) {
   // --metrics-out=<file>: JSON snapshot of every replay series (per-core
   // L1/L2 hit+miss counters, per-domain bus wait-cycle histograms, ...).
   // --trace-out=<file>: Chrome-trace spans for the first replayed pair.
+  // --jobs=N: sweep workers; output is byte-identical at every N.
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
   const std::string trace_out = FlagValue(argc, argv, "--trace-out");
+  const auto pool = MakePool(JobsFlag(argc, argv));
   // The global registry already holds the nf.* series the NFs published
   // while their traces were recorded; replay series join them there.
   obs::MetricRegistry& metrics = obs::GlobalRegistry();
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
   const size_t events = quick ? 20'000 : 120'000;
   std::printf("Recording NF traces (%zu events/NF, Zipf 1.1 over 100k flows)"
               "...\n\n", events);
-  const auto traces = RecordNfTraces(events, 2024);
+  const auto traces = RecordNfTraces(events, 2024, pool.get());
 
   const std::vector<uint64_t> cache_sizes = quick
       ? std::vector<uint64_t>{KiB(32), KiB(512), MiB(4)}
@@ -43,18 +45,30 @@ int main(int argc, char** argv) {
                               KiB(256), KiB(512), MiB(1),  MiB(2),  MiB(4),
                               MiB(8),   MiB(16)};
 
+  // Every (L2 size, unordered NF pair) combination is one replay job; jobs
+  // are listed in serial iteration order so the aggregation below walks
+  // results exactly as the single-threaded loop did.
+  std::vector<SweepJob> sweep;
+  sweep.reserve(cache_sizes.size() * kNumNfs * (kNumNfs + 1) / 2);
+  for (uint64_t l2 : cache_sizes) {
+    for (size_t i = 0; i < kNumNfs; ++i) {
+      for (size_t j = i; j < kNumNfs; ++j) {
+        sweep.push_back(SweepJob{{i, j}, l2});
+      }
+    }
+  }
+  const auto degradations =
+      RunDegradationSweep(pool.get(), traces, sweep, metrics_sink, trace_sink);
+
   const auto kinds = nf::AllNfKinds();
   TablePrinter table({"L2 size", "FW", "DPI", "NAT", "LB", "LPM", "Mon"});
+  size_t job = 0;
   for (uint64_t l2 : cache_sizes) {
     // Every unordered pair, evaluated once; samples attributed per position.
     std::array<SampleSet, kNumNfs> samples;
     for (size_t i = 0; i < kNumNfs; ++i) {
       for (size_t j = i; j < kNumNfs; ++j) {
-        const auto degradation =
-            DegradationForMix(traces, {i, j}, l2, metrics_sink, trace_sink);
-        // Trace lanes restart at cycle 0 per replay, so only the first pair
-        // is traced; metrics keep accumulating across the whole sweep.
-        trace_sink = nullptr;
+        const auto& degradation = degradations[job++];
         samples[i].Add(degradation[0] * 100.0);
         samples[j].Add(degradation[1] * 100.0);
       }

@@ -22,32 +22,48 @@ int main(int argc, char** argv) {
   PrintHeader("Fig. 5b: IPC degradation vs co-tenancy (4MB L2)",
               "S-NIC (EuroSys'24) Figure 5b");
 
+  // --jobs=N: sweep workers; output is byte-identical at every N.
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
+  const auto pool = MakePool(JobsFlag(argc, argv));
   obs::MetricRegistry& metrics = obs::GlobalRegistry();
   obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
 
   const size_t events = quick ? 20'000 : 120'000;
   std::printf("Recording NF traces (%zu events/NF)...\n\n", events);
-  const auto traces = RecordNfTraces(events, 2024);
+  const auto traces = RecordNfTraces(events, 2024, pool.get());
 
   const std::vector<uint32_t> arities = quick
       ? std::vector<uint32_t>{2, 4, 8}
       : std::vector<uint32_t>{2, 3, 4, 8, 16};
 
-  TablePrinter table({"NFs", "FW", "DPI", "NAT", "LB", "LPM", "Mon",
-                      "median(all)", "p99(all)"});
+  // Mix sampling stays serial: all draws come from one Rng stream in the
+  // historical order (arity-major, then mix, then slot), so the sampled
+  // mixes are independent of the jobs count. Only the replays fan out.
+  std::vector<SweepJob> sweep;
   Rng rng(99);
   for (uint32_t n : arities) {
     const size_t num_mixes = quick ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
-    std::array<SampleSet, kNumNfs> per_nf;
-    SampleSet all;
     for (size_t m = 0; m < num_mixes; ++m) {
       std::vector<size_t> mix(n);
       for (auto& kind : mix) {
         kind = rng.NextBounded(kNumNfs);
       }
-      const auto degradation =
-          DegradationForMix(traces, mix, MiB(4), metrics_sink);
+      sweep.push_back(SweepJob{std::move(mix), MiB(4)});
+    }
+  }
+  const auto degradations =
+      RunDegradationSweep(pool.get(), traces, sweep, metrics_sink);
+
+  TablePrinter table({"NFs", "FW", "DPI", "NAT", "LB", "LPM", "Mon",
+                      "median(all)", "p99(all)"});
+  size_t job = 0;
+  for (uint32_t n : arities) {
+    const size_t num_mixes = quick ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
+    std::array<SampleSet, kNumNfs> per_nf;
+    SampleSet all;
+    for (size_t m = 0; m < num_mixes; ++m, ++job) {
+      const std::vector<size_t>& mix = sweep[job].mix_kinds;
+      const std::vector<double>& degradation = degradations[job];
       for (size_t c = 0; c < mix.size(); ++c) {
         per_nf[mix[c]].Add(degradation[c] * 100.0);
         all.Add(degradation[c] * 100.0);

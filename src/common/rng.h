@@ -4,6 +4,12 @@
 // sampling, key generation in tests) takes an explicit `Rng&` so experiments
 // are reproducible bit-for-bit from a seed, as required for regenerating the
 // paper's tables.
+//
+// There is deliberately no global, thread-local, or `static` generator state
+// anywhere in this header (audited for the parallel sweep runtime): every
+// stream lives in an Rng instance, so per-task generators seeded via
+// runtime::DeriveTaskSeed(base_seed, task_index) are fully independent and
+// schedule-invariant.
 
 #ifndef SNIC_COMMON_RNG_H_
 #define SNIC_COMMON_RNG_H_
@@ -58,17 +64,20 @@ class Rng {
   // Uniform 32-bit value.
   uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
 
- private:
-  static uint64_t Rotl(uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-  }
-
+  // One SplitMix64 step: advances `x` and returns a well-mixed 64-bit value.
+  // Public so seed-derivation schemes (runtime::DeriveTaskSeed) share the
+  // same mixing function the constructor uses.
   static uint64_t SplitMix64(uint64_t& x) {
     x += 0x9e3779b97f4a7c15ULL;
     uint64_t z = x;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
   }
 
   uint64_t state_[4];

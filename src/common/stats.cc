@@ -98,6 +98,19 @@ void Histogram::Add(double v) {
   ++total_;
 }
 
+bool Histogram::MergeFrom(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  nan_count_ += other.nan_count_;
+  return true;
+}
+
 double Histogram::BucketLow(size_t i) const {
   SNIC_CHECK(i < counts_.size());
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /

@@ -57,6 +57,13 @@ class Histogram {
   uint64_t TotalCount() const { return total_; }
   uint64_t NanCount() const { return nan_count_; }
   double BucketLow(size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  // Bucket-wise addition of another histogram's counts (used when merging
+  // per-worker metric shards). Returns false — leaving *this untouched —
+  // when the geometries ([lo, hi) or bucket count) differ.
+  bool MergeFrom(const Histogram& other);
 
  private:
   double lo_;

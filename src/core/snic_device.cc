@@ -30,7 +30,7 @@ SnicDevice::SnicDevice(const SnicConfig& config,
       root_of_trust_(vendor, config.rsa_modulus_bits, rng_) {
   SNIC_CHECK(config_.num_cores >= 2);  // NIC-OS core + at least one NF core
   SNIC_CHECK(config_.num_cores <= 64);
-  SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+  SNIC_OBS(AttachObs(&obs::DefaultRegistry()));
 }
 
 void SnicDevice::AttachObs(obs::MetricRegistry* registry) {

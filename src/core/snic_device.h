@@ -173,7 +173,7 @@ class SnicDevice {
   // Points the trusted-instruction counters (`snic.nf.launches`,
   // `snic.nf.teardowns`, `snic.nf.attests`, `snic.denylist.rejections`,
   // `snic.rx.unmatched_drops`, ...) at `registry`. The constructor attaches
-  // to obs::GlobalRegistry() by default; pass a private registry in tests.
+  // to obs::DefaultRegistry() by default; pass a private registry in tests.
   void AttachObs(obs::MetricRegistry* registry);
 
  private:

@@ -42,7 +42,7 @@ struct FunctionImage {
 class NicOs {
  public:
   explicit NicOs(core::SnicDevice* device) : device_(device) {
-    SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+    SNIC_OBS(AttachObs(&obs::DefaultRegistry()));
   }
 
   // NF_create: stage pages, pick cores, invoke nf_launch.
@@ -64,7 +64,7 @@ class NicOs {
 
   // Points the management-plane counters (`mgmt.nf_create.ok`,
   // `mgmt.nf_create.failures`) at `registry`; the constructor attaches to
-  // obs::GlobalRegistry() by default.
+  // obs::DefaultRegistry() by default.
   void AttachObs(obs::MetricRegistry* registry);
 
  private:

@@ -155,6 +155,22 @@ Result<ParsedPacket> Parse(std::span<const uint8_t> frame) {
   return out;
 }
 
+Result<ParsedPacket> ParseStrict(std::span<const uint8_t> frame) {
+  Result<ParsedPacket> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed;
+  }
+  // Summing the whole header including the stored checksum field must give
+  // the ones-complement zero (0x0000 after the final inversion).
+  const size_t ihl = parsed.value().ip.HeaderLen();
+  const uint16_t sum =
+      InternetChecksum(frame.subspan(parsed.value().l3_offset, ihl));
+  if (sum != 0) {
+    return InvalidArgument("bad IPv4 header checksum");
+  }
+  return parsed;
+}
+
 uint16_t InternetChecksum(std::span<const uint8_t> data, uint32_t initial) {
   uint32_t sum = initial;
   size_t i = 0;

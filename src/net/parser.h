@@ -37,8 +37,15 @@ struct ParsedPacket {
 };
 
 // Parses an Ethernet/IPv4 frame. Returns an error for truncated frames,
-// non-IPv4 ethertypes, or bad IHL values.
+// non-IPv4 ethertypes, or bad IHL values. Does NOT verify the IPv4 header
+// checksum: hot-path NFs (and the attack demos that deliberately craft
+// odd frames) accept whatever structure decodes.
 Result<ParsedPacket> Parse(std::span<const uint8_t> frame);
+
+// Parse() plus IPv4 header-checksum verification: a frame whose stored
+// checksum does not match the RFC 1071 sum over its header is rejected.
+// Use at trust boundaries (ingress validation, fuzz harnesses).
+Result<ParsedPacket> ParseStrict(std::span<const uint8_t> frame);
 
 // RFC 1071 ones-complement checksum over `data` starting from `initial`.
 uint16_t InternetChecksum(std::span<const uint8_t> data, uint32_t initial = 0);

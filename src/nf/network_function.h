@@ -36,7 +36,7 @@ class NetworkFunction {
  public:
   explicit NetworkFunction(std::string name)
       : name_(std::move(name)), arena_(name_) {
-    SNIC_OBS(AttachObs(&obs::GlobalRegistry()));
+    SNIC_OBS(AttachObs(&obs::DefaultRegistry()));
   }
   virtual ~NetworkFunction() = default;
 
@@ -59,7 +59,8 @@ class NetworkFunction {
 
   // Points the per-NF series (`nf.packets{nf=<name>}`, `nf.forwarded`,
   // `nf.dropped`, `nf.bytes`, `nf.flow_entries`) at `registry`. The
-  // constructor attaches to obs::GlobalRegistry() by default.
+  // constructor attaches to obs::DefaultRegistry() — the global registry,
+  // or the task's shard inside a parallel sweep worker.
   void AttachObs(obs::MetricRegistry* registry);
 
  protected:

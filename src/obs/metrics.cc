@@ -69,6 +69,27 @@ double LatencyHistogram::PercentileEstimate(double p) const {
   return max_;
 }
 
+bool LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      histogram_.NumBuckets() != other.histogram_.NumBuckets()) {
+    return false;
+  }
+  if (other.count_ == 0) {
+    return true;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  histogram_.MergeFrom(other.histogram_);
+  return true;
+}
+
 void LatencyHistogram::Reset() {
   histogram_ = snic::Histogram(lo_, hi_, histogram_.NumBuckets());
   count_ = 0;
@@ -84,6 +105,7 @@ MetricRegistry::Key MetricRegistry::MakeKey(std::string_view name,
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -92,6 +114,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
 }
 
 Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -102,6 +125,7 @@ Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
 LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name,
                                                Labels labels, double lo,
                                                double hi, size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<LatencyHistogram>(lo, hi, buckets);
@@ -111,27 +135,32 @@ LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name,
 
 const Counter* MetricRegistry::FindCounter(std::string_view name,
                                            const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(MakeKey(name, labels));
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricRegistry::FindGauge(std::string_view name,
                                        const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(MakeKey(name, labels));
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const LatencyHistogram* MetricRegistry::FindHistogram(
     std::string_view name, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(MakeKey(name, labels));
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 size_t MetricRegistry::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, counter] : counters_) {
     counter->Reset();
   }
@@ -140,6 +169,38 @@ void MetricRegistry::ResetAll() {
   }
   for (auto& [key, histogram] : histograms_) {
     histogram->Reset();
+  }
+}
+
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+  if (&other == this) {
+    return;
+  }
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [key, counter] : other.counters_) {
+    auto& slot = counters_[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<Counter>();
+    }
+    slot->Inc(counter->value());
+  }
+  for (const auto& [key, gauge] : other.gauges_) {
+    auto& slot = gauges_[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<Gauge>();
+    }
+    slot->Set(gauge->value());
+  }
+  for (const auto& [key, histogram] : other.histograms_) {
+    auto& slot = histograms_[key];
+    if (slot == nullptr) {
+      slot = std::make_unique<LatencyHistogram>(
+          histogram->lo(), histogram->hi(),
+          histogram->histogram().NumBuckets());
+    }
+    // Geometry clashes mean two shards (or a shard and the target) disagree
+    // about a series — a bug in the sweep, not recoverable here.
+    SNIC_CHECK(slot->MergeFrom(*histogram));
   }
 }
 
@@ -183,6 +244,7 @@ std::string FmtDouble(double v) {
 }  // namespace
 
 std::string MetricRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [key, counter] : counters_) {
     out += key.name + LabelsSuffix(key.labels) + " " +
@@ -204,6 +266,7 @@ std::string MetricRegistry::ExportText() const {
 }
 
 std::string MetricRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":[";
   bool first = true;
   for (const auto& [key, counter] : counters_) {
@@ -279,6 +342,24 @@ Status MetricRegistry::WriteJsonFile(const std::string& path) const {
 MetricRegistry& GlobalRegistry() {
   static MetricRegistry* registry = new MetricRegistry();
   return *registry;
+}
+
+namespace {
+thread_local MetricRegistry* tls_default_registry = nullptr;
+}  // namespace
+
+MetricRegistry& DefaultRegistry() {
+  return tls_default_registry != nullptr ? *tls_default_registry
+                                         : GlobalRegistry();
+}
+
+ScopedDefaultRegistry::ScopedDefaultRegistry(MetricRegistry* registry)
+    : previous_(tls_default_registry) {
+  tls_default_registry = registry;
+}
+
+ScopedDefaultRegistry::~ScopedDefaultRegistry() {
+  tls_default_registry = previous_;
 }
 
 }  // namespace snic::obs

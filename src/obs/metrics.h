@@ -11,7 +11,19 @@
 // Hot-path discipline: an instrumented class looks its metric up once
 // (`MetricRegistry::GetCounter` returns a stable reference) and keeps a raw
 // pointer; each event is then a plain `uint64_t` add — no locks, no hashing,
-// no allocation. The simulator is single-threaded, so no atomics either.
+// no allocation, no atomics.
+//
+// Threading / sharding contract (see docs/RUNTIME.md): individual series
+// values are single-writer — a registry that is being recorded into belongs
+// to exactly one thread. The parallel sweep runtime therefore gives every
+// task a private *shard* registry and merges the shards into a target
+// registry at join via MergeFrom (counters sum, gauges last-write-win in
+// merge order, histograms add bucket-wise). Registry-level operations
+// (series creation, Find*, MergeFrom, exports, ResetAll) are guarded by an
+// internal mutex, so snapshotting a registry (ExportText / ExportJson /
+// WriteJsonFile) is safe while other threads merge shards into it or create
+// series — only raw pointer-cached Inc/Set/Record on the *same* registry
+// must stay single-threaded.
 //
 // Compile-out: building with -DSNIC_OBS_DISABLED turns every statement
 // wrapped in SNIC_OBS() into nothing, so the instrumentation can be proven
@@ -24,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -97,6 +110,11 @@ class LatencyHistogram {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
 
+  // Adds another histogram's samples (bucket-wise counts plus running
+  // count/sum/min/max). Both histograms must share the same geometry;
+  // returns false and leaves *this untouched otherwise.
+  bool MergeFrom(const LatencyHistogram& other);
+
   void Reset();
 
  private:
@@ -140,6 +158,15 @@ class MetricRegistry {
   // valid). Use between bench repetitions or tests.
   void ResetAll();
 
+  // Folds another registry (typically a per-task shard) into this one:
+  // counters add, gauges overwrite (so merging shards in ascending task
+  // order makes the highest-indexed writer win, mirroring a serial run),
+  // histograms merge bucket-wise. Series missing here are created with the
+  // shard's geometry; a histogram series present in both with differing
+  // geometry aborts (shards of one sweep must agree on geometry). `other`
+  // must be quiescent (no concurrent writers) for the duration of the call.
+  void MergeFrom(const MetricRegistry& other);
+
   // One line per series: name{k=v,...} value. Sorted, stable.
   std::string ExportText() const;
   // {"counters":[...],"gauges":[...],"histograms":[...]} — parseable by
@@ -161,14 +188,38 @@ class MetricRegistry {
 
   static Key MakeKey(std::string_view name, Labels labels);
 
+  // Guards the series maps (creation, lookup, merge, export, reset) — not
+  // the values behind the returned references, which stay single-writer.
+  mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 
-// Process-wide default registry. Device/NF constructors attach here so the
-// benches can dump one coherent snapshot via --metrics-out.
+// Process-wide default registry. Device/NF constructors attach here (via
+// DefaultRegistry) so the benches can dump one coherent snapshot via
+// --metrics-out.
 MetricRegistry& GlobalRegistry();
+
+// The registry newly constructed instrumented objects attach to: the
+// innermost ScopedDefaultRegistry override on the calling thread, else
+// GlobalRegistry(). Sweep workers install their task's shard registry as
+// the override so object construction never races on the global maps.
+MetricRegistry& DefaultRegistry();
+
+// RAII thread-local override of DefaultRegistry(). Nestable; the previous
+// override is restored on destruction.
+class ScopedDefaultRegistry {
+ public:
+  explicit ScopedDefaultRegistry(MetricRegistry* registry);
+  ~ScopedDefaultRegistry();
+
+  ScopedDefaultRegistry(const ScopedDefaultRegistry&) = delete;
+  ScopedDefaultRegistry& operator=(const ScopedDefaultRegistry&) = delete;
+
+ private:
+  MetricRegistry* previous_;
+};
 
 }  // namespace snic::obs
 

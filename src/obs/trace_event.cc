@@ -59,6 +59,12 @@ void TraceLog::Clear() {
   lane_names_.clear();
 }
 
+void TraceLog::Append(const TraceLog& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  lane_names_.insert(lane_names_.end(), other.lane_names_.begin(),
+                     other.lane_names_.end());
+}
+
 std::string TraceLog::ToJson() const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;

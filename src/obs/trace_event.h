@@ -56,6 +56,11 @@ class TraceLog {
   const std::vector<TraceEvent>& events() const { return events_; }
   void Clear();
 
+  // Appends another log's events and lane names in their recorded order.
+  // Used by the parallel sweep runtime to stitch per-task logs together in
+  // task-index order, reproducing the single serial log byte-for-byte.
+  void Append(const TraceLog& other);
+
   // {"traceEvents":[...]} with metadata ('M') records first.
   std::string ToJson() const;
   Status WriteFile(const std::string& path) const;

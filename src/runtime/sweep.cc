@@ -1,0 +1,43 @@
+#include "src/runtime/sweep.h"
+
+#include "src/common/rng.h"
+
+namespace snic::runtime {
+
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index) {
+  // Mix the base into a SplitMix64 stream, then fold the index in through a
+  // second mixing round. Two rounds keep (base, index) and (base', index')
+  // collisions out of reach of additive aliasing (base + 1, index) ==
+  // (base, index + 1).
+  uint64_t x = base_seed;
+  const uint64_t mixed_base = Rng::SplitMix64(x);
+  x = mixed_base ^ (task_index + 0x9e3779b97f4a7c15ULL);
+  return Rng::SplitMix64(x);
+}
+
+MetricShards::MetricShards(size_t num_shards) {
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<obs::MetricRegistry>());
+  }
+}
+
+void MetricShards::MergeInto(obs::MetricRegistry* target) const {
+  if (target == nullptr) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    target->MergeFrom(*shard);
+  }
+}
+
+void ShardedParallelFor(
+    ThreadPool* pool, size_t num_tasks, obs::MetricRegistry* target,
+    const std::function<void(size_t, obs::MetricRegistry&)>& body) {
+  MetricShards shards(num_tasks);
+  ParallelFor(pool, num_tasks,
+              [&](size_t task) { body(task, shards.shard(task)); });
+  shards.MergeInto(target);
+}
+
+}  // namespace snic::runtime

@@ -1,0 +1,66 @@
+// Deterministic sweep support on top of ThreadPool: per-task seed
+// derivation and shard-and-merge metric recording (docs/RUNTIME.md).
+//
+// Seed rule: a task's randomness derives only from (base_seed, task_index),
+// never from thread ids or claim order, so any jobs count replays the same
+// random streams. `DeriveTaskSeed` is the canonical derivation for new
+// sweeps; it SplitMix64-mixes base and index so that nearby indices get
+// decorrelated streams (additive `base + index` schemes collide when two
+// sweeps use adjacent bases).
+//
+// Metric rule: workers never touch a shared registry. Each task records
+// into its own private MetricRegistry shard; at join, shards merge into the
+// target in ascending task-index order (counters sum, gauges last-write-win
+// by task index, histograms add bucket-wise), which reproduces exactly the
+// registry a serial run would have produced.
+
+#ifndef SNIC_RUNTIME_SWEEP_H_
+#define SNIC_RUNTIME_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/thread_pool.h"
+
+namespace snic::runtime {
+
+// Canonical per-task seed: a pure function of (base_seed, task_index),
+// uniform under SplitMix64 mixing. Equal inputs always give equal outputs;
+// distinct task indices give decorrelated streams.
+uint64_t DeriveTaskSeed(uint64_t base_seed, uint64_t task_index);
+
+// One private MetricRegistry per task of a sweep.
+class MetricShards {
+ public:
+  explicit MetricShards(size_t num_shards);
+
+  size_t size() const { return shards_.size(); }
+  obs::MetricRegistry& shard(size_t task_index) {
+    return *shards_[task_index];
+  }
+
+  // Merges every shard into `target` in ascending task-index order (the
+  // order that makes gauge last-write-wins deterministic). No-op when
+  // `target` is null. Shards must be quiescent (workers joined).
+  void MergeInto(obs::MetricRegistry* target) const;
+
+ private:
+  std::vector<std::unique_ptr<obs::MetricRegistry>> shards_;
+};
+
+// ParallelFor plus the metric contract: runs body(task_index, shard) for
+// every task, each task recording into its private shard, then merges the
+// shards into `target` (when non-null) in task-index order. The merged
+// registry is identical whatever the jobs count — including the inline
+// serial path taken for a null pool.
+void ShardedParallelFor(
+    ThreadPool* pool, size_t num_tasks, obs::MetricRegistry* target,
+    const std::function<void(size_t, obs::MetricRegistry&)>& body);
+
+}  // namespace snic::runtime
+
+#endif  // SNIC_RUNTIME_SWEEP_H_

@@ -1,0 +1,99 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+
+namespace snic::runtime {
+
+size_t HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue
+      }
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t num_tasks,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr || pool->num_threads() <= 1 || num_tasks <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Dynamic self-scheduling: each runner claims the next unclaimed index.
+  // The claim order is nondeterministic; determinism is the body's job
+  // (index-derived seeds, index-addressed outputs).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t runners = std::min(pool->num_threads(), num_tasks);
+  std::vector<std::future<void>> done;
+  done.reserve(runners);
+  for (size_t r = 0; r < runners; ++r) {
+    done.push_back(pool->Submit([next, num_tasks, &body] {
+      for (;;) {
+        const size_t i = next->fetch_add(1);
+        if (i >= num_tasks) {
+          return;
+        }
+        body(i);
+      }
+    }));
+  }
+  // Every runner must finish before the frame (and the `body` it references)
+  // unwinds; only then is the first captured exception rethrown.
+  std::exception_ptr first_error;
+  for (auto& future : done) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace snic::runtime

@@ -1,0 +1,85 @@
+// Fixed-size worker pool for the experiment sweeps (see docs/RUNTIME.md).
+//
+// The Fig. 5 experiments replay every colocation mix twice on a single
+// thread; each replay is self-contained, so the sweep parallelizes
+// embarrassingly — provided the results stay bit-identical to the serial
+// run. The runtime therefore never lets the schedule influence an
+// experiment: work is addressed by *task index*, seeds derive from
+// (base_seed, task_index) via `DeriveTaskSeed` (never from thread ids), and
+// callers gather results into index-addressed slots. `ParallelFor` with a
+// null pool (or one task) degenerates to the plain serial loop, which is
+// exactly the pre-runtime code path.
+//
+// Scheduling is dynamic (workers pull the next unclaimed index), so *which
+// thread* runs a task is nondeterministic — only data flow is constrained,
+// and no experiment output may depend on the assignment.
+
+#ifndef SNIC_RUNTIME_THREAD_POOL_H_
+#define SNIC_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace snic::runtime {
+
+// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+// it to return 0 when the count is unknowable).
+size_t HardwareConcurrency();
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (floor 1). The pool is fixed-size; there is
+  // no work stealing or resizing.
+  explicit ThreadPool(size_t num_threads);
+  // Drains nothing: outstanding tasks are completed before the workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a callable and returns a future for its result. Tasks must not
+  // throw; an escaping exception is captured in the future, and ParallelFor
+  // rethrows the first one it sees.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    Enqueue([task] { (*task)(); });
+    return task->get_future();
+  }
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs body(0), body(1), ..., body(num_tasks - 1), returning when all have
+// completed. With a null pool, a single-thread pool, or fewer than two
+// tasks, the body runs inline on the calling thread in ascending index
+// order — byte-identical to the historical serial loop. Otherwise tasks are
+// claimed dynamically by min(num_threads, num_tasks) workers; the body must
+// not depend on execution order across indices.
+void ParallelFor(ThreadPool* pool, size_t num_tasks,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace snic::runtime
+
+#endif  // SNIC_RUNTIME_THREAD_POOL_H_

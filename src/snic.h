@@ -8,6 +8,7 @@
 //   accel/    virtualized accelerators (DPI/ZIP/RAID) + crypto co-processor
 //   sim/      cache/bus/DRAM timing simulator (gem5-lite)
 //   hwmodel/  McPAT-lite TLB costs + TCO model
+//   runtime/  deterministic parallel sweep runtime (docs/RUNTIME.md)
 //   net/      packets, headers, switching rules
 //   trace/    synthetic CAIDA/iCTF-like workload generation
 //   crypto/   SHA-256, RSA, Diffie-Hellman (attestation substrate)
@@ -63,6 +64,8 @@
 #include "src/nf/monitor.h"
 #include "src/nf/nat.h"
 #include "src/nf/nf_factory.h"
+#include "src/runtime/sweep.h"
+#include "src/runtime/thread_pool.h"
 #include "src/sim/bus.h"
 #include "src/sim/cache.h"
 #include "src/sim/replay.h"
