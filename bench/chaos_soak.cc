@@ -1,0 +1,483 @@
+// Differential chaos soak: fault isolation as a byte-identity invariant.
+//
+// Runs the same multi-NF constellation twice from one seed: scenario 0 is
+// fault-free; scenario 1 installs a fault schedule scoped entirely to the
+// victim NF A (accelerator faults, DMA staging errors, ingress
+// drop/corruption, transient launch failures, a heartbeat hang, bus-domain
+// stalls). A crashes, restarts under the supervisor's deterministic backoff,
+// degrades to its software path and finally quarantines — while bystander
+// NF B's packet outcomes, per-NF metrics, bus grants and trace lane must be
+// BYTE-IDENTICAL across the two scenarios, at every --jobs count. That is
+// the S-NIC isolation claim extended to failure: faults in one tenant are
+// invisible to another even through recovery machinery.
+//
+// Flags: --quick --jobs=N --seed=S --out=FILE (JSON summary)
+//        --trace-out=FILE (faulted scenario's Chrome trace)
+// Exit status 1 when the invariant is violated.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/accel/accelerator.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/keys.h"
+#include "src/fault/fault.h"
+#include "src/mgmt/dma.h"
+#include "src/mgmt/nic_os.h"
+#include "src/mgmt/supervisor.h"
+#include "src/net/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+#include "src/runtime/sweep.h"
+#include "src/runtime/thread_pool.h"
+#include "src/sim/bus.h"
+
+namespace snic {
+namespace {
+
+constexpr uint16_t kPortA = 1111;
+constexpr uint16_t kPortB = 2222;
+constexpr uint16_t kPortC = 3333;
+constexpr uint64_t kCyclesPerStep = 100;
+// Bench-private site: while it fires the victim neither heartbeats nor
+// polls its pipeline (a hung function, as the watchdog sees it).
+constexpr std::string_view kHangSite = "chaos.hang";
+
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(const uint8_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h = (h ^ p[i]) * 1099511628211ull;
+    }
+  }
+  void Mix64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    Mix(b, 8);
+  }
+};
+
+struct ScenarioResult {
+  std::string b_report;   // the invariant: identical across scenarios
+  std::string summary;    // scenario-specific narrative (printed)
+  obs::TraceLog trace;
+};
+
+mgmt::FunctionImage MakeImage(const std::string& name, uint16_t port,
+                              uint32_t zip_clusters) {
+  mgmt::FunctionImage image;
+  image.name = name;
+  image.code_and_data.assign(3000, 0xc0);
+  image.cores = 1;
+  image.memory_bytes = 8ull << 20;
+  image.accel_clusters[static_cast<size_t>(accel::AcceleratorType::kZip)] =
+      zip_clusters;
+  net::SwitchRule rule;
+  rule.dst_port = port;
+  image.switch_rules.push_back(rule);
+  return image;
+}
+
+// The victim-scoped fault schedule. `a_id` is A's initial nf id; the
+// supervisor's restart callback retargets these rules as A's id changes.
+void InstallFaultSchedule(fault::FaultPlane& plane, uint64_t a_id) {
+  auto add = [&plane](std::string_view site, uint64_t nf, uint64_t skip,
+                      uint64_t count, uint64_t period, uint64_t stall) {
+    fault::FaultRule rule;
+    rule.site = std::string(site);
+    rule.nf_id = nf;
+    rule.skip = skip;
+    rule.count = count;
+    rule.period = period;
+    rule.stall_cycles = stall;
+    plane.AddRule(rule);
+  };
+  constexpr uint64_t kForever = fault::FaultRule::kForever;
+  // Sporadic ingress damage on A's pipeline.
+  add(fault::sites::kVppRxDrop, a_id, 20, 1, 97, 0);
+  add(fault::sites::kVppRxCorrupt, a_id, 50, 1, 131, 0);
+  // One transient accelerator fault: crash -> downgrade to software path.
+  add(fault::sites::kAccelThreadAccess, a_id, 40, 1, 0, 0);
+  // A's first restart fails twice (setup consumes launch hits 0..2: A,B,C).
+  add(fault::sites::kNfLaunch, fault::kAnyNf, 3, 2, 0, 0);
+  // Heartbeat hang long enough to trip the watchdog.
+  add(kHangSite, a_id, 300, 40, 0, 0);
+  // One DMA staging error on the readback path.
+  add(fault::sites::kDmaNicToHost, a_id, 200, 1, 0, 0);
+  // Endgame: the host->NIC path fails forever; repeated crash-on-restart
+  // walks A into quarantine.
+  add(fault::sites::kDmaHostToNic, a_id, 1200, kForever, 0, 0);
+  // Bus-domain stalls for A's temporal-partition domain (domain 0).
+  add(fault::sites::kBusTimeout, 0, 10, 1, 50, 500);
+}
+
+ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
+  ScenarioResult result;
+  obs::MetricRegistry registry;
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
+
+  fault::FaultPlane plane(runtime::DeriveTaskSeed(seed, 1));
+  plane.AttachObs(&registry);
+  plane.AttachTrace(&result.trace);
+  fault::ScopedFaultPlane scoped_plane(&plane);
+
+  // Identical key material, device and traffic in both scenarios: only the
+  // fault schedule differs.
+  Rng vendor_rng(runtime::DeriveTaskSeed(seed, 2));
+  crypto::VendorAuthority vendor(512, vendor_rng);
+  core::SnicConfig config;
+  config.num_cores = 8;
+  config.dram_bytes = 256ull << 20;
+  config.rsa_modulus_bits = 512;
+  core::SnicDevice device(config, vendor);
+  mgmt::NicOs nic_os(&device);
+
+  mgmt::SupervisorConfig sup_config;
+  sup_config.seed = runtime::DeriveTaskSeed(seed, 3);
+  sup_config.watchdog_timeout_cycles = 15 * kCyclesPerStep;
+  sup_config.backoff_base_cycles = 2 * kCyclesPerStep;
+  sup_config.backoff_max_cycles = 32 * kCyclesPerStep;
+  sup_config.backoff_jitter_pct = 25;
+  sup_config.quarantine_after = 4;
+  sup_config.stable_cycles = 20 * kCyclesPerStep;
+  mgmt::Supervisor supervisor(&nic_os, vendor.public_key(), sup_config);
+  supervisor.AttachObs(&registry);
+  supervisor.AttachTrace(&result.trace);
+
+  const auto adopt = [&supervisor](const mgmt::FunctionImage& image) {
+    const auto id = supervisor.Adopt(image);
+    SNIC_CHECK(id.ok());
+    return id.value();
+  };
+  uint64_t a_id = adopt(MakeImage("victim-a", kPortA, /*zip_clusters=*/1));
+  const uint64_t b_id = adopt(MakeImage("bystander-b", kPortB, 0));
+  const uint64_t c_id = adopt(MakeImage("tenant-c", kPortC, 0));
+
+  if (faulted) {
+    InstallFaultSchedule(plane, a_id);
+  }
+
+  // A's DMA bank; re-pointed at A's new id after every restart.
+  mgmt::HostMemory host(64 * 1024);
+  mgmt::DmaController dma(&device, &host);
+  const auto bank_for = [](uint64_t nf_id) {
+    mgmt::DmaBankConfig bank;
+    bank.nf_id = nf_id;
+    bank.host_window_base = 0;
+    bank.host_window_bytes = 4096;
+    bank.nic_window_vbase = 0x10000;
+    bank.nic_window_bytes = 4096;
+    return bank;
+  };
+  SNIC_CHECK_OK(dma.ConfigureBank(1, bank_for(a_id)));
+
+  supervisor.SetRestartCallback([&](const std::string& name, uint64_t old_id,
+                                    uint64_t new_id) {
+    if (name == "victim-a") {
+      plane.RetargetRules(old_id, new_id);
+      a_id = new_id;
+      SNIC_CHECK_OK(dma.ConfigureBank(1, bank_for(new_id)));
+    }
+  });
+
+  const auto zip = accel::AcceleratorType::kZip;
+  const auto a_cluster = [&]() -> int {
+    for (uint32_t i = 0; i < device.accel_pool().NumClusters(zip); ++i) {
+      if (device.accel_pool().Owner(zip, i) == std::optional<uint64_t>(a_id)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  sim::TemporalPartitionArbiter::Config bus_config;
+  bus_config.transfer_cycles = 4;
+  bus_config.num_domains = 2;  // domain 0 = A, domain 1 = B
+  bus_config.epoch_cycles = 64;
+  bus_config.dead_time_cycles = 8;
+  sim::TemporalPartitionArbiter bus(bus_config);
+
+  Rng traffic(runtime::DeriveTaskSeed(seed, 4));
+  obs::Counter& b_rx = registry.GetCounter("chaos.b.rx", {{"nf", "b"}});
+  obs::Counter& b_tx = registry.GetCounter("chaos.b.tx", {{"nf", "b"}});
+
+  Fnv b_rx_digest, b_wire_digest, b_bus_digest;
+  uint64_t b_wire_packets = 0, b_bus_grants = 0;
+  uint64_t a_crashes_seen = 0;
+
+  for (uint64_t step = 0; step < steps; ++step) {
+    const uint64_t now = (step + 1) * kCyclesPerStep;
+    plane.AdvanceClockTo(now);
+
+    // Wire traffic: three frames per step, ports and payload drawn from the
+    // scenario-invariant traffic stream.
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t pick = traffic.NextBounded(3);
+      net::FiveTuple tuple;
+      tuple.src_ip = net::Ipv4FromString("10.0.0.9");
+      tuple.dst_ip = net::Ipv4FromString("203.0.113.7");
+      tuple.src_port = static_cast<uint16_t>(10000 + traffic.NextBounded(100));
+      tuple.dst_port = pick == 0 ? kPortA : (pick == 1 ? kPortB : kPortC);
+      tuple.protocol = 6;
+      std::vector<uint8_t> payload(64);
+      for (size_t k = 0; k < payload.size(); k += 8) {
+        const uint64_t v = traffic.NextU64();
+        for (size_t j = 0; j < 8; ++j) {
+          payload[k + j] = static_cast<uint8_t>(v >> (8 * j));
+        }
+      }
+      net::Packet packet = net::PacketBuilder()
+                               .SetTuple(tuple)
+                               .SetPayload(payload)
+                               .Build();
+      (void)device.DeliverFromWire(std::move(packet));
+    }
+
+    // One bus transfer per domain per step. Domain 1 (B) grants must be
+    // byte-identical whatever happens in domain 0.
+    (void)bus.Grant(now, /*domain=*/0);
+    const uint64_t b_grant = bus.Grant(now, /*domain=*/1);
+    b_bus_digest.Mix64(b_grant);
+    ++b_bus_grants;
+
+    // Victim A: polls, stages DMA, touches its accelerator. Any transient
+    // (kUnavailable) failure is a crash the supervisor recovers from.
+    const bool a_running =
+        supervisor.HealthOf("victim-a") == mgmt::NfHealth::kRunning;
+    const bool a_hung = a_running && SNIC_FAULT_FIRES(kHangSite, a_id);
+    if (a_running && !a_hung) {
+      bool a_crashed = false;
+      while (!a_crashed) {
+        auto received = device.NfReceive(a_id);
+        if (!received.ok()) {
+          break;
+        }
+        (void)device.NfSend(a_id, std::move(received).value());
+      }
+      Status h2n = dma.HostToNic(1, 0, 0x10000, 256);
+      Status n2h = a_crashed || !h2n.ok()
+                       ? OkStatus()
+                       : dma.NicToHost(1, 0x10000, 1024, 256);
+      if (h2n.code() == ErrorCode::kUnavailable ||
+          n2h.code() == ErrorCode::kUnavailable) {
+        supervisor.ReportCrash("victim-a", mgmt::CrashCause::kDmaFault);
+        a_crashed = true;
+      }
+      if (!a_crashed && !supervisor.IsDegraded("victim-a")) {
+        const int cluster = a_cluster();
+        if (cluster >= 0) {
+          auto access = device.accel_pool().ThreadAccess(
+              zip, static_cast<uint32_t>(cluster), 0x1000, false);
+          if (!access.ok() &&
+              access.status().code() == ErrorCode::kUnavailable) {
+            supervisor.ReportCrash("victim-a", mgmt::CrashCause::kAccelFault);
+            a_crashed = true;
+          }
+        }
+      }
+      if (a_crashed) {
+        ++a_crashes_seen;
+      } else {
+        supervisor.Heartbeat("victim-a");
+      }
+    }
+
+    // Bystander B: polls, digests, echoes. Everything it observes goes into
+    // the invariant report.
+    for (;;) {
+      auto received = device.NfReceive(b_id);
+      if (!received.ok()) {
+        break;
+      }
+      net::Packet packet = std::move(received).value();
+      b_rx_digest.Mix(packet.bytes().data(), packet.size());
+      b_rx.Inc();
+      result.trace.AddComplete("b.process", now, 1,
+                               static_cast<uint32_t>(b_id), 0);
+      if (device.NfSend(b_id, std::move(packet)).ok()) {
+        b_tx.Inc();
+      }
+    }
+    supervisor.Heartbeat("bystander-b");
+
+    // Tenant C: a plain forwarding tenant keeping the switch busy.
+    for (;;) {
+      auto received = device.NfReceive(c_id);
+      if (!received.ok()) {
+        break;
+      }
+      (void)device.NfSend(c_id, std::move(received).value());
+    }
+    supervisor.Heartbeat("tenant-c");
+
+    supervisor.Tick(now);
+
+    // Drain the wire; attribute B's frames by their port.
+    for (;;) {
+      auto out = device.TransmitToWire();
+      if (!out.ok()) {
+        break;
+      }
+      const auto parsed = net::Parse(out.value().bytes());
+      if (parsed.ok() && parsed.value().Tuple().dst_port == kPortB) {
+        b_wire_digest.Mix(out.value().bytes().data(), out.value().size());
+        ++b_wire_packets;
+      }
+    }
+  }
+
+  // ---- B's invariant report ----------------------------------------------
+  char line[256];
+  std::string& report = result.b_report;
+  const core::VirtualPacketPipeline* b_vpp = device.Vpp(b_id);
+  SNIC_CHECK(b_vpp != nullptr);
+  const core::VppStats& bs = b_vpp->stats();
+  Fnv b_trace_digest;
+  uint64_t b_trace_events = 0;
+  for (const obs::TraceEvent& event : result.trace.events()) {
+    if (event.pid != static_cast<uint32_t>(b_id)) {
+      continue;
+    }
+    b_trace_digest.Mix(reinterpret_cast<const uint8_t*>(event.name.data()),
+                       event.name.size());
+    b_trace_digest.Mix64(event.ts);
+    b_trace_digest.Mix64(event.dur);
+    ++b_trace_events;
+  }
+  std::snprintf(line, sizeof(line), "b.nf_id: %" PRIu64 "\n", b_id);
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.rx: %" PRIu64 " digest: %016" PRIx64 "\n",
+                b_rx.value(), b_rx_digest.h);
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
+                b_wire_packets, b_wire_digest.h);
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.vpp: rx=%" PRIu64 " drop_full=%" PRIu64
+                " drop_fault=%" PRIu64 " corrupt_fault=%" PRIu64
+                " tx=%" PRIu64 " rx_bytes=%" PRIu64 " tx_bytes=%" PRIu64 "\n",
+                bs.rx_packets, bs.rx_dropped_full, bs.rx_dropped_fault,
+                bs.rx_corrupt_fault, bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n",
+                b_bus_grants, b_bus_digest.h);
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.metrics: tx=%" PRIu64 "\n", b_tx.value());
+  report += line;
+  std::snprintf(line, sizeof(line),
+                "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
+                b_trace_events, b_trace_digest.h);
+  report += line;
+
+  // ---- Scenario narrative ------------------------------------------------
+  const mgmt::SupervisorStats& stats = supervisor.stats();
+  std::string& summary = result.summary;
+  std::snprintf(line, sizeof(line), "  faults injected:   %" PRIu64 "\n",
+                plane.injected_total());
+  summary += line;
+  for (std::string_view site :
+       {fault::sites::kVppRxDrop, fault::sites::kVppRxCorrupt,
+        fault::sites::kAccelThreadAccess, fault::sites::kNfLaunch,
+        fault::sites::kDmaNicToHost, fault::sites::kDmaHostToNic,
+        fault::sites::kBusTimeout, kHangSite}) {
+    const uint64_t n = plane.InjectedAt(site);
+    if (n > 0) {
+      std::snprintf(line, sizeof(line), "    %-22s %" PRIu64 "\n",
+                    std::string(site).c_str(), n);
+      summary += line;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "  supervisor: crashes=%" PRIu64 " watchdog=%" PRIu64
+                " restarts=%" PRIu64 " failed_restarts=%" PRIu64
+                " quarantines=%" PRIu64 "\n",
+                stats.crashes, stats.watchdog_timeouts, stats.restarts,
+                stats.failed_restarts, stats.quarantines);
+  summary += line;
+  std::snprintf(line, sizeof(line),
+                "  supervisor: downgrades=%" PRIu64 " reattestations=%" PRIu64
+                "\n",
+                stats.accel_downgrades, stats.reattestations);
+  summary += line;
+  std::snprintf(
+      line, sizeof(line), "  victim-a: health=%s degraded=%d crashes=%" PRIu64
+      "\n",
+      std::string(mgmt::NfHealthName(supervisor.HealthOf("victim-a"))).c_str(),
+      supervisor.IsDegraded("victim-a") ? 1 : 0, a_crashes_seen);
+  summary += line;
+  return result;
+}
+
+}  // namespace
+}  // namespace snic
+
+int main(int argc, char** argv) {
+  using namespace snic;
+
+  const bool quick = bench::QuickMode(argc, argv);
+  const size_t jobs = bench::JobsFlag(argc, argv);
+  const std::string seed_flag = bench::FlagValue(argc, argv, "--seed");
+  const uint64_t seed =
+      seed_flag.empty() ? 0xc4a05ull
+                        : std::strtoull(seed_flag.c_str(), nullptr, 10);
+  const uint64_t steps = quick ? 2000 : 12000;
+  const std::string out = bench::FlagValue(argc, argv, "--out");
+  const std::string trace_out = bench::FlagValue(argc, argv, "--trace-out");
+
+  bench::PrintHeader("Chaos soak: differential fault isolation",
+                     "S-NIC isolation under injected faults (robustness)");
+
+  std::vector<ScenarioResult> results(2);
+  {
+    auto pool = bench::MakePool(jobs);
+    runtime::ParallelFor(pool.get(), 2, [&](size_t task) {
+      results[task] = RunScenario(/*faulted=*/task == 1, seed, steps);
+    });
+  }
+
+  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n", seed,
+              steps);
+  std::printf("scenario 0 (fault-free):\n%s\n", results[0].summary.c_str());
+  std::printf("scenario 1 (faults in victim-a only):\n%s\n",
+              results[1].summary.c_str());
+
+  const bool identical = results[0].b_report == results[1].b_report;
+  std::printf("bystander-b report:\n%s\n", results[0].b_report.c_str());
+  if (identical) {
+    std::printf("INVARIANT HOLDS: bystander-b byte-identical across "
+                "scenarios\n");
+  } else {
+    std::printf("INVARIANT VIOLATED: bystander-b diverged\n");
+    std::printf("--- fault-free ---\n%s", results[0].b_report.c_str());
+    std::printf("--- faulted ---\n%s", results[1].b_report.c_str());
+  }
+
+  if (!trace_out.empty()) {
+    const Status s = results[1].trace.WriteFile(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    }
+  }
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\"invariant_holds\": %s, \"seed\": %" PRIu64
+                   ", \"steps\": %" PRIu64 ", \"b_report\": \"%s\"}\n",
+                   identical ? "true" : "false", seed, steps, "see-stdout");
+      std::fclose(f);
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/units.h"
+#include "src/fault/fault.h"
 
 namespace snic::accel {
 
@@ -154,6 +155,9 @@ Result<uint64_t> VirtualAcceleratorPool::ThreadAccess(AcceleratorType type,
   const Cluster& c = state.clusters[cluster];
   if (!c.owner.has_value()) {
     return PermissionDenied("cluster is not bound to a function");
+  }
+  if (SNIC_FAULT_FIRES(fault::sites::kAccelThreadAccess, *c.owner)) {
+    return Unavailable("injected transient accelerator fault");
   }
   const auto translation = c.tlb.Translate(virt_addr);
   if (!translation.has_value()) {

@@ -22,6 +22,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "INTERNAL";
     case ErrorCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

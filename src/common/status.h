@@ -29,6 +29,7 @@ enum class ErrorCode {
   kFailedPrecondition, // operation invalid in the current state
   kInternal,           // invariant violation inside the library
   kUnimplemented,      // feature intentionally out of scope
+  kUnavailable,        // transient failure (injected fault, stalled unit)
 };
 
 // Human-readable name for an error code (stable, for logs and tests).
@@ -84,6 +85,9 @@ inline Status Internal(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
 }
 
 // A value-or-error. `value()` asserts on the error path; callers are expected

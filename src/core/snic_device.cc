@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/fault/fault.h"
 #include "src/net/parser.h"
 
 namespace snic::core {
@@ -95,6 +96,10 @@ Status SnicDevice::CheckLaunchArgs(const NfLaunchArgs& args) const {
 Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
   if (config_.mode != SecurityMode::kSnic) {
     return FailedPrecondition("nf_launch requires S-NIC mode");
+  }
+  if (SNIC_FAULT_FIRES(fault::sites::kNfLaunch, next_nf_id_)) {
+    SNIC_OBS(if (obs_launch_failures_ != nullptr) obs_launch_failures_->Inc());
+    return ResourceExhausted("injected transient launch failure");
   }
   if (Status check = CheckLaunchArgs(args); !check.ok()) {
     SNIC_OBS(if (obs_launch_failures_ != nullptr) obs_launch_failures_->Inc());

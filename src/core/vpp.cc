@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/fault/fault.h"
+
 namespace snic::core {
 
 VirtualPacketPipeline::VirtualPacketPipeline(uint64_t nf_id,
@@ -26,6 +28,17 @@ uint64_t VirtualPacketPipeline::BufferedRxBytes() const {
 }
 
 Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
+  if (SNIC_FAULT_FIRES(fault::sites::kVppRxDrop, nf_id_)) {
+    ++stats_.rx_dropped_fault;
+    return Unavailable("injected ingress drop");
+  }
+  if (!packet.empty() &&
+      SNIC_FAULT_FIRES(fault::sites::kVppRxCorrupt, nf_id_)) {
+    // Flip one bit at a position derived from this VPP's own RX history so
+    // the corruption is deterministic per-pipeline.
+    packet.mutable_bytes()[stats_.rx_packets % packet.size()] ^= 0x01;
+    ++stats_.rx_corrupt_fault;
+  }
   if (BufferedRxBytes() + packet.size() > config_.rx_buffer_bytes) {
     ++stats_.rx_dropped_full;
     return ResourceExhausted("RX buffer reservation full");

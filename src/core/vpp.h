@@ -42,6 +42,8 @@ struct VppConfig {
 struct VppStats {
   uint64_t rx_packets = 0;
   uint64_t rx_dropped_full = 0;
+  uint64_t rx_dropped_fault = 0;   // injected ingress drops (fault plane)
+  uint64_t rx_corrupt_fault = 0;   // injected single-bit ingress corruptions
   uint64_t tx_packets = 0;
   uint64_t rx_bytes = 0;
   uint64_t tx_bytes = 0;

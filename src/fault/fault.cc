@@ -1,0 +1,142 @@
+#include "src/fault/fault.h"
+
+namespace snic::fault {
+
+namespace {
+
+thread_local FaultPlane* tls_plane = nullptr;
+
+// Per-rule stream seed: a pure function of (plane seed, rule index), mixed
+// the same way runtime::DeriveTaskSeed mixes (base, task) so adjacent rules
+// get decorrelated streams.
+uint64_t DeriveRuleSeed(uint64_t plane_seed, uint64_t rule_index) {
+  uint64_t x = plane_seed;
+  Rng::SplitMix64(x);
+  x += rule_index;
+  return Rng::SplitMix64(x);
+}
+
+}  // namespace
+
+void FaultPlane::AddRule(FaultRule rule) {
+  rules_.emplace_back(std::move(rule), DeriveRuleSeed(seed_, rules_.size()));
+  if (registry_ != nullptr) {
+    PublishRule(rules_.back());
+  }
+}
+
+void FaultPlane::PublishRule(RuleState& state) {
+  obs::Labels labels;
+  labels.emplace_back("site", state.rule.site);
+  labels.emplace_back("nf", state.rule.nf_id == kAnyNf
+                                ? std::string("any")
+                                : std::to_string(state.rule.nf_id));
+  state.obs_injected = &registry_->GetCounter("fault.injected", labels);
+}
+
+void FaultPlane::AttachObs(obs::MetricRegistry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) {
+    for (RuleState& state : rules_) {
+      state.obs_injected = nullptr;
+    }
+    return;
+  }
+  for (RuleState& state : rules_) {
+    PublishRule(state);
+  }
+}
+
+bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
+                          uint64_t* stall) {
+  bool fired = false;
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.site != site) {
+      continue;
+    }
+    if (rule.nf_id != kAnyNf && rule.nf_id != nf_id) {
+      continue;
+    }
+    const uint64_t hit = state.hits++;
+    if (hit < rule.skip) {
+      continue;
+    }
+    const uint64_t armed = hit - rule.skip;
+    const bool in_window =
+        rule.period == 0
+            ? (rule.count == FaultRule::kForever || armed < rule.count)
+            : (armed % rule.period) < rule.count;
+    if (!in_window) {
+      continue;
+    }
+    if (rule.probability < 1.0 && state.rng.NextDouble() >= rule.probability) {
+      continue;
+    }
+    fired = true;
+    *stall += rule.stall_cycles;
+    ++state.injected;
+    ++injected_total_;
+    if (state.obs_injected != nullptr) {
+      state.obs_injected->Inc();
+    }
+    if (trace_ != nullptr) {
+      obs::Labels args;
+      args.emplace_back("site", rule.site);
+      trace_->AddInstant("fault", now_, static_cast<uint32_t>(nf_id),
+                         /*tid=*/0, std::move(args));
+    }
+  }
+  return fired;
+}
+
+bool FaultPlane::Fires(std::string_view site, uint64_t nf_id) {
+  uint64_t stall = 0;
+  return Evaluate(site, nf_id, &stall);
+}
+
+uint64_t FaultPlane::StallCycles(std::string_view site, uint64_t nf_id) {
+  uint64_t stall = 0;
+  Evaluate(site, nf_id, &stall);
+  return stall;
+}
+
+void FaultPlane::RetargetRules(uint64_t old_nf, uint64_t new_nf) {
+  for (RuleState& state : rules_) {
+    if (state.rule.nf_id == old_nf) {
+      // The obs series keeps its original nf label (the schedule's
+      // identity); only the live filter moves.
+      state.rule.nf_id = new_nf;
+    }
+  }
+}
+
+uint64_t FaultPlane::InjectedAt(std::string_view site) const {
+  uint64_t total = 0;
+  for (const RuleState& state : rules_) {
+    if (state.rule.site == site) {
+      total += state.injected;
+    }
+  }
+  return total;
+}
+
+FaultPlane* CurrentFaultPlane() { return tls_plane; }
+
+ScopedFaultPlane::ScopedFaultPlane(FaultPlane* plane) : previous_(tls_plane) {
+  tls_plane = plane;
+}
+
+ScopedFaultPlane::~ScopedFaultPlane() { tls_plane = previous_; }
+
+bool SiteFires(std::string_view site, uint64_t nf_id) {
+  FaultPlane* plane = tls_plane;
+  return plane != nullptr && plane->Fires(site, nf_id);
+}
+
+uint64_t SiteStall(std::string_view site, uint64_t nf_id) {
+  FaultPlane* plane = tls_plane;
+  return plane == nullptr ? 0 : plane->StallCycles(site, nf_id);
+}
+
+}  // namespace snic::fault

@@ -1,0 +1,188 @@
+// Deterministic fault-injection plane (docs/ROBUSTNESS.md).
+//
+// S-NIC's isolation claim is only meaningful if it holds when things break:
+// accelerators stall, DMA staging errors, packets arrive corrupted, launches
+// transiently fail, the bus times out. This module makes those failures
+// first-class, *deterministic* scenarios. A FaultPlane holds a schedule of
+// rules keyed by (site name, NF id); instrumented code consults the plane
+// through the SNIC_FAULT_* macros at named injection sites.
+//
+// Determinism contract (mirrors src/runtime, docs/RUNTIME.md): every rule
+// owns its own hit counter and its own Rng stream derived from (plane seed,
+// rule index), so a decision depends only on the sequence of matching hits
+// at that rule — never on wall clock, thread ids, or interleaving with other
+// sites. A rule scoped to NF A structurally cannot consume randomness or
+// advance counters on NF B's hits, which is what makes the chaos_soak
+// differential isolation invariant (B byte-identical with and without faults
+// in A) provable rather than probabilistic, at every --jobs count.
+//
+// Installation is scoped and thread-local (like obs::ScopedDefaultRegistry):
+// with no plane installed every site is one thread-local load plus a null
+// check. Compile-out: building with -DSNIC_FAULTS_DISABLED turns every site
+// into the constant `false` / `0`, so the hot path provably carries zero
+// fault-plane code (tests/fault_disabled_test.cc proves it per-TU; the CI
+// faults-off job proves the whole build and re-runs the obs_overhead
+// budget).
+
+#ifndef SNIC_FAULT_FAULT_H_
+#define SNIC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+
+// Injection-site check: true when an installed FaultPlane schedules a fault
+// for this execution of the site. Compiles to the constant `false` under
+// -DSNIC_FAULTS_DISABLED (the arguments are not evaluated).
+// Usage: if (SNIC_FAULT_FIRES(fault::sites::kVppRxDrop, nf_id)) { ... }
+#ifdef SNIC_FAULTS_DISABLED
+#define SNIC_FAULT_FIRES(site, nf_id) (false)
+#define SNIC_FAULT_STALL(site, nf_id) (uint64_t{0})
+#else
+#define SNIC_FAULT_FIRES(site, nf_id) \
+  (::snic::fault::SiteFires((site), (nf_id)))
+#define SNIC_FAULT_STALL(site, nf_id) \
+  (::snic::fault::SiteStall((site), (nf_id)))
+#endif
+
+namespace snic::fault {
+
+// Canonical site names. A site is just a string key — components may mint
+// new ones — but the wired-in sites live here so schedules and docs agree.
+namespace sites {
+// Accelerator dispatch: a firing hit makes the cluster's thread access fail
+// with kUnavailable (transient accelerator failure/stall).
+inline constexpr std::string_view kAccelThreadAccess = "accel.thread_access";
+// DMA staging between host and NIC windows: transfer fails with
+// kUnavailable before any byte moves.
+inline constexpr std::string_view kDmaHostToNic = "dma.host_to_nic";
+inline constexpr std::string_view kDmaNicToHost = "dma.nic_to_host";
+// VPP ingress: drop the frame, or flip one byte before it is buffered.
+inline constexpr std::string_view kVppRxDrop = "vpp.rx.drop";
+inline constexpr std::string_view kVppRxCorrupt = "vpp.rx.corrupt";
+// Trusted-instruction layer: nf_launch fails with transient
+// kResourceExhausted before touching any resource.
+inline constexpr std::string_view kNfLaunch = "snic.nf_launch";
+// Internal IO bus: the request is stalled by the rule's stall_cycles
+// payload before arbitration (a modeled timeout).
+inline constexpr std::string_view kBusTimeout = "sim.bus.timeout";
+}  // namespace sites
+
+// Matches every NF id (including 0, the "no NF yet" id used by nf_launch).
+inline constexpr uint64_t kAnyNf = ~uint64_t{0};
+
+// One scheduled fault. A rule observes the stream of hits matching its
+// (site, nf_id) filter; hit numbering is per-rule. The first `skip` matching
+// hits pass through unharmed ("arming delay"). With period == 0 the next
+// `count` hits fire (kForever = keep firing); with period > 0 the armed
+// stream fires cyclically whenever (armed_hit % period) < count. An optional
+// Bernoulli draw (probability < 1) from the rule's private stream thins the
+// firing hits.
+struct FaultRule {
+  static constexpr uint64_t kForever = ~uint64_t{0};
+
+  std::string site;
+  uint64_t nf_id = kAnyNf;
+  uint64_t skip = 0;
+  uint64_t count = 1;
+  uint64_t period = 0;
+  double probability = 1.0;
+  uint64_t stall_cycles = 0;  // payload for stall/timeout sites
+};
+
+// A seeded, schedule-driven fault injector. Single-threaded like a metric
+// shard: a plane belongs to the scenario (thread) that installed it.
+class FaultPlane {
+ public:
+  explicit FaultPlane(uint64_t seed) : seed_(seed) {}
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  void AddRule(FaultRule rule);
+
+  // Decision for one execution of a site: advances every matching rule's hit
+  // counter and returns true when at least one fires.
+  bool Fires(std::string_view site, uint64_t nf_id);
+
+  // Like Fires, but returns the summed stall_cycles payload of the firing
+  // rules (0 when none fire).
+  uint64_t StallCycles(std::string_view site, uint64_t nf_id);
+
+  // Re-points rules scoped to `old_nf` at `new_nf` (hit counters and rng
+  // streams keep running). Lets a schedule follow a supervised NF whose id
+  // changes across restarts.
+  void RetargetRules(uint64_t old_nf, uint64_t new_nf);
+
+  // The plane's simulated clock. Components that need a time base for
+  // backoff (mgmt::Autoscaler) read now(); the scenario driver advances it.
+  void AdvanceClockTo(uint64_t cycle) { now_ = cycle > now_ ? cycle : now_; }
+  uint64_t now() const { return now_; }
+
+  uint64_t injected_total() const { return injected_total_; }
+  uint64_t InjectedAt(std::string_view site) const;
+
+  // Publishes `fault.injected{site=...,nf=...}` counters (one per rule) to
+  // `registry`. Unlike the device classes the plane does NOT self-attach to
+  // the default registry: a plane is an experiment fixture, so its series
+  // appear only where the experiment asks for them.
+  void AttachObs(obs::MetricRegistry* registry);
+  // Emits one instant event per injected fault at the plane clock, on the
+  // faulted NF's trace lane.
+  void AttachTrace(obs::TraceLog* trace) { trace_ = trace; }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t hits = 0;
+    uint64_t injected = 0;
+    Rng rng;
+    obs::Counter* obs_injected = nullptr;
+
+    RuleState(FaultRule r, uint64_t rule_seed)
+        : rule(std::move(r)), rng(rule_seed) {}
+  };
+
+  // Shared evaluation: advances matching rules, returns whether any fired
+  // and accumulates firing rules' stall payloads into *stall.
+  bool Evaluate(std::string_view site, uint64_t nf_id, uint64_t* stall);
+  void PublishRule(RuleState& state);
+
+  uint64_t seed_;
+  uint64_t now_ = 0;
+  uint64_t injected_total_ = 0;
+  std::vector<RuleState> rules_;
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
+};
+
+// The plane installed on the calling thread, or nullptr. Injection sites go
+// through this so uninstrumented runs pay one thread-local load.
+FaultPlane* CurrentFaultPlane();
+
+// RAII thread-local installation (nestable; previous plane restored).
+class ScopedFaultPlane {
+ public:
+  explicit ScopedFaultPlane(FaultPlane* plane);
+  ~ScopedFaultPlane();
+
+  ScopedFaultPlane(const ScopedFaultPlane&) = delete;
+  ScopedFaultPlane& operator=(const ScopedFaultPlane&) = delete;
+
+ private:
+  FaultPlane* previous_;
+};
+
+// Macro back-ends: null-plane fast path, then FaultPlane::Fires /
+// StallCycles on the installed plane.
+bool SiteFires(std::string_view site, uint64_t nf_id);
+uint64_t SiteStall(std::string_view site, uint64_t nf_id);
+
+}  // namespace snic::fault
+
+#endif  // SNIC_FAULT_FAULT_H_

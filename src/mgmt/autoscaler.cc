@@ -1,6 +1,17 @@
 #include "src/mgmt/autoscaler.h"
 
+#include <algorithm>
+
+#include "src/fault/fault.h"
+
 namespace snic::mgmt {
+
+namespace {
+bool IsTransient(const Status& status) {
+  return status.code() == ErrorCode::kResourceExhausted ||
+         status.code() == ErrorCode::kUnavailable;
+}
+}  // namespace
 
 Autoscaler::Autoscaler(NicOs* nic_os, AutoscalerConfig config)
     : nic_os_(nic_os), config_(std::move(config)) {
@@ -44,6 +55,38 @@ Status Autoscaler::ScaleDown() {
   return OkStatus();
 }
 
+uint64_t Autoscaler::Clock() const {
+  const fault::FaultPlane* plane = fault::CurrentFaultPlane();
+  return plane != nullptr ? plane->now() : stats_.steps;
+}
+
+Status Autoscaler::HandleLaunchFailure(Status status) {
+  if (!IsTransient(status)) {
+    retry_pending_ = false;
+    retry_attempts_ = 0;
+    return status;
+  }
+  ++stats_.launch_failures;
+  if (retry_attempts_ >= config_.max_launch_retries) {
+    // Budget exhausted: give up on this launch; a later step that still
+    // sees pressure starts a fresh attempt sequence.
+    retry_pending_ = false;
+    retry_attempts_ = 0;
+    ++stats_.abandoned_launches;
+    return status;
+  }
+  uint64_t backoff = config_.retry_backoff_base;
+  for (uint32_t i = 0; i < retry_attempts_ && backoff < config_.retry_backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.retry_backoff_max);
+  retry_pending_ = true;
+  ++retry_attempts_;
+  retry_due_ = Clock() + backoff;
+  return OkStatus();  // absorbed: the control loop owns the retry
+}
+
 Status Autoscaler::Step(double offered_load) {
   ++stats_.steps;
   const double capacity = Capacity();
@@ -53,9 +96,35 @@ Status Autoscaler::Step(double offered_load) {
     ++stats_.overload_steps;
   }
 
+  // A pending retry is committed demand: service it before fresh decisions,
+  // but never past max_instances (pressure may have been satisfied since).
+  if (retry_pending_) {
+    if (instances() >= config_.max_instances ||
+        utilization <= config_.scale_down_threshold) {
+      retry_pending_ = false;
+      retry_attempts_ = 0;
+    } else if (Clock() >= retry_due_) {
+      ++stats_.launch_retries;
+      Status retried = ScaleUp();
+      if (retried.ok()) {
+        retry_pending_ = false;
+        retry_attempts_ = 0;
+      } else if (Status s = HandleLaunchFailure(std::move(retried)); !s.ok()) {
+        return s;
+      }
+      return OkStatus();
+    } else {
+      return OkStatus();  // still backing off
+    }
+  }
+
   if (utilization > config_.scale_up_threshold &&
       instances() < config_.max_instances) {
-    return ScaleUp();
+    Status up = ScaleUp();
+    if (!up.ok()) {
+      return HandleLaunchFailure(std::move(up));
+    }
+    return OkStatus();
   }
   // Scale down only if the remaining capacity still clears the up-threshold
   // margin (hysteresis; avoids flapping at the boundary).

@@ -27,6 +27,14 @@ struct AutoscalerConfig {
   double scale_down_threshold = 0.45;   // utilization that triggers -1
   uint32_t min_instances = 1;
   uint32_t max_instances = 8;
+
+  // Transient-launch-failure handling: a scale-up that fails with
+  // kResourceExhausted / kUnavailable is retried up to max_launch_retries
+  // times with doubling backoff (measured on the fault plane's cycle clock
+  // when one is installed, otherwise in control-loop steps).
+  uint32_t max_launch_retries = 3;
+  uint64_t retry_backoff_base = 2;
+  uint64_t retry_backoff_max = 32;
 };
 
 struct AutoscalerStats {
@@ -35,6 +43,9 @@ struct AutoscalerStats {
   double launch_ms_paid = 0.0;    // modeled nf_launch time spent scaling
   double teardown_ms_paid = 0.0;
   uint64_t overload_steps = 0;    // steps where load exceeded capacity
+  uint64_t launch_failures = 0;   // transient nf_launch errors absorbed
+  uint64_t launch_retries = 0;    // retry attempts issued
+  uint64_t abandoned_launches = 0;  // retry budget exhausted
   double utilization_sum = 0.0;   // for the mean
   uint64_t steps = 0;
 
@@ -61,15 +72,24 @@ class Autoscaler {
   }
   const AutoscalerStats& stats() const { return stats_; }
   const std::vector<uint64_t>& live_ids() const { return live_; }
+  bool RetryPending() const { return retry_pending_; }
 
  private:
   Status ScaleUp();
   Status ScaleDown();
+  // Fault-plane cycle clock when a plane is installed, else the step count.
+  uint64_t Clock() const;
+  // Routes a ScaleUp failure: transient codes arm (or re-arm) the retry
+  // state and are absorbed; anything else propagates.
+  Status HandleLaunchFailure(Status status);
 
   NicOs* nic_os_;
   AutoscalerConfig config_;
   std::vector<uint64_t> live_;
   AutoscalerStats stats_;
+  bool retry_pending_ = false;
+  uint32_t retry_attempts_ = 0;
+  uint64_t retry_due_ = 0;
 };
 
 }  // namespace snic::mgmt

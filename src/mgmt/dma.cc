@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/fault/fault.h"
+
 namespace snic::mgmt {
 
 Status HostMemory::Read(uint64_t offset, std::span<uint8_t> out) const {
@@ -59,6 +61,9 @@ Status DmaController::HostToNic(uint32_t bank, uint64_t host_offset,
       !s.ok()) {
     return s;
   }
+  if (SNIC_FAULT_FIRES(fault::sites::kDmaHostToNic, config.nf_id)) {
+    return Unavailable("injected DMA staging error (host->NIC)");
+  }
   std::vector<uint8_t> buffer(bytes);
   if (Status s = host_->Read(host_offset,
                              std::span<uint8_t>(buffer.data(), buffer.size()));
@@ -79,6 +84,9 @@ Status DmaController::NicToHost(uint32_t bank, uint64_t nic_vaddr,
   if (Status s = CheckWindows(config, host_offset, nic_vaddr, bytes);
       !s.ok()) {
     return s;
+  }
+  if (SNIC_FAULT_FIRES(fault::sites::kDmaNicToHost, config.nf_id)) {
+    return Unavailable("injected DMA staging error (NIC->host)");
   }
   std::vector<uint8_t> buffer(bytes);
   if (Status s = device_->NfReadBlock(

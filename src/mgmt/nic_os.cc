@@ -57,8 +57,21 @@ void NicOs::AttachObs(obs::MetricRegistry* registry) {
   SNIC_OBS({
     obs_create_ok_ = &registry->GetCounter("mgmt.nf_create.ok");
     obs_create_failures_ = &registry->GetCounter("mgmt.nf_create.failures");
+    obs_destroy_ok_ = &registry->GetCounter("mgmt.nf_destroy.ok");
+    obs_destroy_failures_ = &registry->GetCounter("mgmt.nf_destroy.failures");
   });
   (void)registry;
+}
+
+Status NicOs::NfDestroy(uint64_t nf_id) {
+  Status status = device_->NfTeardown(nf_id);
+  SNIC_OBS({
+    obs::Counter* c = status.ok() ? obs_destroy_ok_ : obs_destroy_failures_;
+    if (c != nullptr) {
+      c->Inc();
+    }
+  });
+  return status;
 }
 
 Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {

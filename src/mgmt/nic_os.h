@@ -49,7 +49,7 @@ class NicOs {
   Result<uint64_t> NfCreate(const FunctionImage& image);
 
   // NF_destroy: invoke nf_teardown.
-  Status NfDestroy(uint64_t nf_id) { return device_->NfTeardown(nf_id); }
+  Status NfDestroy(uint64_t nf_id);
 
   // Management-plane physical memory access (denylist applies). Exposed so
   // the attack demos can show a *hostile* NIC OS being stopped by hardware.
@@ -63,7 +63,8 @@ class NicOs {
   core::SnicDevice& device() { return *device_; }
 
   // Points the management-plane counters (`mgmt.nf_create.ok`,
-  // `mgmt.nf_create.failures`) at `registry`; the constructor attaches to
+  // `mgmt.nf_create.failures`, `mgmt.nf_destroy.ok`,
+  // `mgmt.nf_destroy.failures`) at `registry`; the constructor attaches to
   // obs::DefaultRegistry() by default.
   void AttachObs(obs::MetricRegistry* registry);
 
@@ -74,6 +75,8 @@ class NicOs {
   core::SnicDevice* device_;
   obs::Counter* obs_create_ok_ = nullptr;
   obs::Counter* obs_create_failures_ = nullptr;
+  obs::Counter* obs_destroy_ok_ = nullptr;
+  obs::Counter* obs_destroy_failures_ = nullptr;
 };
 
 }  // namespace snic::mgmt

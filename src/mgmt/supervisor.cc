@@ -1,0 +1,286 @@
+#include "src/mgmt/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/attestation.h"
+#include "src/mgmt/verifier.h"
+
+namespace snic::mgmt {
+
+std::string_view NfHealthName(NfHealth health) {
+  switch (health) {
+    case NfHealth::kRunning:
+      return "RUNNING";
+    case NfHealth::kRestarting:
+      return "RESTARTING";
+    case NfHealth::kQuarantined:
+      return "QUARANTINED";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view CrashCauseName(CrashCause cause) {
+  switch (cause) {
+    case CrashCause::kGeneric:
+      return "generic";
+    case CrashCause::kAccelFault:
+      return "accel_fault";
+    case CrashCause::kDmaFault:
+      return "dma_fault";
+    case CrashCause::kWatchdog:
+      return "watchdog";
+  }
+  return "unknown";
+}
+
+Supervisor::Supervisor(NicOs* nic_os, crypto::RsaPublicKey vendor_key,
+                       SupervisorConfig config)
+    : nic_os_(nic_os),
+      vendor_key_(std::move(vendor_key)),
+      config_(config),
+      rng_(config.seed) {}
+
+void Supervisor::AttachObs(obs::MetricRegistry* registry) {
+  SNIC_OBS({
+    obs_crashes_ = &registry->GetCounter("mgmt.supervisor.crashes");
+    obs_restarts_ = &registry->GetCounter("mgmt.supervisor.restarts");
+    obs_quarantines_ = &registry->GetCounter("mgmt.supervisor.quarantines");
+    obs_downgrades_ = &registry->GetCounter("mgmt.supervisor.downgrades");
+  });
+  (void)registry;
+}
+
+void Supervisor::Emit(std::string_view event, const std::string& name,
+                      const Child& child) {
+  if (trace_ != nullptr) {
+    trace_->AddInstant(event, now_, static_cast<uint32_t>(child.nf_id), 0,
+                       {{"nf", name},
+                        {"cause", std::string(CrashCauseName(child.last_cause))}});
+  }
+}
+
+Status Supervisor::LaunchChild(const std::string& name, Child& child) {
+  FunctionImage launch_image = child.image;
+  if (child.degraded) {
+    // Graceful degradation: the function's accelerator cluster keeps
+    // failing, so relaunch on the software path with no reservations.
+    launch_image.accel_clusters = {0, 0, 0};
+  }
+  auto launched = nic_os_->NfCreate(launch_image);
+  if (!launched.ok()) {
+    return launched.status();
+  }
+  const uint64_t nf_id = launched.value();
+
+  // Mandatory re-measurement: the hardware hash of what actually launched
+  // must equal what the tenant image predicts. A NIC OS that staged the
+  // wrong bytes (or a bit-flipped image) is caught here, every restart.
+  const uint64_t page_bytes = nic_os_->device().memory().page_bytes();
+  const crypto::Sha256Digest expected =
+      ExpectedMeasurement(launch_image, page_bytes);
+  auto measured = nic_os_->device().MeasurementOf(nf_id);
+  if (!measured.ok() || measured.value() != expected) {
+    (void)nic_os_->NfDestroy(nf_id);
+    return Status(ErrorCode::kInternal,
+                  "relaunch measurement mismatch for " + name);
+  }
+
+  if (config_.verify_attestation) {
+    // Fresh nonce + ephemeral DH share per launch: quotes never replay.
+    core::AttestationRequest request;
+    request.group = config_.dh_group;
+    request.nonce.resize(16);
+    for (uint8_t& b : request.nonce) {
+      b = static_cast<uint8_t>(rng_.NextU64());
+    }
+    crypto::DhParticipant nf_dh(config_.dh_group, rng_);
+    request.g_x = nf_dh.public_value();
+    auto quote = nic_os_->device().NfAttest(nf_id, request);
+    if (!quote.ok()) {
+      (void)nic_os_->NfDestroy(nf_id);
+      return quote.status();
+    }
+    const core::QuoteVerification verdict =
+        core::VerifyQuote(vendor_key_, quote.value(), request.nonce, &expected);
+    if (!verdict.Ok()) {
+      (void)nic_os_->NfDestroy(nf_id);
+      return Status(ErrorCode::kInternal,
+                    "relaunch attestation failed for " + name);
+    }
+    ++stats_.reattestations;
+  }
+
+  child.nf_id = nf_id;
+  return OkStatus();
+}
+
+Result<uint64_t> Supervisor::Adopt(const FunctionImage& image) {
+  if (children_.count(image.name) != 0) {
+    return AlreadyOwned("function already supervised: " + image.name);
+  }
+  Child child;
+  child.image = image;
+  if (Status s = LaunchChild(image.name, child); !s.ok()) {
+    return s;
+  }
+  child.health = NfHealth::kRunning;
+  child.last_launch = now_;
+  child.last_heartbeat = now_;
+  const uint64_t nf_id = child.nf_id;
+  children_.emplace(image.name, std::move(child));
+  return nf_id;
+}
+
+void Supervisor::Heartbeat(const std::string& name) {
+  auto it = children_.find(name);
+  if (it == children_.end() || it->second.health != NfHealth::kRunning) {
+    return;
+  }
+  it->second.last_heartbeat = now_;
+}
+
+uint64_t Supervisor::BackoffCycles(uint32_t consecutive_failures) {
+  const uint32_t exponent =
+      consecutive_failures > 0 ? consecutive_failures - 1 : 0;
+  uint64_t backoff = config_.backoff_base_cycles;
+  for (uint32_t i = 0; i < exponent && backoff < config_.backoff_max_cycles;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.backoff_max_cycles);
+  if (config_.backoff_jitter_pct > 0) {
+    const uint64_t span = backoff * config_.backoff_jitter_pct / 100;
+    if (span > 0) {
+      backoff += rng_.NextBounded(span + 1);
+    }
+  }
+  return backoff;
+}
+
+void Supervisor::HandleCrash(const std::string& name, Child& child,
+                             CrashCause cause) {
+  ++stats_.crashes;
+  SNIC_OBS(if (obs_crashes_ != nullptr) obs_crashes_->Inc());
+  child.last_cause = cause;
+  Emit("supervisor.crash", name, child);
+
+  // The instance is gone as far as the tenant is concerned; reclaim its
+  // resources through the trusted teardown path. Failure just means the
+  // device already lost it.
+  (void)nic_os_->NfDestroy(child.nf_id);
+
+  // A crash inside the stability window extends the failure streak; a crash
+  // after a long healthy run starts a new one.
+  if (now_ - child.last_launch <= config_.stable_cycles) {
+    ++child.consecutive_failures;
+  } else {
+    child.consecutive_failures = 1;
+  }
+
+  if (cause == CrashCause::kAccelFault && !child.degraded) {
+    bool has_accel = false;
+    for (uint32_t c : child.image.accel_clusters) {
+      has_accel |= c > 0;
+    }
+    if (has_accel) {
+      child.degraded = true;
+      ++stats_.accel_downgrades;
+      SNIC_OBS(if (obs_downgrades_ != nullptr) obs_downgrades_->Inc());
+      Emit("supervisor.downgrade", name, child);
+    }
+  }
+
+  if (child.consecutive_failures > config_.quarantine_after) {
+    child.health = NfHealth::kQuarantined;
+    ++stats_.quarantines;
+    SNIC_OBS(if (obs_quarantines_ != nullptr) obs_quarantines_->Inc());
+    Emit("supervisor.quarantine", name, child);
+    return;
+  }
+  child.health = NfHealth::kRestarting;
+  child.restart_due = now_ + BackoffCycles(child.consecutive_failures);
+}
+
+void Supervisor::ReportCrash(const std::string& name, CrashCause cause) {
+  auto it = children_.find(name);
+  if (it == children_.end() || it->second.health != NfHealth::kRunning) {
+    return;
+  }
+  HandleCrash(name, it->second, cause);
+}
+
+void Supervisor::Tick(uint64_t now_cycles) {
+  now_ = std::max(now_, now_cycles);
+
+  // Watchdog pass (map order => deterministic).
+  if (config_.watchdog_timeout_cycles > 0) {
+    for (auto& [name, child] : children_) {
+      if (child.health == NfHealth::kRunning &&
+          now_ - child.last_heartbeat > config_.watchdog_timeout_cycles) {
+        ++stats_.watchdog_timeouts;
+        HandleCrash(name, child, CrashCause::kWatchdog);
+      }
+    }
+  }
+
+  // Due restarts.
+  for (auto& [name, child] : children_) {
+    if (child.health != NfHealth::kRestarting || child.restart_due > now_) {
+      continue;
+    }
+    const uint64_t old_id = child.nf_id;
+    if (Status s = LaunchChild(name, child); !s.ok()) {
+      ++stats_.failed_restarts;
+      ++child.consecutive_failures;
+      if (child.consecutive_failures > config_.quarantine_after) {
+        child.health = NfHealth::kQuarantined;
+        ++stats_.quarantines;
+        SNIC_OBS(if (obs_quarantines_ != nullptr) obs_quarantines_->Inc());
+        Emit("supervisor.quarantine", name, child);
+      } else {
+        child.restart_due = now_ + BackoffCycles(child.consecutive_failures);
+      }
+      continue;
+    }
+    child.health = NfHealth::kRunning;
+    child.last_launch = now_;
+    child.last_heartbeat = now_;
+    ++stats_.restarts;
+    SNIC_OBS(if (obs_restarts_ != nullptr) obs_restarts_->Inc());
+    Emit("supervisor.restart", name, child);
+    if (restart_callback_) {
+      restart_callback_(name, old_id, child.nf_id);
+    }
+  }
+}
+
+NfHealth Supervisor::HealthOf(const std::string& name) const {
+  auto it = children_.find(name);
+  SNIC_CHECK(it != children_.end());
+  return it->second.health;
+}
+
+Result<uint64_t> Supervisor::NfIdOf(const std::string& name) const {
+  auto it = children_.find(name);
+  if (it == children_.end()) {
+    return NotFound("not supervised: " + name);
+  }
+  if (it->second.health != NfHealth::kRunning) {
+    return Unavailable(name + " is " +
+                       std::string(NfHealthName(it->second.health)));
+  }
+  return it->second.nf_id;
+}
+
+bool Supervisor::IsDegraded(const std::string& name) const {
+  auto it = children_.find(name);
+  return it != children_.end() && it->second.degraded;
+}
+
+uint32_t Supervisor::ConsecutiveFailures(const std::string& name) const {
+  auto it = children_.find(name);
+  return it == children_.end() ? 0 : it->second.consecutive_failures;
+}
+
+}  // namespace snic::mgmt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/fault/fault.h"
+
 namespace snic::sim {
 
 void BusArbiter::AttachObs(obs::MetricRegistry* registry,
@@ -24,7 +26,11 @@ void BusArbiter::AttachObs(obs::MetricRegistry* registry,
 }
 
 uint64_t FcfsArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
-  const uint64_t grant = std::max(arrival_cycle, busy_until_);
+  // An injected bus timeout stalls the request before arbitration; the extra
+  // wait shows up in the domain's own stats, like a real stalled transfer.
+  const uint64_t issue =
+      arrival_cycle + SNIC_FAULT_STALL(fault::sites::kBusTimeout, domain);
+  const uint64_t grant = std::max(issue, busy_until_);
   busy_until_ = grant + transfer_cycles_;
   RecordGrant(arrival_cycle, grant, domain);
   return grant;
@@ -39,10 +45,12 @@ RoundRobinArbiter::RoundRobinArbiter(uint32_t transfer_cycles,
 
 uint64_t RoundRobinArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
   SNIC_CHECK(domain < num_domains_);
+  const uint64_t issue =
+      arrival_cycle + SNIC_FAULT_STALL(fault::sites::kBusTimeout, domain);
   // A back-to-back request from the same domain yields to the others for one
   // slot each (approximates a rotating grant without a full event queue).
-  uint64_t earliest = std::max(arrival_cycle, busy_until_);
-  if (domain == last_domain_ && busy_until_ > arrival_cycle) {
+  uint64_t earliest = std::max(issue, busy_until_);
+  if (domain == last_domain_ && busy_until_ > issue) {
     earliest = std::max(earliest, domain_ready_[domain]);
   }
   const uint64_t grant = earliest;
@@ -92,11 +100,13 @@ uint64_t TemporalPartitionArbiter::NextIssueSlot(uint64_t cycle,
 uint64_t TemporalPartitionArbiter::Grant(uint64_t arrival_cycle,
                                          uint32_t domain) {
   SNIC_CHECK(domain < config_.num_domains);
+  const uint64_t issue =
+      arrival_cycle + SNIC_FAULT_STALL(fault::sites::kBusTimeout, domain);
   // Serialize within the domain (one outstanding transfer), then snap to the
   // domain's next issue window. Other domains' traffic never appears in this
-  // computation — that is the security property.
-  const uint64_t earliest =
-      std::max(arrival_cycle, domain_busy_until_[domain]);
+  // computation — that is the security property (and an injected stall in
+  // one domain still cannot shift another domain's schedule).
+  const uint64_t earliest = std::max(issue, domain_busy_until_[domain]);
   const uint64_t grant = NextIssueSlot(earliest, domain);
   domain_busy_until_[domain] = grant + config_.transfer_cycles;
   RecordGrant(arrival_cycle, grant, domain);

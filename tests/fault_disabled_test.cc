@@ -1,0 +1,62 @@
+// Proves the SNIC_FAULT_* macros compile out: this translation unit defines
+// SNIC_FAULTS_DISABLED *before* including the fault header, so every
+// injection site must collapse to a compile-time constant — the arguments
+// are not evaluated and no fault-plane code can run, even with a plane
+// installed. This is the same preprocessor state a full
+// -DSNIC_FAULTS_DISABLED build gives every file.
+
+#define SNIC_FAULTS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault.h"
+
+namespace snic::fault {
+namespace {
+
+// The sites are compile-time constants: provable at compile time.
+static_assert(!SNIC_FAULT_FIRES("any.site", 0));
+static_assert(SNIC_FAULT_STALL("any.site", 0) == uint64_t{0});
+
+TEST(FaultsDisabled, SiteArgumentsAreNotEvaluated) {
+  bool probed = false;
+  auto probe = [&probed] {
+    probed = true;
+    return uint64_t{1};
+  };
+  if (SNIC_FAULT_FIRES("any.site", probe())) {
+    FAIL() << "disabled site fired";
+  }
+  EXPECT_EQ(SNIC_FAULT_STALL("any.site", probe()), 0u);
+  EXPECT_FALSE(probed);
+  (void)probe;
+}
+
+TEST(FaultsDisabled, SitesIgnoreAnInstalledPlane) {
+  FaultPlane plane(1);
+  FaultRule rule;
+  rule.site = "any.site";
+  rule.count = FaultRule::kForever;
+  rule.stall_cycles = 100;
+  plane.AddRule(rule);
+  ScopedFaultPlane scoped(&plane);
+
+  EXPECT_FALSE(SNIC_FAULT_FIRES("any.site", 0));
+  EXPECT_EQ(SNIC_FAULT_STALL("any.site", 0), 0u);
+  EXPECT_EQ(plane.injected_total(), 0u);
+}
+
+TEST(FaultsDisabled, PlaneStillWorksWhenUsedDirectly) {
+  // Compile-out removes *injection sites*, not the library: schedules can
+  // still be evaluated explicitly (tests, tooling).
+  FaultPlane plane(1);
+  FaultRule rule;
+  rule.site = "direct.use";
+  rule.count = 1;
+  plane.AddRule(rule);
+  EXPECT_TRUE(plane.Fires("direct.use", 0));
+  EXPECT_FALSE(plane.Fires("direct.use", 0));
+}
+
+}  // namespace
+}  // namespace snic::fault

@@ -19,6 +19,8 @@
 #include "src/core/attestation.h"
 #include "src/core/attestation_wire.h"
 #include "src/core/snic_device.h"
+#include "src/mgmt/nic_os.h"
+#include "src/mgmt/verifier.h"
 #include "src/net/parser.h"
 
 namespace snic {
@@ -279,6 +281,168 @@ TEST_F(QuoteFuzzTest, MutatedQuotesNeverVerify) {
     EXPECT_FALSE(core::VerifyQuote(vendor_.public_key(), restored.value(),
                                    {9, 8, 7, 6})
                      .Ok())
+        << iter;
+  }
+}
+
+// ---- Function-image config mutation fuzz ------------------------------------
+//
+// The launch measurement covers FunctionImage::SerializeConfig(), so any
+// tampering with a tenant's configuration — one more core, a different
+// packet scheduler, a rewritten switch rule — must change both the canonical
+// config bytes and the expected measurement. Otherwise a hostile NIC OS
+// could substitute configuration without attestation noticing.
+
+constexpr uint64_t kFuzzPageBytes = 4096;
+
+mgmt::FunctionImage RandomImage(Rng& rng) {
+  mgmt::FunctionImage image;
+  const size_t name_len = 1 + rng.NextBounded(12);
+  for (size_t i = 0; i < name_len; ++i) {
+    image.name.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+  }
+  image.code_and_data.resize(1 + rng.NextBounded(4096));
+  for (auto& byte : image.code_and_data) {
+    byte = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  image.cores = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+  image.memory_bytes = (1 + rng.NextBounded(64)) * kFuzzPageBytes;
+  for (auto& clusters : image.accel_clusters) {
+    clusters = static_cast<uint32_t>(rng.NextBounded(3));
+  }
+  image.scheduler = rng.NextBounded(2) == 0
+                        ? core::PacketScheduler::kFifo
+                        : core::PacketScheduler::kPriorityBySize;
+  const size_t num_rules = rng.NextBounded(4);
+  for (size_t i = 0; i < num_rules; ++i) {
+    net::SwitchRule rule;
+    if (rng.NextBounded(2) == 0) {
+      rule.dst_port = static_cast<uint16_t>(rng.NextBounded(65536));
+    }
+    if (rng.NextBounded(2) == 0) {
+      rule.protocol = static_cast<uint8_t>(rng.NextBounded(2) == 0 ? 6 : 17);
+    }
+    if (rng.NextBounded(2) == 0) {
+      net::SwitchRule::IpPrefix prefix;
+      prefix.addr = rng.NextU32();
+      prefix.prefix_len = static_cast<uint8_t>(8 + rng.NextBounded(25));
+      rule.dst_ip = prefix;
+    }
+    image.switch_rules.push_back(rule);
+  }
+  return image;
+}
+
+// Applies one randomly chosen single-field tamper. Every mutator is
+// guaranteed to change the logical configuration.
+void MutateImage(Rng& rng, mgmt::FunctionImage& image) {
+  for (;;) {
+    switch (rng.NextBounded(7)) {
+      case 0:
+        image.cores += 1;
+        return;
+      case 1:
+        image.memory_bytes += kFuzzPageBytes;
+        return;
+      case 2:
+        image.accel_clusters[rng.NextBounded(image.accel_clusters.size())] +=
+            1;
+        return;
+      case 3:
+        image.scheduler = image.scheduler == core::PacketScheduler::kFifo
+                              ? core::PacketScheduler::kPriorityBySize
+                              : core::PacketScheduler::kFifo;
+        return;
+      case 4: {  // flip one bit of one name character, staying printable
+        const size_t pos = rng.NextBounded(image.name.size());
+        image.name[pos] =
+            static_cast<char>('a' + (image.name[pos] - 'a' + 1) % 26);
+        return;
+      }
+      case 5: {  // inject or rewrite a switch rule
+        net::SwitchRule rule;
+        rule.dst_port = static_cast<uint16_t>(rng.NextBounded(65536));
+        if (image.switch_rules.empty() || rng.NextBounded(2) == 0) {
+          image.switch_rules.push_back(rule);
+        } else {
+          image.switch_rules[rng.NextBounded(image.switch_rules.size())] =
+              rule;
+        }
+        return;
+      }
+      case 6: {  // flip one bit in the code/data payload
+        const size_t pos = rng.NextBounded(image.code_and_data.size());
+        image.code_and_data[pos] ^=
+            static_cast<uint8_t>(1u << rng.NextBounded(8));
+        return;
+      }
+    }
+  }
+}
+
+TEST(ConfigFuzzTest, SerializationIsDeterministicPerImage) {
+  Rng rng(101);
+  for (int iter = 0; iter < 100; ++iter) {
+    const mgmt::FunctionImage image = RandomImage(rng);
+    EXPECT_EQ(image.SerializeConfig(), image.SerializeConfig());
+    EXPECT_EQ(mgmt::ExpectedMeasurement(image, kFuzzPageBytes),
+              mgmt::ExpectedMeasurement(image, kFuzzPageBytes));
+  }
+}
+
+TEST(ConfigFuzzTest, AnyMutationChangesConfigBytesAndMeasurement) {
+  Rng rng(103);
+  for (int iter = 0; iter < 300; ++iter) {
+    const mgmt::FunctionImage original = RandomImage(rng);
+    const std::vector<uint8_t> config = original.SerializeConfig();
+    const crypto::Sha256Digest measurement =
+        mgmt::ExpectedMeasurement(original, kFuzzPageBytes);
+
+    mgmt::FunctionImage tampered = original;
+    MutateImage(rng, tampered);
+
+    // A code/data bit-flip leaves the *config* untouched by design — it is
+    // covered by the measurement directly, not via SerializeConfig.
+    const bool code_only =
+        tampered.code_and_data != original.code_and_data;
+    if (!code_only) {
+      EXPECT_NE(tampered.SerializeConfig(), config) << iter;
+    }
+    EXPECT_NE(mgmt::ExpectedMeasurement(tampered, kFuzzPageBytes),
+              measurement)
+        << iter;
+  }
+}
+
+TEST(ConfigFuzzTest, MeasurementMismatchIsWhatAttestationCatches) {
+  // End to end: launch the original image, then recompute the expected
+  // measurement for a tampered config — the device's measurement matches
+  // the former, never the latter.
+  Rng rng(107);
+  crypto::VendorAuthority vendor(512, rng);
+  core::SnicConfig config;
+  config.num_cores = 8;
+  config.dram_bytes = 64ull << 20;
+  config.rsa_modulus_bits = 512;
+  core::SnicDevice device(config, vendor);
+  mgmt::NicOs nic_os(&device);
+
+  mgmt::FunctionImage image = RandomImage(rng);
+  image.cores = 1;
+  image.memory_bytes = 4ull << 20;
+  image.accel_clusters = {0, 0, 0};
+  const auto id = nic_os.NfCreate(image);
+  ASSERT_TRUE(id.ok());
+  const auto measured = device.MeasurementOf(id.value());
+  ASSERT_TRUE(measured.ok());
+  EXPECT_EQ(measured.value(),
+            mgmt::ExpectedMeasurement(image, device.config().page_bytes));
+
+  for (int iter = 0; iter < 50; ++iter) {
+    mgmt::FunctionImage tampered = image;
+    MutateImage(rng, tampered);
+    EXPECT_NE(measured.value(),
+              mgmt::ExpectedMeasurement(tampered, device.config().page_bytes))
         << iter;
   }
 }

@@ -10,7 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/core/snic_device.h"
+#include "src/crypto/keys.h"
+#include "src/mgmt/nic_os.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
@@ -271,6 +275,43 @@ TEST(ReplayObservability, PublishesSeriesAndWellFormedTrace) {
           << "overlap in lane pid=" << lane.first << " tid=" << lane.second;
     }
   }
+}
+// Lifecycle counters on the NIC-OS management path: both the create and the
+// destroy direction publish ok/failure series. Skipped when observability is
+// compiled out (the counters do not exist then).
+TEST(MgmtObservability, NfDestroyPublishesOkAndFailureCounters) {
+  Rng rng(17);
+  crypto::VendorAuthority vendor(512, rng);
+  core::SnicConfig config;
+  config.num_cores = 8;
+  config.dram_bytes = 64ull << 20;
+  config.rsa_modulus_bits = 512;
+  core::SnicDevice device(config, vendor);
+  mgmt::NicOs nic_os(&device);
+
+  MetricRegistry registry;
+  nic_os.AttachObs(&registry);
+
+  mgmt::FunctionImage image;
+  image.name = "obs-unit";
+  image.code_and_data.assign(512, 0x55);
+  image.memory_bytes = 4ull << 20;
+  image.switch_rules.push_back(net::SwitchRule{});
+
+  const auto id = nic_os.NfCreate(image);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_create.ok").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_destroy.ok").value(), 0u);
+
+  ASSERT_TRUE(nic_os.NfDestroy(id.value()).ok());
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_destroy.ok").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_destroy.failures").value(), 0u);
+
+  // Tearing down an id that no longer exists is a failed destroy.
+  EXPECT_FALSE(nic_os.NfDestroy(id.value()).ok());
+  EXPECT_FALSE(nic_os.NfDestroy(9999).ok());
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_destroy.ok").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("mgmt.nf_destroy.failures").value(), 2u);
 }
 #endif  // SNIC_OBS_DISABLED
 

@@ -1,0 +1,289 @@
+// Supervisor tests: crash detection, deterministic restart with backoff,
+// quarantine, watchdog expiry, graceful accelerator degradation, and the
+// mandatory re-measurement/re-attestation on every restart.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fault/fault.h"
+#include "src/mgmt/supervisor.h"
+#include "src/mgmt/verifier.h"
+
+namespace snic::mgmt {
+namespace {
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  SupervisorTest()
+      : rng_(31),
+        vendor_(512, rng_),
+        device_(Config(), vendor_),
+        nic_os_(&device_) {}
+
+  static core::SnicConfig Config() {
+    core::SnicConfig config;
+    config.num_cores = 8;
+    config.dram_bytes = 128ull << 20;
+    config.rsa_modulus_bits = 512;
+    return config;
+  }
+
+  static SupervisorConfig SupConfig() {
+    SupervisorConfig config;
+    config.seed = 7;
+    config.watchdog_timeout_cycles = 1000;
+    config.backoff_base_cycles = 100;
+    config.backoff_max_cycles = 1600;
+    config.backoff_jitter_pct = 25;
+    config.quarantine_after = 3;
+    config.stable_cycles = 500;
+    return config;
+  }
+
+  FunctionImage SimpleImage(const std::string& name, uint32_t zip_clusters = 0) {
+    FunctionImage image;
+    image.name = name;
+    image.code_and_data.assign(3000, 0xc0);
+    image.cores = 1;
+    image.memory_bytes = 8ull << 20;
+    image.accel_clusters[static_cast<size_t>(accel::AcceleratorType::kZip)] =
+        zip_clusters;
+    net::SwitchRule rule;
+    rule.dst_port = 4242;
+    image.switch_rules.push_back(rule);
+    return image;
+  }
+
+  Supervisor MakeSupervisor(SupervisorConfig config) {
+    return Supervisor(&nic_os_, vendor_.public_key(), config);
+  }
+
+  // Drives `supervisor` until `name` is running again or `deadline` passes.
+  void TickUntilRunning(Supervisor& supervisor, const std::string& name,
+                        uint64_t from, uint64_t deadline, uint64_t step = 50) {
+    for (uint64_t t = from; t <= deadline; t += step) {
+      supervisor.Heartbeat(name);  // ignored while not running
+      supervisor.Tick(t);
+      if (supervisor.HealthOf(name) == NfHealth::kRunning) {
+        return;
+      }
+    }
+  }
+
+  Rng rng_;
+  crypto::VendorAuthority vendor_;
+  core::SnicDevice device_;
+  NicOs nic_os_;
+};
+
+TEST_F(SupervisorTest, AdoptLaunchesMeasuresAndAttests) {
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  const auto id = supervisor.Adopt(SimpleImage("fw"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(device_.IsLive(id.value()));
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  EXPECT_EQ(supervisor.NfIdOf("fw").value(), id.value());
+  EXPECT_EQ(supervisor.stats().reattestations, 1u);  // initial launch quote
+  // Double adoption rejected.
+  EXPECT_EQ(supervisor.Adopt(SimpleImage("fw")).status().code(),
+            ErrorCode::kAlreadyOwned);
+}
+
+TEST_F(SupervisorTest, CrashRestartsWithBackoffAndFreshAttestation) {
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  const auto id = supervisor.Adopt(SimpleImage("fw"));
+  ASSERT_TRUE(id.ok());
+
+  supervisor.Tick(100);
+  supervisor.ReportCrash("fw", CrashCause::kGeneric);
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kRestarting);
+  EXPECT_FALSE(device_.IsLive(id.value()));  // torn down immediately
+  EXPECT_FALSE(supervisor.NfIdOf("fw").ok());
+
+  // Backoff: not restarted at the crash cycle itself.
+  supervisor.Tick(100);
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kRestarting);
+
+  TickUntilRunning(supervisor, "fw", 150, 2000);
+  ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  const auto new_id = supervisor.NfIdOf("fw");
+  ASSERT_TRUE(new_id.ok());
+  EXPECT_NE(new_id.value(), id.value());
+  EXPECT_TRUE(device_.IsLive(new_id.value()));
+  EXPECT_EQ(supervisor.stats().crashes, 1u);
+  EXPECT_EQ(supervisor.stats().restarts, 1u);
+  EXPECT_EQ(supervisor.stats().reattestations, 2u);  // adopt + restart
+}
+
+TEST_F(SupervisorTest, RestartSequenceIsSeedDeterministic) {
+  auto run = [this](uint64_t seed) {
+    core::SnicDevice device(Config(), vendor_);
+    NicOs nic_os(&device);
+    SupervisorConfig config = SupConfig();
+    config.seed = seed;
+    Supervisor supervisor(&nic_os, vendor_.public_key(), config);
+    SNIC_CHECK(supervisor.Adopt(SimpleImage("fw")).ok());
+    std::vector<uint64_t> transitions;
+    bool was_running = true;
+    for (uint64_t t = 0; t <= 20000; t += 10) {
+      supervisor.Heartbeat("fw");
+      // Crash on a fixed schedule while running.
+      if (t % 4000 == 2000 &&
+          supervisor.HealthOf("fw") == NfHealth::kRunning) {
+        supervisor.ReportCrash("fw", CrashCause::kGeneric);
+      }
+      supervisor.Tick(t);
+      const bool running = supervisor.HealthOf("fw") == NfHealth::kRunning;
+      if (running != was_running) {
+        transitions.push_back(t);
+        was_running = running;
+      }
+    }
+    return transitions;
+  };
+  const auto a = run(11);
+  const auto b = run(11);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_F(SupervisorTest, RapidCrashesQuarantine) {
+  SupervisorConfig config = SupConfig();
+  config.stable_cycles = 100000;  // every crash counts as consecutive
+  Supervisor supervisor = MakeSupervisor(config);
+  ASSERT_TRUE(supervisor.Adopt(SimpleImage("fw")).ok());
+
+  uint64_t now = 0;
+  for (int crash = 0; crash < 4; ++crash) {
+    ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning)
+        << "crash " << crash;
+    supervisor.ReportCrash("fw", CrashCause::kGeneric);
+    if (supervisor.HealthOf("fw") == NfHealth::kQuarantined) {
+      break;
+    }
+    for (; now < 1000000 &&
+           supervisor.HealthOf("fw") != NfHealth::kRunning;
+         now += 100) {
+      supervisor.Tick(now);
+    }
+  }
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kQuarantined);
+  EXPECT_EQ(supervisor.stats().quarantines, 1u);
+  // Quarantined children stay down.
+  supervisor.Tick(now + 1000000);
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kQuarantined);
+  EXPECT_FALSE(supervisor.NfIdOf("fw").ok());
+}
+
+TEST_F(SupervisorTest, StableRunResetsFailureStreak) {
+  SupervisorConfig config = SupConfig();
+  // The long silent gaps below are deliberate; keep the watchdog out of it.
+  config.watchdog_timeout_cycles = 1000000;
+  Supervisor supervisor = MakeSupervisor(config);
+  ASSERT_TRUE(supervisor.Adopt(SimpleImage("fw")).ok());
+
+  uint64_t now = 0;
+  // Crash well past the stability window, repeatedly: never quarantines.
+  for (int crash = 0; crash < 6; ++crash) {
+    now += 10000;  // > stable_cycles after the last (re)launch
+    supervisor.Tick(now);
+    ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+    supervisor.ReportCrash("fw", CrashCause::kGeneric);
+    EXPECT_LE(supervisor.ConsecutiveFailures("fw"), 1u);
+    TickUntilRunning(supervisor, "fw", now, now + 5000);
+    ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  }
+  EXPECT_EQ(supervisor.stats().quarantines, 0u);
+}
+
+TEST_F(SupervisorTest, WatchdogDetectsHang) {
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  ASSERT_TRUE(supervisor.Adopt(SimpleImage("fw")).ok());
+
+  // Heartbeats keep it alive...
+  for (uint64_t t = 100; t <= 900; t += 100) {
+    supervisor.Heartbeat("fw");
+    supervisor.Tick(t);
+  }
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  // ...then the function goes silent past the timeout.
+  supervisor.Tick(2000);
+  EXPECT_EQ(supervisor.HealthOf("fw"), NfHealth::kRestarting);
+  EXPECT_EQ(supervisor.stats().watchdog_timeouts, 1u);
+  EXPECT_EQ(supervisor.stats().crashes, 1u);
+}
+
+TEST_F(SupervisorTest, AccelFaultDowngradesToSoftwarePath) {
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  const auto id = supervisor.Adopt(SimpleImage("zipper", /*zip_clusters=*/2));
+  ASSERT_TRUE(id.ok());
+  const auto zip = accel::AcceleratorType::kZip;
+  EXPECT_EQ(device_.accel_pool().FreeClusters(zip),
+            device_.accel_pool().NumClusters(zip) - 2);
+  EXPECT_FALSE(supervisor.IsDegraded("zipper"));
+
+  supervisor.Tick(100);
+  supervisor.ReportCrash("zipper", CrashCause::kAccelFault);
+  EXPECT_TRUE(supervisor.IsDegraded("zipper"));
+  EXPECT_EQ(supervisor.stats().accel_downgrades, 1u);
+
+  TickUntilRunning(supervisor, "zipper", 150, 2000);
+  ASSERT_EQ(supervisor.HealthOf("zipper"), NfHealth::kRunning);
+  // Relaunched on the software path: no clusters reserved.
+  EXPECT_EQ(device_.accel_pool().FreeClusters(zip),
+            device_.accel_pool().NumClusters(zip));
+  // The restarted instance is still measured + attested (against the
+  // degraded image it actually launched as).
+  EXPECT_EQ(supervisor.stats().reattestations, 2u);
+}
+
+TEST_F(SupervisorTest, RestartCallbackReportsIdChange) {
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  const auto id = supervisor.Adopt(SimpleImage("fw"));
+  ASSERT_TRUE(id.ok());
+
+  uint64_t seen_old = 0, seen_new = 0;
+  std::string seen_name;
+  supervisor.SetRestartCallback(
+      [&](const std::string& name, uint64_t old_id, uint64_t new_id) {
+        seen_name = name;
+        seen_old = old_id;
+        seen_new = new_id;
+      });
+  supervisor.Tick(100);
+  supervisor.ReportCrash("fw", CrashCause::kGeneric);
+  TickUntilRunning(supervisor, "fw", 150, 2000);
+  ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  EXPECT_EQ(seen_name, "fw");
+  EXPECT_EQ(seen_old, id.value());
+  EXPECT_EQ(seen_new, supervisor.NfIdOf("fw").value());
+}
+
+#ifndef SNIC_FAULTS_DISABLED
+
+TEST_F(SupervisorTest, TransientLaunchFaultsDelayButDoNotKillRecovery) {
+  fault::FaultPlane plane(5);
+  fault::FaultRule rule;
+  rule.site = std::string(fault::sites::kNfLaunch);
+  rule.skip = 0;
+  rule.count = 2;  // first two relaunch attempts fail
+  plane.AddRule(rule);
+
+  Supervisor supervisor = MakeSupervisor(SupConfig());
+  ASSERT_TRUE(supervisor.Adopt(SimpleImage("fw")).ok());
+
+  fault::ScopedFaultPlane scoped(&plane);
+  supervisor.Tick(100);
+  supervisor.ReportCrash("fw", CrashCause::kGeneric);
+  TickUntilRunning(supervisor, "fw", 150, 20000);
+  ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  EXPECT_EQ(supervisor.stats().failed_restarts, 2u);
+  EXPECT_EQ(supervisor.stats().restarts, 1u);
+  EXPECT_EQ(plane.InjectedAt(fault::sites::kNfLaunch), 2u);
+}
+
+#endif  // SNIC_FAULTS_DISABLED
+
+}  // namespace
+}  // namespace snic::mgmt
