@@ -68,6 +68,9 @@ struct ScenarioResult {
   std::string b_report;   // the invariant: identical across scenarios
   std::string summary;    // scenario-specific narrative (printed)
   obs::TraceLog trace;
+  // For the JSON verdict (faulted scenario's values are reported).
+  uint64_t faults_injected = 0;
+  mgmt::SupervisorStats supervisor_stats;
 };
 
 mgmt::FunctionImage MakeImage(const std::string& name, uint16_t port,
@@ -416,6 +419,8 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
       std::string(mgmt::NfHealthName(supervisor.HealthOf("victim-a"))).c_str(),
       supervisor.IsDegraded("victim-a") ? 1 : 0, a_crashes_seen);
   summary += line;
+  result.faults_injected = plane.injected_total();
+  result.supervisor_stats = stats;
   return result;
 }
 
@@ -469,15 +474,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
     }
   }
-  if (!out.empty()) {
-    std::FILE* f = std::fopen(out.c_str(), "w");
-    if (f != nullptr) {
-      std::fprintf(f,
-                   "{\"invariant_holds\": %s, \"seed\": %" PRIu64
-                   ", \"steps\": %" PRIu64 ", \"b_report\": \"%s\"}\n",
-                   identical ? "true" : "false", seed, steps, "see-stdout");
-      std::fclose(f);
-    }
+  // One-line machine-readable verdict, always written (same convention as
+  // BENCH_obs_overhead.json); --out overrides the default path.
+  const std::string out_path =
+      out.empty() ? std::string("BENCH_chaos_soak.json") : out;
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
   }
+  const mgmt::SupervisorStats& fs = results[1].supervisor_stats;
+  std::fprintf(f,
+               "{\"bench\":\"chaos_soak\",\"seed\":%" PRIu64
+               ",\"steps\":%" PRIu64 ",\"jobs\":%zu,\"quick\":%s"
+               ",\"faults_injected\":%" PRIu64 ",\"crashes\":%" PRIu64
+               ",\"watchdog_timeouts\":%" PRIu64 ",\"restarts\":%" PRIu64
+               ",\"quarantines\":%" PRIu64 ",\"accel_downgrades\":%" PRIu64
+               ",\"invariant_holds\":%s,\"pass\":%s}\n",
+               seed, steps, jobs, quick ? "true" : "false",
+               results[1].faults_injected, fs.crashes, fs.watchdog_timeouts,
+               fs.restarts, fs.quarantines, fs.accel_downgrades,
+               identical ? "true" : "false", identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("Wrote %s\n", out_path.c_str());
   return identical ? 0 : 1;
 }

@@ -1,0 +1,75 @@
+// Annotated mutex primitives for clang thread-safety analysis
+// (docs/STATIC_ANALYSIS.md).
+//
+// std::mutex / std::lock_guard carry no capability attributes, so clang's
+// `-Wthread-safety` cannot see their acquire/release pairs. These thin
+// wrappers are the project's lockable types: same semantics and cost as the
+// std primitives (everything inlines to the underlying calls), plus the
+// contracts the analysis needs. All mutex-guarded state in the tree
+// (runtime::ThreadPool, obs::MetricRegistry) locks through them.
+
+#ifndef SNIC_COMMON_MUTEX_H_
+#define SNIC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace snic {
+
+// std::mutex with capability annotations. Lowercase lock/unlock keep it a
+// standard BasicLockable, so CondVar (condition_variable_any) waits on it
+// directly and std facilities remain usable where analysis is off.
+class SNIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SNIC_ACQUIRE() { mu_.lock(); }
+  void unlock() SNIC_RELEASE() { mu_.unlock(); }
+  bool try_lock() SNIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock, the project's std::lock_guard.
+class SNIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SNIC_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() SNIC_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable over Mutex. Wait() releases and reacquires the mutex
+// internally; the caller-side contract is simply "hold mu". The body is
+// exempt from analysis because the release/reacquire happens inside
+// std::condition_variable_any, which the analysis cannot see into.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Callers re-test their predicate in a while loop (spurious wakeups).
+  void Wait(Mutex& mu) SNIC_REQUIRES(mu) SNIC_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace snic
+
+#endif  // SNIC_COMMON_MUTEX_H_

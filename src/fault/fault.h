@@ -96,7 +96,10 @@ struct FaultRule {
 };
 
 // A seeded, schedule-driven fault injector. Single-threaded like a metric
-// shard: a plane belongs to the scenario (thread) that installed it.
+// shard: a plane belongs to the scenario (thread) that installed it, so it
+// carries no mutex by design — the single-owner contract is checked by the
+// TSan CI job (chaos_soak runs one plane per parallel scenario), not by
+// clang -Wthread-safety (docs/STATIC_ANALYSIS.md).
 class FaultPlane {
  public:
   explicit FaultPlane(uint64_t seed) : seed_(seed) {}

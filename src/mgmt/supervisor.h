@@ -14,6 +14,13 @@
 // watchdog expiries and backoff deadlines against it. All jitter comes from
 // a seeded Rng, so a given (seed, crash sequence) always produces the same
 // restart/quarantine schedule — chaos runs replay bit-for-bit.
+//
+// Threading: a Supervisor is SINGLE-OWNER — it lives on its scenario's
+// thread beside the FaultPlane and the scenario's TraceLog, and carries no
+// mutex (a lock here would serialize independent scenarios for nothing).
+// The contract is checked dynamically by the TSan CI job; the mutex-guarded
+// classes are covered statically by clang -Wthread-safety
+// (docs/STATIC_ANALYSIS.md).
 
 #ifndef SNIC_MGMT_SUPERVISOR_H_
 #define SNIC_MGMT_SUPERVISOR_H_

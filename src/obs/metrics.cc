@@ -105,7 +105,7 @@ MetricRegistry::Key MetricRegistry::MakeKey(std::string_view name,
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -114,7 +114,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name, Labels labels) {
 }
 
 Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -125,7 +125,7 @@ Gauge& MetricRegistry::GetGauge(std::string_view name, Labels labels) {
 LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name,
                                                Labels labels, double lo,
                                                double hi, size_t buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[MakeKey(name, std::move(labels))];
   if (slot == nullptr) {
     slot = std::make_unique<LatencyHistogram>(lo, hi, buckets);
@@ -135,32 +135,32 @@ LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name,
 
 const Counter* MetricRegistry::FindCounter(std::string_view name,
                                            const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = counters_.find(MakeKey(name, labels));
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricRegistry::FindGauge(std::string_view name,
                                        const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = gauges_.find(MakeKey(name, labels));
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const LatencyHistogram* MetricRegistry::FindHistogram(
     std::string_view name, const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = histograms_.find(MakeKey(name, labels));
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 size_t MetricRegistry::NumSeries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, counter] : counters_) {
     counter->Reset();
   }
@@ -176,7 +176,11 @@ void MetricRegistry::MergeFrom(const MetricRegistry& other) {
   if (&other == this) {
     return;
   }
-  std::scoped_lock lock(mu_, other.mu_);
+  // Lock order target-then-source is safe: `other` must be quiescent for
+  // the duration of the call (class contract), so no thread can be running
+  // the mirror-image merge that would invert the order.
+  MutexLock lock(&mu_);
+  MutexLock other_lock(&other.mu_);
   for (const auto& [key, counter] : other.counters_) {
     auto& slot = counters_[key];
     if (slot == nullptr) {
@@ -244,7 +248,7 @@ std::string FmtDouble(double v) {
 }  // namespace
 
 std::string MetricRegistry::ExportText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [key, counter] : counters_) {
     out += key.name + LabelsSuffix(key.labels) + " " +
@@ -266,7 +270,7 @@ std::string MetricRegistry::ExportText() const {
 }
 
 std::string MetricRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\":[";
   bool first = true;
   for (const auto& [key, counter] : counters_) {
@@ -340,6 +344,13 @@ Status MetricRegistry::WriteJsonFile(const std::string& path) const {
 }
 
 MetricRegistry& GlobalRegistry() {
+  // Intentionally never destroyed: instrumented objects cache raw series
+  // pointers and may outlive any static-destruction order (a destructor
+  // running during exit teardown must still be able to Inc()). The leak is
+  // one registry per process, reclaimed by the OS. This is the only mutable
+  // process-wide static in the tree; snic_lint's no-mutable-file-static
+  // rule names it (and the thread-local override below) in
+  // tools/snic_lint/allowlist.txt so any new ambient state fails the build.
   static MetricRegistry* registry = new MetricRegistry();
   return *registry;
 }

@@ -36,14 +36,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 // Wraps one instrumentation statement; compiles to nothing under
 // -DSNIC_OBS_DISABLED. Usage: SNIC_OBS(if (hits_) hits_->Inc());
@@ -190,10 +191,13 @@ class MetricRegistry {
 
   // Guards the series maps (creation, lookup, merge, export, reset) — not
   // the values behind the returned references, which stay single-writer.
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_;
+  // The guard is machine-checked: clang's -Wthread-safety (CI job) rejects
+  // any access to the maps outside a MutexLock on mu_.
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ SNIC_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ SNIC_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<LatencyHistogram>> histograms_
+      SNIC_GUARDED_BY(mu_);
 };
 
 // Process-wide default registry. Device/NF constructors attach here (via

@@ -10,6 +10,14 @@
 //
 // The log is an append-only vector; recording a span is one emplace_back
 // (no I/O, no locking). Serialization happens once at the end of a run.
+//
+// Threading: a TraceLog is SINGLE-OWNER — it belongs to the scenario/task
+// that records into it, and per-task logs are stitched together with
+// Append() on the joining thread (src/runtime/sweep.cc). There is
+// deliberately no mutex (appending is on the <2% obs-overhead hot path);
+// the contract is enforced dynamically by the TSan CI job rather than by
+// clang -Wthread-safety, which covers the mutex-guarded classes
+// (docs/STATIC_ANALYSIS.md).
 
 #ifndef SNIC_OBS_TRACE_EVENT_H_
 #define SNIC_OBS_TRACE_EVENT_H_

@@ -17,17 +17,18 @@
 #ifndef SNIC_RUNTIME_THREAD_POOL_H_
 #define SNIC_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace snic::runtime {
 
@@ -61,13 +62,14 @@ class ThreadPool {
   }
 
  private:
-  void Enqueue(std::function<void()> fn);
+  void Enqueue(std::function<void()> fn) SNIC_EXCLUDES(mu_);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SNIC_GUARDED_BY(mu_);
+  bool stopping_ SNIC_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, then immutable; workers never touch it.
   std::vector<std::thread> workers_;
 };
 

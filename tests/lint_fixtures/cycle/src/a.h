@@ -1,0 +1,6 @@
+// Half of a deliberate #include cycle (tests/lint_test.cc). Never compiled.
+#ifndef FIXTURE_A_H_
+#define FIXTURE_A_H_
+#include "src/b.h"
+inline int A() { return B() + 1; }
+#endif  // FIXTURE_A_H_

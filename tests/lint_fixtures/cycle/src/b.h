@@ -1,0 +1,6 @@
+// Half of a deliberate #include cycle (tests/lint_test.cc). Never compiled.
+#ifndef FIXTURE_B_H_
+#define FIXTURE_B_H_
+#include "src/a.h"
+inline int B() { return 2; }
+#endif  // FIXTURE_B_H_

@@ -1,0 +1,7 @@
+// Same deliberate #include cycle as ../cycle, silenced by an allowlist
+// entry (tests/lint_test.cc). Never compiled.
+#ifndef FIXTURE_A_H_
+#define FIXTURE_A_H_
+#include "src/b.h"
+inline int A() { return B() + 1; }
+#endif  // FIXTURE_A_H_

@@ -1,0 +1,7 @@
+// Same deliberate #include cycle as ../cycle, silenced by an allowlist
+// entry (tests/lint_test.cc). Never compiled.
+#ifndef FIXTURE_B_H_
+#define FIXTURE_B_H_
+#include "src/a.h"
+inline int B() { return 2; }
+#endif  // FIXTURE_B_H_

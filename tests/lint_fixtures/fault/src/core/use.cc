@@ -1,0 +1,17 @@
+// Known-bad input for snic_lint's fault-site-registry rule
+// (tests/lint_test.cc). Never compiled.
+#include "src/fault/fault.h"
+
+namespace fixture {
+
+void Use() {
+  SNIC_FAULT_FIRES(sites::kRegistered);    // listed + documented: clean
+  SNIC_FAULT_FIRES(sites::kUnregistered);  // missing from registry AND doc
+  SNIC_FAULT_STALL(sites::kDupA);          // same string as kDupB
+  SNIC_FAULT_STALL(sites::kDupB);
+  SNIC_FAULT_FIRES(unknown_site);          // resolves to no constant
+  // snic-lint: allow(fault-site-registry)
+  SNIC_FAULT_FIRES(another_unknown);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture stand-in for the real fault plane: declares the canonical site
+// constants and the injection macros (tests/lint_test.cc). Never compiled.
+#ifndef FIXTURE_FAULT_H_
+#define FIXTURE_FAULT_H_
+
+#include <string_view>
+
+#define SNIC_FAULT_FIRES(site, ...) (void)(site)
+#define SNIC_FAULT_STALL(site, ...) (void)(site)
+
+namespace fixture::sites {
+inline constexpr std::string_view kRegistered = "fix.registered";
+inline constexpr std::string_view kUnregistered = "fix.unregistered";
+inline constexpr std::string_view kDupA = "fix.duplicate";
+inline constexpr std::string_view kDupB = "fix.duplicate";
+}  // namespace fixture::sites
+
+#endif  // FIXTURE_FAULT_H_

@@ -1,0 +1,18 @@
+// Known-bad input for snic_lint's metric-name-drift rule
+// (tests/lint_test.cc). Never compiled.
+
+namespace fixture {
+
+struct Registry {
+  int GetCounter(const char* name);
+  int Emit(const char* name);
+};
+
+void Use(Registry& r) {
+  r.GetCounter("fix.documented");
+  r.GetCounter("fix.undocumented");
+  // snic-lint: allow(metric-name-drift)
+  r.Emit("fix.suppressed");
+}
+
+}  // namespace fixture

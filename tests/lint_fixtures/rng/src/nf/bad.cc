@@ -1,0 +1,20 @@
+// Known-bad input for snic_lint's no-ambient-rng rule (tests/lint_test.cc).
+// Never compiled.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Bad() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  (void)gen;
+  return rand();
+}
+
+// snic-lint: allow(no-ambient-rng)
+int Suppressed() { return rand(); }
+
+int NotACall(int rand) { return rand; }  // plain identifier, not a call
+
+}  // namespace fixture

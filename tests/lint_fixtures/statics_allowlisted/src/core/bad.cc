@@ -1,0 +1,14 @@
+// Same known-bad statics as ../statics, silenced here by a whole-file
+// allowlist entry (tests/lint_test.cc). Never compiled.
+
+namespace fixture {
+
+static int counter = 0;
+thread_local int tls_scratch = 0;
+
+int Bump() {
+  static int calls = 0;
+  return ++calls + counter + tls_scratch;
+}
+
+}  // namespace fixture

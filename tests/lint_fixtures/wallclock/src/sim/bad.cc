@@ -1,0 +1,23 @@
+// Known-bad input for snic_lint's no-wallclock rule (tests/lint_test.cc).
+// Never compiled.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long Now() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return time(nullptr);
+}
+
+// snic-lint: allow(no-wallclock)
+long SuppressedNow() { return time(nullptr); }
+
+struct SimClock;  // a model clock, defined outside the simulated layers
+
+long SimulatedNow(SimClock& c, SimClock* p) {
+  return c.clock() + p->clock();  // member access is exempt
+}
+
+}  // namespace fixture

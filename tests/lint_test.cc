@@ -1,0 +1,143 @@
+// Drives snic_lint's rule engine in-process against the known-bad
+// mini-trees in tests/lint_fixtures/ (docs/STATIC_ANALYSIS.md): every rule
+// family must fire on its fixture, and both suppression mechanisms — the
+// inline `// snic-lint: allow(<rule>)` comment and the audited allowlist —
+// must actually silence findings. The whole-tree gate itself is the
+// separate `snic_lint_tree` CTest.
+
+#include "tools/snic_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace snic::lint {
+namespace {
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  Options options;
+  options.root = std::string(SNIC_LINT_FIXTURES_DIR) + "/" + name;
+  return RunLint(options);
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& message_substring) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule &&
+           f.message.find(message_substring) != std::string::npos;
+  });
+}
+
+bool HasFindingOnLine(const std::vector<Finding>& findings,
+                      const std::string& file, int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.file == file && f.line == line;
+  });
+}
+
+TEST(SnicLintTest, WallclockFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("wallclock");
+  EXPECT_EQ(findings.size(), 2u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "no-wallclock"), 2u);
+  EXPECT_TRUE(HasFinding(findings, "no-wallclock", "steady_clock"));
+  EXPECT_TRUE(HasFinding(findings, "no-wallclock", "time"));
+  // The `// snic-lint: allow(no-wallclock)` comment covers the next line.
+  EXPECT_FALSE(HasFindingOnLine(findings, "src/sim/bad.cc", 15));
+  // Member access (`c.clock()`, `p->clock()`) is a model clock, exempt.
+  EXPECT_FALSE(HasFindingOnLine(findings, "src/sim/bad.cc", 20));
+}
+
+TEST(SnicLintTest, AmbientRngFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("rng");
+  EXPECT_EQ(findings.size(), 3u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "no-ambient-rng"), 3u);
+  EXPECT_TRUE(HasFinding(findings, "no-ambient-rng", "random_device"));
+  EXPECT_TRUE(HasFinding(findings, "no-ambient-rng", "mt19937"));
+  EXPECT_TRUE(HasFinding(findings, "no-ambient-rng", "rand"));
+  EXPECT_FALSE(HasFindingOnLine(findings, "src/nf/bad.cc", 16));  // suppressed
+  EXPECT_FALSE(HasFindingOnLine(findings, "src/nf/bad.cc", 18));  // not a call
+}
+
+TEST(SnicLintTest, MutableStaticsFire) {
+  const auto findings = LintFixture("statics");
+  EXPECT_EQ(findings.size(), 3u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "no-mutable-file-static"), 3u);
+  EXPECT_TRUE(HasFinding(findings, "no-mutable-file-static", "counter"));
+  EXPECT_TRUE(HasFinding(findings, "no-mutable-file-static", "tls_scratch"));
+  EXPECT_TRUE(HasFinding(findings, "no-mutable-file-static", "calls"));
+  // const statics and static functions are exempt.
+  EXPECT_FALSE(HasFinding(findings, "no-mutable-file-static", "kLimit"));
+  EXPECT_FALSE(HasFinding(findings, "no-mutable-file-static", "Helper"));
+}
+
+TEST(SnicLintTest, MutableStaticsAllowlistSilencesWholeFile) {
+  const auto findings = LintFixture("statics_allowlisted");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(SnicLintTest, FaultSiteRegistryFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("fault");
+  EXPECT_EQ(findings.size(), 5u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "fault-site-registry"), 5u);
+  EXPECT_TRUE(HasFinding(findings, "fault-site-registry",
+                         "\"fix.unregistered\" is not listed"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site-registry",
+                         "\"fix.unregistered\" is not documented"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site-registry",
+                         "declared by multiple constants"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site-registry", "stale"));
+  EXPECT_TRUE(HasFinding(findings, "fault-site-registry",
+                         "cannot resolve fault site `unknown_site`"));
+  EXPECT_FALSE(HasFinding(findings, "fault-site-registry", "another_unknown"));
+}
+
+TEST(SnicLintTest, MetricNameDriftFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("metrics");
+  EXPECT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "metric-name-drift", "fix.undocumented"));
+  EXPECT_FALSE(HasFinding(findings, "metric-name-drift", "fix.documented"));
+  EXPECT_FALSE(HasFinding(findings, "metric-name-drift", "fix.suppressed"));
+}
+
+TEST(SnicLintTest, IncludeCycleFires) {
+  const auto findings = LintFixture("cycle");
+  EXPECT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "include-cycle",
+                         "src/a.h -> src/b.h -> src/a.h"));
+}
+
+TEST(SnicLintTest, IncludeCycleAllowlistSilences) {
+  const auto findings = LintFixture("cycle_allowlisted");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+// The shipped allowlist is audited: every entry must still correspond to a
+// real declaration, so deleting the code deletes the exception. Run the
+// real tree's linter with an empty allowlist and check that exactly the
+// allowlisted identifiers resurface (nothing else hides behind the list).
+TEST(SnicLintTest, TreeAllowlistEntriesAreAllLive) {
+  Options options;
+  options.root = std::string(SNIC_LINT_FIXTURES_DIR) + "/../..";
+  options.allowlist_path = "tools/snic_lint/does_not_exist.txt";
+  const auto findings = RunLint(options);
+  EXPECT_EQ(CountRule(findings, "no-mutable-file-static"), 3u)
+      << FormatFindings(findings);
+  EXPECT_TRUE(HasFinding(findings, "no-mutable-file-static", "registry"));
+  EXPECT_TRUE(
+      HasFinding(findings, "no-mutable-file-static", "tls_default_registry"));
+  EXPECT_TRUE(HasFinding(findings, "no-mutable-file-static", "tls_plane"));
+  // And nothing beyond the allowlisted statics is outstanding.
+  EXPECT_EQ(findings.size(), 3u) << FormatFindings(findings);
+}
+
+}  // namespace
+}  // namespace snic::lint

@@ -1,0 +1,838 @@
+#include "tools/snic_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+
+namespace snic::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Source model: raw text, per-line suppressions, token stream, includes.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for kString: the literal's contents, quotes stripped
+  int line;
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative
+  std::vector<Token> tokens;
+  // line -> rules suppressed on that line (from `snic-lint: allow(...)`).
+  std::map<int, std::set<std::string>> suppressions;
+  // #include "..." targets with their line numbers.
+  std::vector<std::pair<std::string, int>> includes;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Records `snic-lint: allow(rule-a, rule-b)` from a comment starting at
+// `line`. `alone` is true when the comment is the only content on its line,
+// in which case the suppression also covers the following line.
+void ParseSuppression(const std::string& comment, int line, bool alone,
+                      SourceFile* out) {
+  static constexpr std::string_view kTag = "snic-lint: allow(";
+  size_t pos = comment.find(kTag);
+  while (pos != std::string::npos) {
+    const size_t open = pos + kTag.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string rules = comment.substr(open, close - open);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const size_t b = rule.find_first_not_of(" \t");
+      const size_t e = rule.find_last_not_of(" \t");
+      if (b == std::string::npos) {
+        continue;
+      }
+      rule = rule.substr(b, e - b + 1);
+      out->suppressions[line].insert(rule);
+      if (alone) {
+        out->suppressions[line + 1].insert(rule);
+      }
+    }
+    pos = comment.find(kTag, close);
+  }
+}
+
+// Tokenizes C++ accurately enough for the rules: comments and string/char
+// literals are recognized (including raw strings), preprocessor lines are
+// scanned for #include, and everything else becomes ident/number/punct
+// tokens with line numbers.
+SourceFile Tokenize(const std::string& path, const std::string& text) {
+  SourceFile out;
+  out.path = path;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  // Tracks whether anything other than whitespace/comment appeared on the
+  // current line before a comment — for "comment alone on line" detection.
+  bool line_has_code = false;
+
+  auto advance_line = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      ParseSuppression(text.substr(start, i - start), line, !line_has_code,
+                       &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      const bool alone = !line_has_code;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          advance_line();
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      ParseSuppression(text.substr(start, i - start), start_line, alone, &out);
+      continue;
+    }
+    // Preprocessor line: record #include "..." targets, tokenize nothing.
+    if (c == '#' && !line_has_code) {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) {
+        ++j;
+      }
+      if (text.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) {
+          ++j;
+        }
+        if (j < n && text[j] == '"') {
+          const size_t close = text.find('"', j + 1);
+          if (close != std::string::npos) {
+            out.includes.emplace_back(text.substr(j + 1, close - j - 1), line);
+          }
+        }
+      }
+      // Skip to end of line, honoring continuations.
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance_line();
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_has_code = true;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const size_t open_paren = text.find('(', i + 2);
+      if (open_paren != std::string::npos) {
+        const std::string delim = text.substr(i + 2, open_paren - i - 2);
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = text.find(closer, open_paren + 1);
+        const size_t stop = end == std::string::npos ? n : end;
+        out.tokens.push_back(
+            {TokKind::kString,
+             text.substr(open_paren + 1, stop - open_paren - 1), line});
+        for (size_t k = i; k < std::min(n, stop + closer.size()); ++k) {
+          if (text[k] == '\n') {
+            ++line;
+          }
+        }
+        i = end == std::string::npos ? n : end + closer.size();
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          value += text[i];
+          value += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          advance_line();  // unterminated; tolerate
+        }
+        value += text[i];
+        ++i;
+      }
+      ++i;  // closing quote
+      if (quote == '"') {
+        out.tokens.push_back({TokKind::kString, value, start_line});
+      }
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kIdent, text.substr(start, i - start), line});
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(text[i]) || text[i] == '.' ||
+                       (text[i] == '\'' && i + 1 < n &&
+                        IsIdentChar(text[i + 1])) ||  // digit separators
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                         text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, text.substr(start, i - start), line});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tree loading
+// ---------------------------------------------------------------------------
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool IsSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+std::vector<std::string> GatherSources(const Options& options) {
+  std::vector<std::string> files;
+  for (const char* top : {"src", "bench", "tools", "tests", "examples"}) {
+    const fs::path dir = fs::path(options.root) / top;
+    if (!fs::exists(dir)) {
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() &&
+          it->path().filename().string() == "lint_fixtures") {
+        it.disable_recursion_pending();  // the checker's own bad inputs
+        continue;
+      }
+      if (!it->is_regular_file() || !IsSourceExtension(it->path())) {
+        continue;
+      }
+      files.push_back(
+          fs::relative(it->path(), options.root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+// Lines: `<rule> <file>[:<identifier>]`. '#' comments. An entry without an
+// identifier allows the rule for the whole file.
+struct Allowlist {
+  std::set<std::pair<std::string, std::string>> entries;  // (rule, file[:id])
+
+  bool Allows(const std::string& rule, const std::string& file,
+              const std::string& identifier) const {
+    if (entries.count({rule, file}) != 0) {
+      return true;
+    }
+    return !identifier.empty() &&
+           entries.count({rule, file + ":" + identifier}) != 0;
+  }
+};
+
+Allowlist LoadAllowlist(const Options& options) {
+  Allowlist allow;
+  std::istringstream in(
+      ReadFileOrEmpty(fs::path(options.root) / options.allowlist_path));
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    std::string rule, target;
+    if (fields >> rule >> target) {
+      allow.entries.insert({rule, target});
+    }
+  }
+  return allow;
+}
+
+// ---------------------------------------------------------------------------
+// Shared rule machinery
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(const Options& options) : options_(options) {
+    allowlist_ = LoadAllowlist(options);
+    for (const std::string& rel : GatherSources(options)) {
+      files_.push_back(
+          Tokenize(rel, ReadFileOrEmpty(fs::path(options.root) / rel)));
+    }
+    obs_doc_ = ReadFileOrEmpty(fs::path(options_.root) / options_.obs_doc_path);
+    robustness_doc_ =
+        ReadFileOrEmpty(fs::path(options_.root) / options_.robustness_doc_path);
+  }
+
+  std::vector<Finding> Run() {
+    for (const SourceFile& file : files_) {
+      CheckWallclock(file);
+      CheckAmbientRng(file);
+      CheckMutableStatics(file);
+    }
+    CheckFaultSites();
+    CheckMetricNames();
+    CheckIncludeCycles();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule, a.message) <
+                       std::tie(b.file, b.line, b.rule, b.message);
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(const std::string& rule, const SourceFile& file, int line,
+              const std::string& identifier, const std::string& message) {
+    const auto it = file.suppressions.find(line);
+    if (it != file.suppressions.end() && it->second.count(rule) != 0) {
+      return;
+    }
+    if (allowlist_.Allows(rule, file.path, identifier)) {
+      return;
+    }
+    findings_.push_back({rule, file.path, line, message});
+  }
+
+  // Findings not tied to a scanned file (registry/doc drift).
+  void ReportGlobal(const std::string& rule, const std::string& file, int line,
+                    const std::string& identifier, const std::string& message) {
+    if (allowlist_.Allows(rule, file, identifier)) {
+      return;
+    }
+    findings_.push_back({rule, file, line, message});
+  }
+
+  static bool StartsWith(const std::string& s, std::string_view prefix) {
+    return s.compare(0, prefix.size(), prefix) == 0;
+  }
+
+  // ---- no-wallclock -------------------------------------------------------
+
+  void CheckWallclock(const SourceFile& file) {
+    static const std::set<std::string, std::less<>> kSimulatedDirs = {
+        "src/sim/", "src/core/", "src/fault/", "src/nf/"};
+    const bool in_scope =
+        std::any_of(kSimulatedDirs.begin(), kSimulatedDirs.end(),
+                    [&](const std::string& d) { return StartsWith(file.path, d); });
+    if (!in_scope) {
+      return;
+    }
+    static const std::set<std::string, std::less<>> kBanned = {
+        "system_clock",   "steady_clock", "high_resolution_clock",
+        "gettimeofday",   "clock_gettime", "timespec_get",
+        "localtime",      "gmtime",        "mktime",
+        "strftime",       "clock",         "time"};
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& t = toks[i].text;
+      const bool member_access =
+          i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == ">");
+      if (member_access) {
+        continue;  // foo.clock(), p->clock(): a simulated clock, not libc's
+      }
+      if (kBanned.count(t) != 0) {
+        // `clock`/`time` only as direct calls; the chrono clock types and
+        // POSIX functions are banned as bare identifiers.
+        const bool call_like = i + 1 < toks.size() &&
+                               toks[i + 1].kind == TokKind::kPunct &&
+                               toks[i + 1].text == "(";
+        if ((t == "clock" || t == "time") && !call_like) {
+          continue;
+        }
+        Report("no-wallclock", file, toks[i].line, t,
+               "wall-clock API `" + t +
+                   "` in a simulated-cycles layer; derive time from the "
+                   "scenario clock (FaultPlane::now, replay cycles)");
+      } else if (t == "time") {
+        const bool call_like = i + 1 < toks.size() &&
+                               toks[i + 1].kind == TokKind::kPunct &&
+                               toks[i + 1].text == "(";
+        if (call_like) {
+          Report("no-wallclock", file, toks[i].line, t,
+                 "wall-clock API `time()` in a simulated-cycles layer");
+        }
+      }
+    }
+  }
+
+  // ---- no-ambient-rng -----------------------------------------------------
+
+  void CheckAmbientRng(const SourceFile& file) {
+    // Identifiers that are banned outright: ambient or default-seeded
+    // randomness. All randomness must flow from snic::Rng streams seeded
+    // via runtime::DeriveTaskSeed or the fault plane (crypto has its DRBG).
+    static const std::set<std::string, std::less<>> kBannedAlways = {
+        "random_device",       "default_random_engine",
+        "mt19937",             "mt19937_64",
+        "minstd_rand",         "minstd_rand0",
+        "ranlux24",            "ranlux48",
+        "ranlux24_base",       "ranlux48_base",
+        "knuth_b",             "mersenne_twister_engine",
+        "linear_congruential_engine", "subtract_with_carry_engine",
+        "drand48",             "lrand48",
+        "srand",               "rand_r"};
+    // Banned only as direct calls (too common as substrings/members).
+    static const std::set<std::string, std::less<>> kBannedCalls = {"rand",
+                                                                    "random"};
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string& t = toks[i].text;
+      const bool member_access =
+          i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == ">");
+      if (member_access) {
+        continue;
+      }
+      const bool call_like = i + 1 < toks.size() &&
+                             toks[i + 1].kind == TokKind::kPunct &&
+                             toks[i + 1].text == "(";
+      if (kBannedAlways.count(t) != 0 ||
+          (call_like && kBannedCalls.count(t) != 0)) {
+        Report("no-ambient-rng", file, toks[i].line, t,
+               "ambient/default-seeded randomness `" + t +
+                   "`; use snic::Rng seeded via runtime::DeriveTaskSeed "
+                   "(src/common/rng.h)");
+      }
+    }
+  }
+
+  // ---- no-mutable-file-static --------------------------------------------
+
+  void CheckMutableStatics(const SourceFile& file) {
+    if (!(StartsWith(file.path, "src/") || StartsWith(file.path, "bench/") ||
+          StartsWith(file.path, "tools/"))) {
+      return;
+    }
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          !(toks[i].text == "static" || toks[i].text == "thread_local")) {
+        continue;
+      }
+      // `static thread_local` / `thread_local static`: handle once.
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          (toks[i - 1].text == "static" ||
+           toks[i - 1].text == "thread_local")) {
+        continue;
+      }
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          toks[i - 1].text == "extern") {
+        continue;  // extern declaration, storage lives elsewhere
+      }
+      // Scan the declaration: the first of `(` `;` `=` `{` decides whether
+      // this is a function (paren first) or a variable.
+      bool is_const = false;
+      std::string identifier;
+      bool decided = false;
+      bool is_variable = false;
+      int decl_line = toks[i].line;
+      for (size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") {
+            decided = true;  // function declaration/definition
+            break;
+          }
+          if (t.text == ";" || t.text == "=" || t.text == "{" ||
+              t.text == "[") {
+            decided = true;
+            is_variable = true;
+            break;
+          }
+          continue;
+        }
+        if (t.kind == TokKind::kIdent) {
+          if (t.text == "const" || t.text == "constexpr") {
+            is_const = true;
+          } else if (t.text == "class" || t.text == "struct" ||
+                     t.text == "union" || t.text == "enum") {
+            decided = true;  // type definition, not a variable
+            break;
+          } else {
+            identifier = t.text;
+            decl_line = t.line;
+          }
+        }
+      }
+      if (!decided || !is_variable || is_const) {
+        continue;
+      }
+      Report("no-mutable-file-static", file, decl_line, identifier,
+             "mutable `" + toks[i].text + "` state `" + identifier +
+                 "`; shared mutable statics break schedule-invariance — "
+                 "pass state explicitly or add an audited allowlist entry");
+    }
+  }
+
+  // ---- fault-site-registry ------------------------------------------------
+
+  struct SiteConstant {
+    std::string value;
+    std::string file;
+    int line;
+  };
+
+  void CheckFaultSites() {
+    // Collect every `string_view kName = "value"` constant.
+    std::map<std::string, std::vector<SiteConstant>> constants;
+    for (const SourceFile& file : files_) {
+      const auto& toks = file.tokens;
+      for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::kIdent &&
+            toks[i].text == "string_view" &&
+            toks[i + 1].kind == TokKind::kIdent &&
+            toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "=" &&
+            toks[i + 3].kind == TokKind::kString) {
+          constants[toks[i + 1].text].push_back(
+              {toks[i + 3].text, file.path, toks[i + 1].line});
+        }
+      }
+    }
+
+    // Canonical sites: constants declared in src/fault/fault.h.
+    std::map<std::string, SiteConstant> used_sites;  // value -> first decl
+    for (const auto& [name, decls] : constants) {
+      for (const SiteConstant& decl : decls) {
+        if (decl.file == "src/fault/fault.h") {
+          used_sites.emplace(decl.value, decl);
+        }
+      }
+    }
+
+    // Macro uses: resolve the site argument to a constant or a literal.
+    for (const SourceFile& file : files_) {
+      const auto& toks = file.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            (toks[i].text != "SNIC_FAULT_FIRES" &&
+             toks[i].text != "SNIC_FAULT_STALL") ||
+            toks[i + 1].text != "(") {
+          continue;
+        }
+        if (file.path == "src/fault/fault.h") {
+          continue;  // the macro definitions themselves
+        }
+        // The site expression: tokens up to the ',' at depth 1.
+        int depth = 1;
+        std::string last_ident;
+        std::string literal;
+        size_t j = i + 2;
+        for (; j < toks.size() && depth > 0; ++j) {
+          const Token& t = toks[j];
+          if (t.kind == TokKind::kPunct) {
+            if (t.text == "(") {
+              ++depth;
+            } else if (t.text == ")") {
+              --depth;
+            } else if (t.text == "," && depth == 1) {
+              break;
+            }
+          } else if (t.kind == TokKind::kIdent) {
+            last_ident = t.text;
+          } else if (t.kind == TokKind::kString) {
+            literal = t.text;
+          }
+        }
+        std::string value;
+        if (!literal.empty()) {
+          value = literal;
+        } else if (!last_ident.empty()) {
+          const auto decl = constants.find(last_ident);
+          if (decl == constants.end()) {
+            Report("fault-site-registry", file, toks[i].line, last_ident,
+                   "cannot resolve fault site `" + last_ident +
+                       "` to a string_view constant; sites must be named "
+                       "constants so the registry can audit them");
+            continue;
+          }
+          value = decl->second.front().value;
+          used_sites.emplace(
+              value, SiteConstant{value, file.path, toks[i].line});
+        } else {
+          Report("fault-site-registry", file, toks[i].line, "",
+                 "fault site argument is neither a constant nor a literal");
+          continue;
+        }
+      }
+    }
+
+    // Uniqueness: two distinct constants must not share a site string.
+    std::map<std::string, std::vector<std::string>> by_value;
+    for (const auto& [name, decls] : constants) {
+      for (const SiteConstant& decl : decls) {
+        if (used_sites.count(decl.value) != 0) {
+          by_value[decl.value].push_back(name + " (" + decl.file + ")");
+        }
+      }
+    }
+    for (const auto& [value, names] : by_value) {
+      std::set<std::string> unique(names.begin(), names.end());
+      if (unique.size() > 1) {
+        std::string joined;
+        for (const std::string& n : unique) {
+          joined += (joined.empty() ? "" : ", ") + n;
+        }
+        ReportGlobal("fault-site-registry", used_sites.at(value).file,
+                     used_sites.at(value).line, value,
+                     "fault site string \"" + value +
+                         "\" is declared by multiple constants: " + joined);
+      }
+    }
+
+    if (used_sites.empty()) {
+      return;  // tree without fault sites: nothing to audit
+    }
+
+    // Registry file: exactly the set of known site strings.
+    const fs::path reg_path =
+        fs::path(options_.root) / options_.fault_registry_path;
+    if (!fs::exists(reg_path)) {
+      ReportGlobal("fault-site-registry", options_.fault_registry_path, 0, "",
+                   "fault-site registry file is missing but " +
+                       std::to_string(used_sites.size()) +
+                       " sites are declared/used");
+      return;
+    }
+    std::set<std::string> registered;
+    {
+      std::istringstream in(ReadFileOrEmpty(reg_path));
+      std::string line;
+      while (std::getline(in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+          line = line.substr(0, hash);
+        }
+        std::istringstream fields(line);
+        std::string site;
+        if (fields >> site) {
+          registered.insert(site);
+        }
+      }
+    }
+    for (const auto& [value, decl] : used_sites) {
+      if (registered.count(value) == 0) {
+        ReportGlobal("fault-site-registry", decl.file, decl.line, value,
+                     "fault site \"" + value + "\" is not listed in " +
+                         options_.fault_registry_path);
+      }
+      if (!robustness_doc_.empty() &&
+          robustness_doc_.find(value) == std::string::npos) {
+        ReportGlobal("fault-site-registry", decl.file, decl.line, value,
+                     "fault site \"" + value + "\" is not documented in " +
+                         options_.robustness_doc_path);
+      }
+    }
+    for (const std::string& site : registered) {
+      if (used_sites.count(site) == 0) {
+        ReportGlobal("fault-site-registry", options_.fault_registry_path, 0,
+                     site,
+                     "registry lists \"" + site +
+                         "\" but no such site is declared or used (stale "
+                         "entry?)");
+      }
+    }
+  }
+
+  // ---- metric-name-drift --------------------------------------------------
+
+  void CheckMetricNames() {
+    static const std::set<std::string, std::less<>> kCreators = {
+        "GetCounter", "GetGauge",   "GetHistogram", "AddComplete",
+        "AddInstant", "AddCounter", "Emit"};
+    for (const SourceFile& file : files_) {
+      if (!(StartsWith(file.path, "src/") ||
+            StartsWith(file.path, "bench/"))) {
+        continue;
+      }
+      const auto& toks = file.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            kCreators.count(toks[i].text) == 0 || toks[i + 1].text != "(" ||
+            toks[i + 2].kind != TokKind::kString) {
+          continue;
+        }
+        const std::string& name = toks[i + 2].text;
+        if (name.empty()) {
+          continue;
+        }
+        if (obs_doc_.find(name) == std::string::npos) {
+          Report("metric-name-drift", file, toks[i + 2].line, name,
+                 "metric/trace name \"" + name + "\" is not documented in " +
+                     options_.obs_doc_path);
+        }
+      }
+    }
+  }
+
+  // ---- include-cycle ------------------------------------------------------
+
+  void CheckIncludeCycles() {
+    // Graph over src/ files; edges follow the repo-root include style.
+    std::map<std::string, std::vector<std::string>> graph;
+    std::map<std::string, const SourceFile*> by_path;
+    for (const SourceFile& file : files_) {
+      if (!StartsWith(file.path, "src/")) {
+        continue;
+      }
+      by_path[file.path] = &file;
+      for (const auto& [target, line] : file.includes) {
+        if (StartsWith(target, "src/")) {
+          graph[file.path].push_back(target);
+        }
+      }
+    }
+    // Iterative DFS with tri-color marking; report each cycle once.
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+
+    std::function<void(const std::string&)> visit =
+        [&](const std::string& node) {
+          color[node] = 1;
+          stack.push_back(node);
+          for (const std::string& next : graph[node]) {
+            if (color[next] == 1) {
+              // Found a cycle: slice it out of the stack.
+              auto it = std::find(stack.begin(), stack.end(), next);
+              std::string cycle;
+              std::string key_min = next;
+              for (; it != stack.end(); ++it) {
+                cycle += *it + " -> ";
+                key_min = std::min(key_min, *it);
+              }
+              cycle += next;
+              if (reported.insert(key_min).second) {
+                const SourceFile* origin = by_path.count(node) != 0
+                                               ? by_path.at(node)
+                                               : nullptr;
+                int line = 0;
+                if (origin != nullptr) {
+                  for (const auto& [target, l] : origin->includes) {
+                    if (target == next) {
+                      line = l;
+                      break;
+                    }
+                  }
+                }
+                ReportGlobal("include-cycle", node, line, next,
+                             "#include cycle: " + cycle);
+              }
+            } else if (color[next] == 0 && by_path.count(next) != 0) {
+              visit(next);
+            }
+          }
+          stack.pop_back();
+          color[node] = 2;
+        };
+    for (const auto& [node, file] : by_path) {
+      if (color[node] == 0) {
+        visit(node);
+      }
+    }
+  }
+
+  Options options_;
+  Allowlist allowlist_;
+  std::vector<SourceFile> files_;
+  std::string obs_doc_;
+  std::string robustness_doc_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> RunLint(const Options& options) {
+  return Linter(options).Run();
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace snic::lint

@@ -1,0 +1,66 @@
+// snic_lint: static enforcement of the repo's isolation & determinism
+// invariants (docs/STATIC_ANALYSIS.md).
+//
+// The S-NIC reproduction's headline guarantees — byte-identical replay at
+// any --jobs count, cross-NF isolation even under injected faults — rest on
+// source-level conventions: no wall-clock reads in simulated paths, no
+// ambient RNG, no mutable file statics, fault sites and metric names that
+// match their registries and docs. This checker turns those conventions
+// into machine-checked rules over a small tokenizer (no libclang), run as a
+// CTest (`ctest -R lint`) and as a blocking CI job.
+//
+// Rule families (each suppressible per line with `// snic-lint: allow(rule)`
+// or per entity via tools/snic_lint/allowlist.txt):
+//   no-wallclock            wall-clock APIs in src/sim, src/core, src/fault,
+//                           src/nf — those layers run on simulated cycles
+//   no-ambient-rng          rand()/std::random_device/std engines anywhere —
+//                           randomness derives from common/rng.h streams
+//   no-mutable-file-static  mutable static/thread_local declarations outside
+//                           the audited allowlist
+//   fault-site-registry     SNIC_FAULT_FIRES/STALL sites: named constants,
+//                           globally unique strings, listed in
+//                           tools/snic_lint/fault_sites.txt and
+//                           docs/ROBUSTNESS.md
+//   metric-name-drift       literal metric/trace names documented in
+//                           docs/OBSERVABILITY.md
+//   include-cycle           no #include cycles across src/
+
+#ifndef SNIC_TOOLS_SNIC_LINT_LINT_H_
+#define SNIC_TOOLS_SNIC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace snic::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/' separators
+  int line = 0;      // 1-based; 0 when the finding is not tied to a line
+  std::string message;
+};
+
+struct Options {
+  // Tree root. Rules scan src/, bench/, tools/, tests/ and examples/ below
+  // it (skipping any directory named lint_fixtures, which holds the
+  // checker's own known-bad test inputs).
+  std::string root = ".";
+
+  // All paths below are relative to `root`. A missing allowlist is treated
+  // as empty; a missing registry or doc only matters when a rule needs it.
+  std::string allowlist_path = "tools/snic_lint/allowlist.txt";
+  std::string fault_registry_path = "tools/snic_lint/fault_sites.txt";
+  std::string obs_doc_path = "docs/OBSERVABILITY.md";
+  std::string robustness_doc_path = "docs/ROBUSTNESS.md";
+};
+
+// Runs every rule over the tree; findings are sorted by (file, line, rule).
+// Findings suppressed inline or via the allowlist are not returned.
+std::vector<Finding> RunLint(const Options& options);
+
+// "file:line: rule: message" lines, one per finding.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace snic::lint
+
+#endif  // SNIC_TOOLS_SNIC_LINT_LINT_H_

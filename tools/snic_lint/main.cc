@@ -1,0 +1,58 @@
+// snic_lint driver. Usage:
+//   snic_lint --root=/path/to/repo [--allowlist=...] [--fault-registry=...]
+//             [--obs-doc=...] [--robustness-doc=...]
+// Prints one `file:line: rule: message` per finding; exit 1 when any fire.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tools/snic_lint/lint.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  snic::lint::Options options;
+  if (const std::string v = FlagValue(argc, argv, "--root"); !v.empty()) {
+    options.root = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--allowlist"); !v.empty()) {
+    options.allowlist_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--fault-registry");
+      !v.empty()) {
+    options.fault_registry_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--obs-doc"); !v.empty()) {
+    options.obs_doc_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--robustness-doc");
+      !v.empty()) {
+    options.robustness_doc_path = v;
+  }
+
+  const auto findings = snic::lint::RunLint(options);
+  if (findings.empty()) {
+    std::printf("snic_lint: clean (%s)\n", options.root.c_str());
+    return 0;
+  }
+  std::fputs(snic::lint::FormatFindings(findings).c_str(), stdout);
+  std::fprintf(stderr,
+               "snic_lint: %zu finding(s). Suppress a line with "
+               "`// snic-lint: allow(<rule>)` or add an audited entry to "
+               "%s.\n",
+               findings.size(), options.allowlist_path.c_str());
+  return 1;
+}
