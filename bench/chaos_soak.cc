@@ -106,6 +106,9 @@ void InstallFaultSchedule(fault::FaultPlane& plane, uint64_t a_id) {
   // Sporadic ingress damage on A's pipeline.
   add(fault::sites::kVppRxDrop, a_id, 20, 1, 97, 0);
   add(fault::sites::kVppRxCorrupt, a_id, 50, 1, 131, 0);
+  // Admission-policer brown-outs: frames bounced at A's ingress as if its
+  // token bucket were empty (overload plane).
+  add(fault::sites::kVppRxAdmissionReject, a_id, 70, 1, 113, 0);
   // One transient accelerator fault: crash -> downgrade to software path.
   add(fault::sites::kAccelThreadAccess, a_id, 40, 1, 0, 0);
   // A's first restart fails twice (setup consumes launch hits 0..2: A,B,C).
@@ -214,10 +217,12 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   Fnv b_rx_digest, b_wire_digest, b_bus_digest;
   uint64_t b_wire_packets = 0, b_bus_grants = 0;
   uint64_t a_crashes_seen = 0;
+  uint64_t wire_rejected = 0, a_tx_rejected = 0, c_tx_rejected = 0;
 
   for (uint64_t step = 0; step < steps; ++step) {
     const uint64_t now = (step + 1) * kCyclesPerStep;
     plane.AdvanceClockTo(now);
+    device.AdvanceClockTo(now);
 
     // Wire traffic: three frames per step, ports and payload drawn from the
     // scenario-invariant traffic stream.
@@ -240,7 +245,11 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
                                .SetTuple(tuple)
                                .SetPayload(payload)
                                .Build();
-      (void)device.DeliverFromWire(std::move(packet));
+      // Rejections here are A's injected ingress faults (or admission
+      // rejects) shedding load — counted, never silently discarded.
+      if (!device.DeliverFromWire(std::move(packet)).ok()) {
+        ++wire_rejected;
+      }
     }
 
     // One bus transfer per domain per step. Domain 1 (B) grants must be
@@ -262,7 +271,9 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
         if (!received.ok()) {
           break;
         }
-        (void)device.NfSend(a_id, std::move(received).value());
+        if (!device.NfSend(a_id, std::move(received).value()).ok()) {
+          ++a_tx_rejected;  // A's ODB reservation full: load shed, counted
+        }
       }
       Status h2n = dma.HostToNic(1, 0, 0x10000, 256);
       Status n2h = a_crashed || !h2n.ok()
@@ -316,7 +327,9 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
       if (!received.ok()) {
         break;
       }
-      (void)device.NfSend(c_id, std::move(received).value());
+      if (!device.NfSend(c_id, std::move(received).value()).ok()) {
+        ++c_tx_rejected;
+      }
     }
     supervisor.Heartbeat("tenant-c");
 
@@ -372,6 +385,15 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
                 bs.rx_corrupt_fault, bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
   report += line;
   std::snprintf(line, sizeof(line),
+                "b.vpp.overload: drop_admission=%" PRIu64
+                " drop_early=%" PRIu64 " shed_rx=%" PRIu64 " shed_tx=%" PRIu64
+                " shed_bytes=%" PRIu64 " peak_frames=%" PRIu64
+                " peak_bytes=%" PRIu64 "\n",
+                bs.rx_dropped_admission, bs.rx_dropped_early,
+                bs.rx_shed_deadline, bs.tx_shed_deadline, bs.shed_bytes,
+                bs.rx_peak_frames, bs.rx_peak_bytes);
+  report += line;
+  std::snprintf(line, sizeof(line),
                 "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n",
                 b_bus_grants, b_bus_digest.h);
   report += line;
@@ -391,9 +413,9 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   summary += line;
   for (std::string_view site :
        {fault::sites::kVppRxDrop, fault::sites::kVppRxCorrupt,
-        fault::sites::kAccelThreadAccess, fault::sites::kNfLaunch,
-        fault::sites::kDmaNicToHost, fault::sites::kDmaHostToNic,
-        fault::sites::kBusTimeout, kHangSite}) {
+        fault::sites::kVppRxAdmissionReject, fault::sites::kAccelThreadAccess,
+        fault::sites::kNfLaunch, fault::sites::kDmaNicToHost,
+        fault::sites::kDmaHostToNic, fault::sites::kBusTimeout, kHangSite}) {
     const uint64_t n = plane.InjectedAt(site);
     if (n > 0) {
       std::snprintf(line, sizeof(line), "    %-22s %" PRIu64 "\n",
@@ -418,6 +440,11 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
       "\n",
       std::string(mgmt::NfHealthName(supervisor.HealthOf("victim-a"))).c_str(),
       supervisor.IsDegraded("victim-a") ? 1 : 0, a_crashes_seen);
+  summary += line;
+  std::snprintf(line, sizeof(line),
+                "  rejected: wire=%" PRIu64 " a_tx=%" PRIu64 " c_tx=%" PRIu64
+                "\n",
+                wire_rejected, a_tx_rejected, c_tx_rejected);
   summary += line;
   result.faults_injected = plane.injected_total();
   result.supervisor_stats = stats;

@@ -67,6 +67,7 @@ int main() {
 
   // Traffic: compressible HTTP-ish payloads toward port 80.
   int wire_in = 0, compressed = 0, inspected = 0, monitored = 0, out = 0;
+  int shed = 0;  // frames refused by a full TX reservation along the chain
   trace::TraceConfig tc = trace::TraceConfig::IctfLike(7);
   tc.payload_entropy = 0.1;  // mostly text: compressible
   trace::PacketStream stream(tc);
@@ -97,7 +98,9 @@ int main() {
       net::Packet frame = std::move(received).value();
       if (compressor.Process(frame) == nf::Verdict::kForward) {
         compressed += frame.size() < 500 ? 1 : 0;
-        (void)device.NfSend(zip_nf, std::move(frame));
+        if (!device.NfSend(zip_nf, std::move(frame)).ok()) {
+          ++shed;
+        }
       }
     }
     chains.TickAll();  // stage1 -> stage2
@@ -112,7 +115,9 @@ int main() {
       nf::Compressor::Decompress(frame);
       ++inspected;
       if (ids.Process(frame) == nf::Verdict::kForward) {
-        (void)device.NfSend(ids_nf, std::move(frame));
+        if (!device.NfSend(ids_nf, std::move(frame)).ok()) {
+          ++shed;
+        }
       }
     }
     chains.TickAll();  // stage2 -> stage3
@@ -126,7 +131,10 @@ int main() {
       net::Packet frame = std::move(received).value();
       monitor.Process(frame);
       ++monitored;
-      (void)device.NfSend(mon_nf, std::move(frame));
+      if (!device.NfSend(mon_nf, std::move(frame)).ok()) {
+        ++shed;
+        continue;
+      }
       if (device.TransmitToWire().ok()) {
         ++out;
       }
@@ -141,7 +149,8 @@ int main() {
               inspected, static_cast<unsigned long long>(ids.matches()));
   std::printf("Stage 3 monitor:    %d counted across %zu flows\n", monitored,
               monitor.distinct_flows());
-  std::printf("Wire out:           %d frames\n\n", out);
+  std::printf("Wire out:           %d frames (%d shed at full TX)\n\n", out,
+              shed);
 
   std::printf("Isolation held throughout: stages share no memory; the only\n"
               "inter-stage channel is the rate-clocked link (overt frames\n"

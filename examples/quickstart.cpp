@@ -87,8 +87,11 @@ int main() {
     }
     net::Packet work = std::move(received).value();
     if (firewall.Process(work) == nf::Verdict::kForward) {
+      if (!device.NfSend(nf_id.value(), std::move(work)).ok()) {
+        ++dropped;  // TX reservation full: the frame is shed, not forwarded
+        continue;
+      }
       ++forwarded;
-      (void)device.NfSend(nf_id.value(), std::move(work));
       (void)device.TransmitToWire();
     } else {
       ++dropped;

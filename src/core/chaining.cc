@@ -2,32 +2,60 @@
 
 #include <algorithm>
 
+#include "src/fault/fault.h"
+
 namespace snic::core {
 
 void ChainLink::Tick() {
   ++stats_.ticks;
+  backpressured_ = false;
   VirtualPacketPipeline* producer = device_->Vpp(config_.producer_nf);
   VirtualPacketPipeline* consumer = device_->Vpp(config_.consumer_nf);
   if (producer == nullptr || consumer == nullptr) {
     return;  // an endpoint died; the manager will reap this link
   }
-  for (uint32_t i = 0; i < config_.frames_per_tick; ++i) {
-    if (!producer->TxPending()) {
+  // Credit grant for this tick. A scheduled fault at the grant site models
+  // the trusted transfer engine withholding a tick's credits: the producer
+  // stalls deterministically even though the consumer has room.
+  uint32_t credits = config_.frames_per_tick;
+  if (SNIC_FAULT_FIRES(fault::sites::kChainCreditGrant, config_.consumer_nf)) {
+    ++stats_.credit_faults;
+    credits = 0;
+  }
+  for (uint32_t i = 0; i < credits; ++i) {
+    // PeekTx sheds stale frames, then exposes the next live head.
+    const net::Packet* head = producer->PeekTx();
+    if (head == nullptr) {
       // Fixed per-tick work regardless of backlog: nothing more to move.
       return;
+    }
+    if (config_.flow_control == ChainFlowControl::kCredit &&
+        !consumer->CanAdmitRx(head->size())) {
+      // Credit denied: the frame stays put in the producer's bounded TX
+      // reservation. No shared state grows.
+      ++stats_.frames_stalled;
+      break;
     }
     auto frame = producer->DequeueTx();
     if (!frame.ok()) {
       return;
     }
     // By-value copy through trusted hardware into the consumer's private
-    // RX reservation. A full reservation drops the frame (the consumer
-    // observes only its own queue, as with wire traffic).
+    // RX reservation. Under kDrop (or when a fault rejects an admitted
+    // frame) the loss is counted; the consumer observes only its own
+    // queue, as with wire traffic.
     if (consumer->EnqueueRx(std::move(frame).value()).ok()) {
       ++stats_.frames_moved;
     } else {
       ++stats_.frames_dropped;
     }
+  }
+  // Ending the tick with fresh producer TX still queued means the link ran
+  // out of usable credits — the backpressure signal the management plane
+  // polls between ticks.
+  if (producer->PeekTx() != nullptr) {
+    backpressured_ = true;
+    ++stats_.stall_ticks;
   }
 }
 
@@ -65,6 +93,15 @@ void ChainManager::TickAll() {
   for (ChainLink& link : links_) {
     link.Tick();
   }
+}
+
+bool ChainManager::AnyBackpressure(uint64_t nf_id) const {
+  for (const ChainLink& link : links_) {
+    if (link.config().producer_nf == nf_id && link.backpressured()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace snic::core

@@ -214,8 +214,14 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
   record->measurement = measurement.Finalize();
   launch_latency_.sha_digest_ms = coproc_.elapsed_ms() - sha_before;
 
-  // Install the VPP; its switch rules become live immediately.
+  // Install the VPP; its switch rules become live immediately. It joins
+  // the device clock mid-flight and publishes its overload series wherever
+  // the device's own counters live.
   record->vpp = std::make_unique<VirtualPacketPipeline>(nf_id, args.vpp);
+  record->vpp->AdvanceClockTo(now_);
+  SNIC_OBS(if (obs_registry_ != nullptr) {
+    record->vpp->AttachObs(obs_registry_);
+  });
 
   nfs_[nf_id] = std::move(record);
   SNIC_OBS({
@@ -471,12 +477,26 @@ Result<net::Packet> SnicDevice::TransmitToWire() {
   }
   for (size_t k = 0; k < records.size(); ++k) {
     NfRecord* record = records[(rr_tx_cursor_ + k + 1) % records.size()];
-    if (record->vpp != nullptr && record->vpp->TxPending()) {
+    // PeekTx sheds stale frames first, so a queue holding only expired
+    // frames does not stall the round-robin on a NotFound dequeue.
+    if (record->vpp != nullptr && record->vpp->PeekTx() != nullptr) {
       rr_tx_cursor_ = (rr_tx_cursor_ + k + 1) % records.size();
       return record->vpp->DequeueTx();
     }
   }
   return NotFound("no pending TX");
+}
+
+void SnicDevice::AdvanceClockTo(uint64_t cycle) {
+  if (cycle <= now_) {
+    return;
+  }
+  now_ = cycle;
+  for (auto& [id, record] : nfs_) {
+    if (record->vpp != nullptr) {
+      record->vpp->AdvanceClockTo(cycle);
+    }
+  }
 }
 
 bool SnicDevice::IsLive(uint64_t nf_id) const { return nfs_.count(nf_id) > 0; }

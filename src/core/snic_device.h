@@ -138,15 +138,21 @@ class SnicDevice {
 
   // Packet input module: parses the frame, walks the per-NF switch rules,
   // and deposits it into the matching VPP (first match wins; unmatched
-  // frames are dropped and counted).
-  Status DeliverFromWire(net::Packet packet);
+  // frames are dropped and counted). Callers must inspect the status — a
+  // rejection is the overload plane shedding load, not a silent no-op.
+  [[nodiscard]] Status DeliverFromWire(net::Packet packet);
   Result<net::Packet> NfReceive(uint64_t nf_id);
-  Status NfSend(uint64_t nf_id, net::Packet packet);
+  [[nodiscard]] Status NfSend(uint64_t nf_id, net::Packet packet);
   // Packet output module: drains one frame to the wire (round-robin over
   // VPPs with pending TX).
   Result<net::Packet> TransmitToWire();
 
   uint64_t unmatched_rx_drops() const { return unmatched_rx_drops_; }
+
+  // Advances the device's simulated clock and fans it out to every live
+  // VPP (admission-bucket refill, deadline aging). Monotone.
+  void AdvanceClockTo(uint64_t cycle);
+  uint64_t now() const { return now_; }
 
   // ---- Introspection ------------------------------------------------------
 
@@ -204,6 +210,7 @@ class SnicDevice {
 
   uint64_t core_allocation_mask_ = 0;  // bit set = core bound to an NF
   uint64_t next_nf_id_ = 1;
+  uint64_t now_ = 0;  // simulated device clock (AdvanceClockTo)
   std::map<uint64_t, std::unique_ptr<NfRecord>> nfs_;
   uint64_t rr_tx_cursor_ = 0;
   uint64_t unmatched_rx_drops_ = 0;

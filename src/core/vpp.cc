@@ -8,7 +8,19 @@ namespace snic::core {
 
 VirtualPacketPipeline::VirtualPacketPipeline(uint64_t nf_id,
                                              const VppConfig& config)
-    : nf_id_(nf_id), config_(config), scheduler_tlb_(config.tlb_entries) {}
+    : nf_id_(nf_id),
+      config_(config),
+      admission_(config.overload.admission_burst_frames,
+                 config.overload.admission_frames_per_refill,
+                 config.overload.admission_refill_cycles),
+      scheduler_tlb_(config.tlb_entries) {}
+
+void VirtualPacketPipeline::AdvanceClockTo(uint64_t cycle) {
+  if (cycle > now_) {
+    now_ = cycle;
+    admission_.AdvanceTo(cycle);
+  }
+}
 
 bool VirtualPacketPipeline::Matches(const net::ParsedPacket& parsed) const {
   for (const net::SwitchRule& rule : config_.rules) {
@@ -19,12 +31,97 @@ bool VirtualPacketPipeline::Matches(const net::ParsedPacket& parsed) const {
   return false;
 }
 
-uint64_t VirtualPacketPipeline::BufferedRxBytes() const {
-  uint64_t total = 0;
-  for (const net::Packet& p : rx_queue_) {
-    total += p.size();
+uint32_t VirtualPacketPipeline::RxCapacityFrames() const {
+  if (config_.overload.rx_queue_capacity_frames > 0) {
+    return config_.overload.rx_queue_capacity_frames;
   }
-  return total;
+  // One 64 B descriptor per buffered frame out of the PDB reservation.
+  const uint64_t derived = config_.descriptor_buffer_bytes / 64;
+  return derived > 0 ? static_cast<uint32_t>(derived) : 1;
+}
+
+uint32_t VirtualPacketPipeline::TxCapacityFrames() const {
+  if (config_.overload.tx_queue_capacity_frames > 0) {
+    return config_.overload.tx_queue_capacity_frames;
+  }
+  const uint64_t derived = config_.output_descriptor_bytes / 64;
+  return derived > 0 ? static_cast<uint32_t>(derived) : 1;
+}
+
+uint64_t VirtualPacketPipeline::RxFreeFrames() const {
+  const uint32_t capacity = RxCapacityFrames();
+  return rx_queue_.size() >= capacity ? 0 : capacity - rx_queue_.size();
+}
+
+double VirtualPacketPipeline::RxFillFraction() const {
+  const uint32_t capacity = RxCapacityFrames();
+  return static_cast<double>(rx_queue_.size()) / static_cast<double>(capacity);
+}
+
+bool VirtualPacketPipeline::CanAdmitRx(uint64_t bytes) const {
+  if (rx_queue_.size() >= RxCapacityFrames()) {
+    return false;
+  }
+  if (rx_buffered_bytes_ + bytes > config_.rx_buffer_bytes) {
+    return false;
+  }
+  return admission_.HasToken();
+}
+
+bool VirtualPacketPipeline::DeadlineExpired(uint64_t enqueue_cycle) const {
+  return config_.overload.deadline_cycles > 0 &&
+         now_ > enqueue_cycle + config_.overload.deadline_cycles;
+}
+
+void VirtualPacketPipeline::UpdateRxDepthObs() {
+  SNIC_OBS(if (obs_rx_depth_ != nullptr) {
+    obs_rx_depth_->Set(static_cast<double>(rx_queue_.size()));
+  });
+}
+
+void VirtualPacketPipeline::ShedRxAt(size_t index) {
+  const uint64_t bytes = rx_queue_[index].packet.size();
+  rx_buffered_bytes_ -= bytes;
+  ++stats_.rx_shed_deadline;
+  stats_.shed_bytes += bytes;
+  SNIC_OBS({
+    if (obs_shed_rx_ != nullptr) obs_shed_rx_->Inc();
+    if (obs_shed_bytes_ != nullptr) obs_shed_bytes_->Inc(bytes);
+  });
+  rx_queue_.erase(rx_queue_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+bool VirtualPacketPipeline::MakeRoomByEarlyDrop(uint64_t incoming_bytes) {
+  // Deterministic victim selection: the largest queued frame, breaking size
+  // ties toward the latest arrival so older frames survive. Only frames
+  // strictly larger than the incoming one are eligible — an incoming frame
+  // never evicts its equals or betters.
+  auto over_capacity = [this, incoming_bytes]() {
+    return rx_queue_.size() >= RxCapacityFrames() ||
+           rx_buffered_bytes_ + incoming_bytes > config_.rx_buffer_bytes;
+  };
+  while (over_capacity()) {
+    size_t victim = rx_queue_.size();
+    uint64_t victim_bytes = incoming_bytes;
+    for (size_t i = 0; i < rx_queue_.size(); ++i) {
+      if (rx_queue_[i].packet.size() >= victim_bytes) {
+        // >= walks ties forward to the latest arrival.
+        if (rx_queue_[i].packet.size() == incoming_bytes) {
+          continue;  // equal priority: not an eligible victim
+        }
+        victim = i;
+        victim_bytes = rx_queue_[i].packet.size();
+      }
+    }
+    if (victim == rx_queue_.size()) {
+      return false;  // nothing lower-priority than the incoming frame
+    }
+    rx_buffered_bytes_ -= victim_bytes;
+    ++stats_.rx_dropped_early;
+    SNIC_OBS(if (obs_drops_early_ != nullptr) obs_drops_early_->Inc());
+    rx_queue_.erase(rx_queue_.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  return true;
 }
 
 Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
@@ -39,52 +136,128 @@ Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
     packet.mutable_bytes()[stats_.rx_packets % packet.size()] ^= 0x01;
     ++stats_.rx_corrupt_fault;
   }
-  if (BufferedRxBytes() + packet.size() > config_.rx_buffer_bytes) {
-    ++stats_.rx_dropped_full;
-    return ResourceExhausted("RX buffer reservation full");
+  // Ingress admission: the per-NF token bucket polices arrival rate before
+  // any buffer space is committed. The fault site models a policer brown-out
+  // rejecting frames the bucket would have admitted.
+  if (SNIC_FAULT_FIRES(fault::sites::kVppRxAdmissionReject, nf_id_)) {
+    ++stats_.rx_dropped_admission;
+    SNIC_OBS(if (obs_drops_admission_ != nullptr) obs_drops_admission_->Inc());
+    return ResourceExhausted("injected admission reject");
   }
+  if (!admission_.HasToken()) {
+    ++stats_.rx_dropped_admission;
+    SNIC_OBS(if (obs_drops_admission_ != nullptr) obs_drops_admission_->Inc());
+    return ResourceExhausted("admission token bucket empty");
+  }
+  const bool over_capacity =
+      rx_queue_.size() >= RxCapacityFrames() ||
+      rx_buffered_bytes_ + packet.size() > config_.rx_buffer_bytes;
+  if (over_capacity) {
+    const bool admitted =
+        config_.overload.drop_policy == DropPolicy::kPriorityEarlyDrop &&
+        MakeRoomByEarlyDrop(packet.size());
+    if (!admitted) {
+      ++stats_.rx_dropped_full;
+      SNIC_OBS(if (obs_drops_full_rx_ != nullptr) obs_drops_full_rx_->Inc());
+      return ResourceExhausted("RX buffer reservation full");
+    }
+  }
+  (void)admission_.TryConsume();  // HasToken held above; tokens pay per admit
   stats_.rx_bytes += packet.size();
   ++stats_.rx_packets;
-  rx_queue_.push_back(std::move(packet));
+  rx_buffered_bytes_ += packet.size();
+  rx_queue_.push_back(QueuedFrame{std::move(packet), now_});
+  stats_.rx_peak_frames =
+      std::max<uint64_t>(stats_.rx_peak_frames, rx_queue_.size());
+  stats_.rx_peak_bytes = std::max(stats_.rx_peak_bytes, rx_buffered_bytes_);
+  UpdateRxDepthObs();
   return OkStatus();
 }
 
 Result<net::Packet> VirtualPacketPipeline::DequeueRx() {
-  if (rx_queue_.empty()) {
-    return NotFound("RX queue empty");
+  for (;;) {
+    if (rx_queue_.empty()) {
+      return NotFound("RX queue empty");
+    }
+    size_t pick = 0;
+    if (config_.scheduler == PacketScheduler::kPriorityBySize) {
+      for (size_t i = 1; i < rx_queue_.size(); ++i) {
+        if (rx_queue_[i].packet.size() < rx_queue_[pick].packet.size()) {
+          pick = i;
+        }
+      }
+    }
+    // Stage-boundary deadline check: stale frames are shed, not delivered.
+    if (DeadlineExpired(rx_queue_[pick].enqueue_cycle)) {
+      ShedRxAt(pick);
+      UpdateRxDepthObs();
+      continue;
+    }
+    net::Packet packet = std::move(rx_queue_[pick].packet);
+    rx_buffered_bytes_ -= packet.size();
+    rx_queue_.erase(rx_queue_.begin() + static_cast<ptrdiff_t>(pick));
+    UpdateRxDepthObs();
+    return packet;
   }
-  auto it = rx_queue_.begin();
-  if (config_.scheduler == PacketScheduler::kPriorityBySize) {
-    it = std::min_element(rx_queue_.begin(), rx_queue_.end(),
-                          [](const net::Packet& a, const net::Packet& b) {
-                            return a.size() < b.size();
-                          });
-  }
-  net::Packet packet = std::move(*it);
-  rx_queue_.erase(it);
-  return packet;
 }
 
 Status VirtualPacketPipeline::EnqueueTx(net::Packet packet) {
-  // TX reservation: model the ODB as bounding outstanding descriptors
-  // (64 B each).
-  const uint64_t max_outstanding = config_.output_descriptor_bytes / 64;
-  if (tx_queue_.size() >= max_outstanding) {
+  // TX reservation: the ODB bounds outstanding descriptors (64 B each).
+  if (tx_queue_.size() >= TxCapacityFrames()) {
+    ++stats_.tx_dropped_full;
+    SNIC_OBS(if (obs_drops_full_tx_ != nullptr) obs_drops_full_tx_->Inc());
     return ResourceExhausted("TX descriptor reservation full");
   }
   stats_.tx_bytes += packet.size();
   ++stats_.tx_packets;
-  tx_queue_.push_back(std::move(packet));
+  tx_queue_.push_back(QueuedFrame{std::move(packet), now_});
   return OkStatus();
 }
 
+const net::Packet* VirtualPacketPipeline::PeekTx() {
+  while (!tx_queue_.empty() &&
+         DeadlineExpired(tx_queue_.front().enqueue_cycle)) {
+    const uint64_t bytes = tx_queue_.front().packet.size();
+    ++stats_.tx_shed_deadline;
+    stats_.shed_bytes += bytes;
+    SNIC_OBS({
+      if (obs_shed_tx_ != nullptr) obs_shed_tx_->Inc();
+      if (obs_shed_bytes_ != nullptr) obs_shed_bytes_->Inc(bytes);
+    });
+    tx_queue_.pop_front();
+  }
+  return tx_queue_.empty() ? nullptr : &tx_queue_.front().packet;
+}
+
 Result<net::Packet> VirtualPacketPipeline::DequeueTx() {
-  if (tx_queue_.empty()) {
+  if (PeekTx() == nullptr) {
     return NotFound("TX queue empty");
   }
-  net::Packet packet = std::move(tx_queue_.front());
+  net::Packet packet = std::move(tx_queue_.front().packet);
   tx_queue_.pop_front();
   return packet;
+}
+
+void VirtualPacketPipeline::AttachObs(obs::MetricRegistry* registry) {
+  SNIC_OBS({
+    const std::string nf = std::to_string(nf_id_);
+    obs_rx_depth_ = &registry->GetGauge("vpp.rx_queue_depth", {{"nf", nf}});
+    obs_drops_full_rx_ =
+        &registry->GetCounter("vpp.drops.full", {{"nf", nf}, {"path", "rx"}});
+    obs_drops_full_tx_ =
+        &registry->GetCounter("vpp.drops.full", {{"nf", nf}, {"path", "tx"}});
+    obs_drops_admission_ =
+        &registry->GetCounter("vpp.drops.admission", {{"nf", nf}});
+    obs_drops_early_ = &registry->GetCounter("vpp.drops.early", {{"nf", nf}});
+    obs_shed_rx_ = &registry->GetCounter("overload.shed.deadline",
+                                         {{"nf", nf}, {"path", "rx"}});
+    obs_shed_tx_ = &registry->GetCounter("overload.shed.deadline",
+                                         {{"nf", nf}, {"path", "tx"}});
+    obs_shed_bytes_ =
+        &registry->GetCounter("overload.shed.bytes", {{"nf", nf}});
+    UpdateRxDepthObs();
+  });
+  (void)registry;
 }
 
 }  // namespace snic::core

@@ -7,6 +7,16 @@
 // frames. Rules may match 5-tuples, destination MACs (SR-IOV style) and
 // VXLAN VNIs. Buffer sizes default to the LiquidIO values the paper uses to
 // size VPP TLBs: PB 2 MB, PDB 128 KB, ODB 1 MB.
+//
+// Overload control (docs/ROBUSTNESS.md, "Overload control"): both queues
+// are bounded in frames as well as bytes (the PDB/ODB descriptor
+// reservations), ingress runs through a per-NF token bucket refilled over
+// simulated cycles, a full queue applies an explicit drop policy (tail drop
+// or deterministic priority-aware early drop), and frames are stamped with
+// their ingress cycle so stale ones are shed at each stage boundary once
+// past their cycle deadline. All of it is per-VPP state driven only by
+// AdvanceClockTo, so one tenant's overload cannot perturb another's
+// pipeline — the property bench/overload_soak byte-verifies.
 
 #ifndef SNIC_CORE_VPP_H_
 #define SNIC_CORE_VPP_H_
@@ -17,6 +27,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/overload.h"
 #include "src/net/packet.h"
 #include "src/net/switching.h"
 #include "src/sim/tlb.h"
@@ -37,16 +48,25 @@ struct VppConfig {
   PacketScheduler scheduler = PacketScheduler::kFifo;
   std::vector<net::SwitchRule> rules;
   size_t tlb_entries = 3;  // Table 4: one per buffer
+  OverloadPolicy overload;
 };
 
 struct VppStats {
   uint64_t rx_packets = 0;
-  uint64_t rx_dropped_full = 0;
+  uint64_t rx_dropped_full = 0;       // queue at frame/byte capacity
+  uint64_t rx_dropped_admission = 0;  // token bucket empty (or injected)
+  uint64_t rx_dropped_early = 0;      // early-drop evictions of queued frames
   uint64_t rx_dropped_fault = 0;   // injected ingress drops (fault plane)
   uint64_t rx_corrupt_fault = 0;   // injected single-bit ingress corruptions
+  uint64_t rx_shed_deadline = 0;   // stale frames shed at RX dequeue
   uint64_t tx_packets = 0;
+  uint64_t tx_dropped_full = 0;    // TX descriptor reservation full
+  uint64_t tx_shed_deadline = 0;   // stale frames shed at TX dequeue
+  uint64_t shed_bytes = 0;         // bytes across both shed paths
   uint64_t rx_bytes = 0;
   uint64_t tx_bytes = 0;
+  uint64_t rx_peak_frames = 0;     // high-water marks for the bounded queue
+  uint64_t rx_peak_bytes = 0;
 };
 
 // One function's pipeline instance.
@@ -57,36 +77,88 @@ class VirtualPacketPipeline {
   uint64_t nf_id() const { return nf_id_; }
   const VppConfig& config() const { return config_; }
 
+  // Advances the pipeline's simulated clock (monotone): refills the
+  // admission bucket and ages buffered frames toward their deadlines. The
+  // device fans SnicDevice::AdvanceClockTo out to every live VPP.
+  void AdvanceClockTo(uint64_t cycle);
+  uint64_t now() const { return now_; }
+
   // True when one of this VPP's switch rules matches the frame.
   bool Matches(const net::ParsedPacket& parsed) const;
 
-  // RX path: the packet input module deposits a frame. Fails (drops) when
-  // buffered bytes would exceed the reserved RX buffer space.
-  Status EnqueueRx(net::Packet packet);
+  // RX path: the packet input module deposits a frame. Admission order:
+  // fault sites, then the token bucket, then the frame/byte capacity check
+  // under the configured drop policy. Every rejection is counted.
+  [[nodiscard]] Status EnqueueRx(net::Packet packet);
 
   // The function polls for its next packet per the configured scheduler.
+  // Frames past their deadline are shed (counted) rather than returned.
   Result<net::Packet> DequeueRx();
   bool RxPending() const { return !rx_queue_.empty(); }
 
   // TX path: the function hands a processed frame to the output module.
-  Status EnqueueTx(net::Packet packet);
-  Result<net::Packet> DequeueTx();  // wire side
+  [[nodiscard]] Status EnqueueTx(net::Packet packet);
+  Result<net::Packet> DequeueTx();  // wire side; sheds stale frames first
   bool TxPending() const { return !tx_queue_.empty(); }
+  // Sheds stale TX heads, then exposes the next frame without dequeuing it
+  // (the chain engine's credit check); nullptr when nothing fresh remains.
+  const net::Packet* PeekTx();
+
+  // Conservative credit check for backpressure: true when a frame of
+  // `bytes` would currently be admitted (capacity and token availability;
+  // fault injection excluded). Does not consume a token.
+  bool CanAdmitRx(uint64_t bytes) const;
+  uint64_t RxFreeFrames() const;
+  // Queue occupancy as a fraction of the frame capacity, in [0, 1] — the
+  // sustained-pressure signal the management plane consumes.
+  double RxFillFraction() const;
 
   const VppStats& stats() const { return stats_; }
+  uint64_t RxQueuedFrames() const { return rx_queue_.size(); }
+  uint64_t RxQueuedBytes() const { return rx_buffered_bytes_; }
+  uint32_t RxCapacityFrames() const;
+  uint32_t TxCapacityFrames() const;
+
+  // Publishes the per-NF overload series (`vpp.rx_queue_depth`,
+  // `vpp.drops.*`, `overload.shed.*`) to `registry`; the device wires this
+  // up at nf_launch.
+  void AttachObs(obs::MetricRegistry* registry);
 
   // The scheduler unit's locked TLB (priced in Table 4).
   sim::LockedTlb& scheduler_tlb() { return scheduler_tlb_; }
 
  private:
-  uint64_t BufferedRxBytes() const;
+  struct QueuedFrame {
+    net::Packet packet;
+    uint64_t enqueue_cycle;
+  };
+
+  bool DeadlineExpired(uint64_t enqueue_cycle) const;
+  // Applies the early-drop policy: evicts queued lower-priority (larger)
+  // frames until `incoming_bytes` fits or no eligible victim remains.
+  // Returns true when the incoming frame now fits.
+  bool MakeRoomByEarlyDrop(uint64_t incoming_bytes);
+  void ShedRxAt(size_t index);
+  void UpdateRxDepthObs();
 
   uint64_t nf_id_;
   VppConfig config_;
-  std::deque<net::Packet> rx_queue_;
-  std::deque<net::Packet> tx_queue_;
+  uint64_t now_ = 0;
+  std::deque<QueuedFrame> rx_queue_;
+  std::deque<QueuedFrame> tx_queue_;
+  uint64_t rx_buffered_bytes_ = 0;
+  TokenBucket admission_;
   sim::LockedTlb scheduler_tlb_;
   VppStats stats_;
+
+  obs::Gauge* obs_rx_depth_ = nullptr;
+  obs::Counter* obs_drops_full_rx_ = nullptr;
+  obs::Counter* obs_drops_full_tx_ = nullptr;
+  obs::Counter* obs_drops_admission_ = nullptr;
+  obs::Counter* obs_drops_early_ = nullptr;
+  obs::Counter* obs_shed_rx_ = nullptr;
+  obs::Counter* obs_shed_tx_ = nullptr;
+  obs::Counter* obs_shed_bytes_ = nullptr;
 };
 
 }  // namespace snic::core

@@ -65,6 +65,16 @@ inline constexpr std::string_view kDmaNicToHost = "dma.nic_to_host";
 // VPP ingress: drop the frame, or flip one byte before it is buffered.
 inline constexpr std::string_view kVppRxDrop = "vpp.rx.drop";
 inline constexpr std::string_view kVppRxCorrupt = "vpp.rx.corrupt";
+// VPP ingress admission (overload plane): the frame is rejected as if the
+// admission token bucket were empty (`rx_dropped_admission` stat).
+inline constexpr std::string_view kVppRxAdmissionReject =
+    "vpp.rx.admission_reject";
+// Chain credit grant: the link grants zero credits this tick, so the
+// producer stalls one tick even though the consumer has room.
+inline constexpr std::string_view kChainCreditGrant = "chain.credit_grant";
+// Circuit-breaker half-open probe (overload plane): the probe fails and the
+// breaker reopens without dispatching.
+inline constexpr std::string_view kBreakerProbe = "overload.breaker.probe";
 // Trusted-instruction layer: nf_launch fails with transient
 // kResourceExhausted before touching any resource.
 inline constexpr std::string_view kNfLaunch = "snic.nf_launch";

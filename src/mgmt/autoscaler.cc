@@ -88,7 +88,17 @@ Status Autoscaler::HandleLaunchFailure(Status status) {
 }
 
 Status Autoscaler::Step(double offered_load) {
+  return Step(offered_load, /*backpressured=*/false);
+}
+
+Status Autoscaler::Step(double offered_load, bool backpressured) {
   ++stats_.steps;
+  if (backpressured) {
+    ++stats_.pressured_steps;
+    ++consecutive_pressure_;
+  } else {
+    consecutive_pressure_ = 0;
+  }
   const double capacity = Capacity();
   const double utilization = capacity == 0.0 ? 1.0 : offered_load / capacity;
   stats_.utilization_sum += utilization > 1.0 ? 1.0 : utilization;
@@ -124,11 +134,25 @@ Status Autoscaler::Step(double offered_load) {
     if (!up.ok()) {
       return HandleLaunchFailure(std::move(up));
     }
+    consecutive_pressure_ = 0;
+    return OkStatus();
+  }
+  // Sustained backpressure means queues are growing even though the load
+  // estimate looks fine: trust the data plane and add an instance.
+  if (consecutive_pressure_ >= config_.pressure_scale_up_after &&
+      instances() < config_.max_instances) {
+    Status up = ScaleUp();
+    if (!up.ok()) {
+      return HandleLaunchFailure(std::move(up));
+    }
+    ++stats_.pressure_scale_ups;
+    consecutive_pressure_ = 0;
     return OkStatus();
   }
   // Scale down only if the remaining capacity still clears the up-threshold
-  // margin (hysteresis; avoids flapping at the boundary).
-  if (instances() > config_.min_instances &&
+  // margin (hysteresis; avoids flapping at the boundary) — and never while
+  // the data plane is reporting pressure.
+  if (!backpressured && instances() > config_.min_instances &&
       utilization < config_.scale_down_threshold) {
     const double capacity_after =
         capacity - config_.capacity_per_instance;

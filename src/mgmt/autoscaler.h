@@ -35,6 +35,12 @@ struct AutoscalerConfig {
   uint32_t max_launch_retries = 3;
   uint64_t retry_backoff_base = 2;
   uint64_t retry_backoff_max = 32;
+
+  // Backpressure-driven scale-out (overload plane): after this many
+  // *consecutive* pressured steps an extra instance is launched even if the
+  // utilization estimate alone would not trigger one — queues backing up
+  // mean the load estimate under-reports real demand.
+  uint32_t pressure_scale_up_after = 3;
 };
 
 struct AutoscalerStats {
@@ -46,6 +52,8 @@ struct AutoscalerStats {
   uint64_t launch_failures = 0;   // transient nf_launch errors absorbed
   uint64_t launch_retries = 0;    // retry attempts issued
   uint64_t abandoned_launches = 0;  // retry budget exhausted
+  uint64_t pressured_steps = 0;     // steps that reported backpressure
+  uint64_t pressure_scale_ups = 0;  // launches triggered by sustained pressure
   double utilization_sum = 0.0;   // for the mean
   uint64_t steps = 0;
 
@@ -65,6 +73,11 @@ class Autoscaler {
   // One control-loop step under `offered_load` (same unit as
   // capacity_per_instance). Launches or destroys at most one instance.
   Status Step(double offered_load);
+
+  // Overload-aware step: `backpressured` is the sustained-pressure signal
+  // from the data plane (chain credit stalls, RX fill above the high-water
+  // mark). Sustained pressure forces a scale-out and vetoes scale-down.
+  Status Step(double offered_load, bool backpressured);
 
   uint32_t instances() const { return static_cast<uint32_t>(live_.size()); }
   double Capacity() const {
@@ -90,6 +103,7 @@ class Autoscaler {
   bool retry_pending_ = false;
   uint32_t retry_attempts_ = 0;
   uint64_t retry_due_ = 0;
+  uint32_t consecutive_pressure_ = 0;
 };
 
 }  // namespace snic::mgmt

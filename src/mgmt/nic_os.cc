@@ -21,6 +21,15 @@ std::vector<uint8_t> FunctionImage::SerializeConfig() const {
     push_u64(c);
   }
   push_u64(static_cast<uint64_t>(scheduler));
+  // Overload policy: every knob is measured so the admission contract the
+  // tenant launched with is the one attestation vouches for.
+  push_u64(overload.rx_queue_capacity_frames);
+  push_u64(overload.tx_queue_capacity_frames);
+  push_u64(static_cast<uint64_t>(overload.drop_policy));
+  push_u64(overload.admission_burst_frames);
+  push_u64(overload.admission_frames_per_refill);
+  push_u64(overload.admission_refill_cycles);
+  push_u64(overload.deadline_cycles);
   for (const net::SwitchRule& rule : switch_rules) {
     const std::string text = rule.ToString();
     out.insert(out.end(), text.begin(), text.end());
@@ -128,6 +137,7 @@ Result<uint64_t> NicOs::NfCreate(const FunctionImage& image) {
   args.config_blob = image.SerializeConfig();
   args.vpp.rules = image.switch_rules;
   args.vpp.scheduler = image.scheduler;
+  args.vpp.overload = image.overload;
   args.accel_clusters = image.accel_clusters;
 
   auto launched = device_->NfLaunch(args);

@@ -33,6 +33,11 @@ struct FunctionImage {
   std::array<uint32_t, accel::kNumAcceleratorTypes> accel_clusters = {0, 0, 0};
   std::vector<net::SwitchRule> switch_rules;
   core::PacketScheduler scheduler = core::PacketScheduler::kFifo;
+  // Overload-control policy for the function's VPP (queue bounds, drop
+  // policy, admission bucket, deadline). Serialized into the config blob,
+  // so the tenant's admission contract is covered by the launch measurement
+  // and attestable like every other resource request.
+  core::OverloadPolicy overload;
 
   // Canonical serialization of the configuration (covered by the launch
   // measurement so a tampered config is detectable via attestation).
