@@ -13,6 +13,8 @@
 //
 // Flags: --quick --jobs=N --seed=S --out=FILE (JSON summary)
 //        --trace-out=FILE (faulted scenario's Chrome trace)
+//        --forensics-out=PREFIX (binary span rings for tools/snic_trace:
+//          PREFIX.baseline.bin / PREFIX.faulted.bin)
 // Exit status 1 when the invariant is violated.
 
 #include <cinttypes>
@@ -33,6 +35,7 @@
 #include "src/net/parser.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 #include "src/runtime/sweep.h"
 #include "src/runtime/thread_pool.h"
 #include "src/sim/bus.h"
@@ -68,6 +71,7 @@ struct ScenarioResult {
   std::string b_report;   // the invariant: identical across scenarios
   std::string summary;    // scenario-specific narrative (printed)
   obs::TraceLog trace;
+  obs::TraceRing ring;    // binary span stream (tools/snic_trace forensics)
   // For the JSON verdict (faulted scenario's values are reported).
   uint64_t faults_injected = 0;
   mgmt::SupervisorStats supervisor_stats;
@@ -132,6 +136,7 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   fault::FaultPlane plane(runtime::DeriveTaskSeed(seed, 1));
   plane.AttachObs(&registry);
   plane.AttachTrace(&result.trace);
+  plane.AttachTraceRing(&result.ring);
   fault::ScopedFaultPlane scoped_plane(&plane);
 
   // Identical key material, device and traffic in both scenarios: only the
@@ -143,6 +148,7 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   config.dram_bytes = 256ull << 20;
   config.rsa_modulus_bits = 512;
   core::SnicDevice device(config, vendor);
+  device.AttachTraceRing(&result.ring);
   mgmt::NicOs nic_os(&device);
 
   mgmt::SupervisorConfig sup_config;
@@ -156,6 +162,7 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   mgmt::Supervisor supervisor(&nic_os, vendor.public_key(), sup_config);
   supervisor.AttachObs(&registry);
   supervisor.AttachTrace(&result.trace);
+  supervisor.AttachTraceRing(&result.ring);
 
   const auto adopt = [&supervisor](const mgmt::FunctionImage& image) {
     const auto id = supervisor.Adopt(image);
@@ -404,6 +411,28 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
                 "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
                 b_trace_events, b_trace_digest.h);
   report += line;
+  // B's binary span stream: same invariant, fixed-size records. Names are
+  // resolved to strings so the digest is independent of interning order.
+  Fnv b_ring_digest;
+  uint64_t b_ring_records = 0;
+  for (size_t i = 0; i < result.ring.size(); ++i) {
+    const obs::TraceRecord& r = result.ring.record(i);
+    if (r.pid != static_cast<uint32_t>(b_id)) {
+      continue;
+    }
+    const std::string_view name = result.ring.NameOf(r.name);
+    b_ring_digest.Mix(reinterpret_cast<const uint8_t*>(name.data()),
+                      name.size());
+    b_ring_digest.Mix64(r.ts);
+    b_ring_digest.Mix64(r.span);
+    b_ring_digest.Mix64(r.arg);
+    b_ring_digest.Mix64(r.tid);
+    ++b_ring_records;
+  }
+  std::snprintf(line, sizeof(line),
+                "b.ring: %" PRIu64 " digest: %016" PRIx64 "\n",
+                b_ring_records, b_ring_digest.h);
+  report += line;
 
   // ---- Scenario narrative ------------------------------------------------
   const mgmt::SupervisorStats& stats = supervisor.stats();
@@ -466,6 +495,8 @@ int main(int argc, char** argv) {
   const uint64_t steps = quick ? 2000 : 12000;
   const std::string out = bench::FlagValue(argc, argv, "--out");
   const std::string trace_out = bench::FlagValue(argc, argv, "--trace-out");
+  const std::string forensics_out =
+      bench::FlagValue(argc, argv, "--forensics-out");
 
   bench::PrintHeader("Chaos soak: differential fault isolation",
                      "S-NIC isolation under injected faults (robustness)");
@@ -499,6 +530,25 @@ int main(int argc, char** argv) {
     const Status s = results[1].trace.WriteFile(trace_out);
     if (!s.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    }
+  }
+  if (!forensics_out.empty()) {
+    // Both scenarios' span streams, for tools/snic_trace forensics:
+    //   snic_trace forensics --baseline=P.baseline.bin --subject=P.faulted.bin
+    //              --bystander=<b.nf_id>
+    const auto write_ring = [](const obs::TraceRing& ring,
+                               const std::string& path) {
+      const Status s = ring.WriteBinaryFile(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "ring write failed: %s\n", s.ToString().c_str());
+        return false;
+      }
+      std::printf("Wrote %s\n", path.c_str());
+      return true;
+    };
+    if (!write_ring(results[0].ring, forensics_out + ".baseline.bin") ||
+        !write_ring(results[1].ring, forensics_out + ".faulted.bin")) {
+      return 1;
     }
   }
   // One-line machine-readable verdict, always written (same convention as

@@ -26,7 +26,7 @@
 #include "src/common/stats.h"
 #include "src/net/packet.h"
 #include "src/nf/nf_factory.h"
-#include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 #include "src/runtime/sweep.h"
 #include "src/runtime/thread_pool.h"
 #include "src/sim/mem_access.h"
@@ -75,7 +75,7 @@ inline std::array<sim::InstructionTrace, kNumNfs> RecordNfTraces(
 inline std::vector<double> DegradationForMix(
     const std::array<sim::InstructionTrace, kNumNfs>& traces,
     const std::vector<size_t>& mix_kinds, uint64_t l2_bytes,
-    obs::MetricRegistry* metrics = nullptr, obs::TraceLog* trace = nullptr) {
+    obs::MetricRegistry* metrics = nullptr, obs::TraceRing* trace = nullptr) {
   std::vector<const sim::InstructionTrace*> mix;
   mix.reserve(mix_kinds.size());
   for (size_t kind : mix_kinds) {
@@ -117,7 +117,7 @@ struct SweepJob {
   uint64_t l2_bytes = 0;
 };
 
-// Which jobs record Chrome-trace events when a TraceLog sink is given.
+// Which jobs record binary ring records when a TraceRing sink is given.
 // Fig. 5a traces only the first replayed pair (lanes restart at cycle 0 per
 // replay, so later pairs would overdraw it); obs_overhead costs tracing on
 // every pair.
@@ -126,37 +126,47 @@ enum class SweepTrace {
   kAllJobs,
 };
 
+// Per-task ring capacity when every job records (obs_overhead): bounded so
+// the hot path never reallocates past warm-up, and sized so a shard's
+// storage (48 B/record, ~200 KiB at 4096) stays cache-resident — wrapped
+// emission then rewrites warm lines instead of streaming tens of MB through
+// the L2 the replay under measurement is using, which is what keeps
+// always-on tracing inside the <=3% obs_overhead budget. Single-traced-job
+// sweeps (fig5a) use unbounded shards instead so the one recorded pair is
+// complete.
+inline constexpr size_t kSweepRingRecordsPerJob = size_t{1} << 12;
+
 // Replays every job across `pool` and returns per-job degradations indexed
 // identically to `jobs`. Each task records metrics into a private shard;
 // shards merge into `metrics` in job order at join, so the final registry —
 // like the returned results — is byte-identical at every jobs count. Trace
-// events are likewise captured in per-job logs stitched into `trace` in job
-// order.
+// records land in per-job binary rings (runtime::TraceRingShards) stitched
+// into `trace` in job order at join, off the hot path.
 inline std::vector<std::vector<double>> RunDegradationSweep(
     runtime::ThreadPool* pool,
     const std::array<sim::InstructionTrace, kNumNfs>& traces,
     const std::vector<SweepJob>& jobs, obs::MetricRegistry* metrics,
-    obs::TraceLog* trace = nullptr,
+    obs::TraceRing* trace = nullptr,
     SweepTrace trace_mode = SweepTrace::kFirstJob) {
   std::vector<std::vector<double>> results(jobs.size());
-  std::vector<obs::TraceLog> trace_shards(trace == nullptr ? 0 : jobs.size());
+  runtime::TraceRingShards trace_shards(
+      trace == nullptr ? 0 : jobs.size(),
+      trace_mode == SweepTrace::kAllJobs ? kSweepRingRecordsPerJob : 0);
   runtime::ShardedParallelFor(
       pool, jobs.size(), metrics,
       [&](size_t j, obs::MetricRegistry& shard) {
         obs::MetricRegistry* metric_sink = metrics == nullptr ? nullptr
                                                               : &shard;
-        obs::TraceLog* trace_sink = nullptr;
+        obs::TraceRing* trace_sink = nullptr;
         if (trace != nullptr &&
             (trace_mode == SweepTrace::kAllJobs || j == 0)) {
-          trace_sink = &trace_shards[j];
+          trace_sink = &trace_shards.shard(j);
         }
         results[j] = DegradationForMix(traces, jobs[j].mix_kinds,
                                        jobs[j].l2_bytes, metric_sink,
                                        trace_sink);
       });
-  for (const obs::TraceLog& shard : trace_shards) {
-    trace->Append(shard);
-  }
+  trace_shards.MergeInto(trace);
   return results;
 }
 

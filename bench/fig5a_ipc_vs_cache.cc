@@ -10,7 +10,7 @@
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
-#include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 
 int main(int argc, char** argv) {
   const bool quick = snic::bench::QuickMode(argc, argv);
@@ -22,17 +22,21 @@ int main(int argc, char** argv) {
 
   // --metrics-out=<file>: JSON snapshot of every replay series (per-core
   // L1/L2 hit+miss counters, per-domain bus wait-cycle histograms, ...).
-  // --trace-out=<file>: Chrome-trace spans for the first replayed pair.
+  // --trace-out=<file>: Chrome-trace JSON for the first replayed pair,
+  //   converted offline from the binary ring at exit.
+  // --trace-bin-out=<file>: the raw binary ring image (tools/snic_trace).
   // --jobs=N: sweep workers; output is byte-identical at every N.
   const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
   const std::string trace_out = FlagValue(argc, argv, "--trace-out");
+  const std::string trace_bin_out = FlagValue(argc, argv, "--trace-bin-out");
   const auto pool = MakePool(JobsFlag(argc, argv));
   // The global registry already holds the nf.* series the NFs published
   // while their traces were recorded; replay series join them there.
   obs::MetricRegistry& metrics = obs::GlobalRegistry();
-  obs::TraceLog trace;
+  obs::TraceRing trace;  // unbounded merge sink, filled at task join
   obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
-  obs::TraceLog* trace_sink = trace_out.empty() ? nullptr : &trace;
+  obs::TraceRing* trace_sink =
+      trace_out.empty() && trace_bin_out.empty() ? nullptr : &trace;
 
   const size_t events = quick ? 20'000 : 120'000;
   std::printf("Recording NF traces (%zu events/NF, Zipf 1.1 over 100k flows)"
@@ -96,11 +100,23 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty()) {
-    if (trace.WriteFile(trace_out).ok()) {
+    obs::TraceLog converted;
+    trace.ConvertTo(&converted);
+    if (converted.WriteFile(trace_out).ok()) {
       std::printf("Wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
                   trace.size(), trace_out.c_str());
     } else {
       std::fprintf(stderr, "Failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!trace_bin_out.empty()) {
+    if (trace.WriteBinaryFile(trace_bin_out).ok()) {
+      std::printf("Wrote %zu binary ring records to %s"
+                  " (analyze with tools/snic_trace)\n",
+                  trace.size(), trace_bin_out.c_str());
+    } else {
+      std::fprintf(stderr, "Failed to write %s\n", trace_bin_out.c_str());
       return 1;
     }
   }

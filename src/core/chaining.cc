@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "src/fault/fault.h"
+#include "src/obs/span_names.h"
 
 namespace snic::core {
+
+void ChainLink::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_hop_ = ring_->Intern(obs::spans::kChainHop);
+      ring_stall_ = ring_->Intern(obs::spans::kChainStall);
+      ring_arg_peer_ = ring_->Intern(obs::spans::kArgPeer);
+    }
+  });
+  (void)ring;
+}
 
 void ChainLink::Tick() {
   ++stats_.ticks;
@@ -34,8 +47,15 @@ void ChainLink::Tick() {
       // Credit denied: the frame stays put in the producer's bounded TX
       // reservation. No shared state grows.
       ++stats_.frames_stalled;
+      SNIC_TRACE_RING(if (ring_ != nullptr) {
+        ring_->EmitInstant(ring_stall_, device_->now(),
+                           static_cast<uint32_t>(config_.producer_nf),
+                           /*tid=*/1, head->span_id(), config_.consumer_nf,
+                           ring_arg_peer_);
+      });
       break;
     }
+    const uint64_t hop_span = head->span_id();
     auto frame = producer->DequeueTx();
     if (!frame.ok()) {
       return;
@@ -46,9 +66,16 @@ void ChainLink::Tick() {
     // queue, as with wire traffic.
     if (consumer->EnqueueRx(std::move(frame).value()).ok()) {
       ++stats_.frames_moved;
+      SNIC_TRACE_RING(if (ring_ != nullptr) {
+        ring_->EmitInstant(ring_hop_, device_->now(),
+                           static_cast<uint32_t>(config_.consumer_nf),
+                           /*tid=*/0, hop_span, config_.producer_nf,
+                           ring_arg_peer_);
+      });
     } else {
       ++stats_.frames_dropped;
     }
+    (void)hop_span;
   }
   // Ending the tick with fresh producer TX still queued means the link ran
   // out of usable credits — the backpressure signal the management plane
@@ -77,7 +104,20 @@ Result<size_t> ChainManager::CreateLink(const ChainLinkConfig& config) {
     return FailedPrecondition("both chain endpoints need a VPP");
   }
   links_.emplace_back(device_, config);
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    links_.back().AttachTraceRing(ring_);
+  });
   return links_.size() - 1;
+}
+
+void ChainManager::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    for (ChainLink& link : links_) {
+      link.AttachTraceRing(ring);
+    }
+  });
+  (void)ring;
 }
 
 void ChainManager::RemoveLinksFor(uint64_t nf_id) {

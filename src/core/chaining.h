@@ -80,11 +80,20 @@ class ChainLink {
   const ChainLinkConfig& config() const { return config_; }
   const ChainLinkStats& stats() const { return stats_; }
 
+  // Records chain.hop / chain.stall span instants on `ring`; the manager
+  // fans this out so a frame's span id stays observable across the hop.
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   SnicDevice* device_;
   ChainLinkConfig config_;
   ChainLinkStats stats_;
   bool backpressured_ = false;
+
+  obs::TraceRing* ring_ = nullptr;
+  uint16_t ring_hop_ = 0;
+  uint16_t ring_stall_ = 0;
+  uint16_t ring_arg_peer_ = 0;
 };
 
 // The device-level chain manager: validates and owns links.
@@ -110,9 +119,14 @@ class ChainManager {
   size_t link_count() const { return links_.size(); }
   const ChainLink& link(size_t index) const { return links_[index]; }
 
+  // Attaches the binary span ring to every existing link and to links
+  // created afterwards (docs/OBSERVABILITY.md "Binary tracing & spans").
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   SnicDevice* device_;
   std::vector<ChainLink> links_;
+  obs::TraceRing* ring_ = nullptr;
 };
 
 }  // namespace snic::core

@@ -1,6 +1,7 @@
 #include "src/core/overload.h"
 
 #include "src/fault/fault.h"
+#include "src/obs/span_names.h"
 
 namespace snic::core {
 
@@ -55,6 +56,12 @@ void CircuitBreaker::TransitionTo(BreakerState next, uint64_t now) {
   }
   SNIC_OBS(if (obs_state_ != nullptr) {
     obs_state_->Set(static_cast<double>(static_cast<uint8_t>(next)));
+  });
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_breaker_, now, static_cast<uint32_t>(nf_id_),
+                       /*tid=*/2, /*span=*/0,
+                       static_cast<uint64_t>(static_cast<uint8_t>(next)),
+                       ring_arg_state_);
   });
 }
 
@@ -127,15 +134,34 @@ void CircuitBreaker::AttachObs(obs::MetricRegistry* registry) {
   (void)registry;
 }
 
+void CircuitBreaker::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_breaker_ = ring_->Intern(obs::spans::kAccelBreaker);
+      ring_arg_state_ = ring_->Intern(obs::spans::kArgState);
+    }
+  });
+  (void)ring;
+}
+
 Result<uint64_t> AccelDispatchGate::Dispatch(accel::AcceleratorType type,
                                              uint32_t cluster,
                                              uint64_t virt_addr, bool is_write,
                                              uint64_t now) {
   if (!breaker_.AllowRequest(now)) {
     ++stats_.software_fallbacks;
+    SNIC_TRACE_RING(if (ring_ != nullptr) {
+      ring_->EmitInstant(ring_fallback_, now,
+                         static_cast<uint32_t>(breaker_.nf_id()), /*tid=*/2);
+    });
     return Unavailable("accelerator breaker open: take the software path");
   }
   ++stats_.dispatches;
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_dispatch_, now,
+                       static_cast<uint32_t>(breaker_.nf_id()), /*tid=*/2);
+  });
   auto access = pool_->ThreadAccess(type, cluster, virt_addr, is_write);
   if (access.ok()) {
     breaker_.RecordSuccess(now);
@@ -146,6 +172,18 @@ Result<uint64_t> AccelDispatchGate::Dispatch(accel::AcceleratorType type,
     breaker_.RecordFailure(now);
   }
   return access;
+}
+
+void AccelDispatchGate::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_dispatch_ = ring_->Intern(obs::spans::kAccelDispatch);
+      ring_fallback_ = ring_->Intern(obs::spans::kAccelFallback);
+    }
+    breaker_.AttachTraceRing(ring);
+  });
+  (void)ring;
 }
 
 }  // namespace snic::core

@@ -29,6 +29,7 @@
 #include "src/accel/accelerator.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 
 namespace snic::core {
 
@@ -157,6 +158,11 @@ class CircuitBreaker {
   // keeps it current across transitions.
   void AttachObs(obs::MetricRegistry* registry);
 
+  // Records an accel.breaker span instant (arg = state ordinal) on every
+  // transition, so forensics can line breaker trips up against the owner's
+  // packet spans.
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   void TransitionTo(BreakerState next, uint64_t now);
 
@@ -168,6 +174,9 @@ class CircuitBreaker {
   uint64_t opened_at_cycle_ = 0;
   CircuitBreakerStats stats_;
   obs::Gauge* obs_state_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;
+  uint16_t ring_breaker_ = 0;
+  uint16_t ring_arg_state_ = 0;
 };
 
 struct AccelDispatchGateStats {
@@ -193,10 +202,17 @@ class AccelDispatchGate {
   const CircuitBreaker& breaker() const { return breaker_; }
   const AccelDispatchGateStats& stats() const { return stats_; }
 
+  // Records accel.dispatch / accel.fallback span instants (and the wrapped
+  // breaker's transitions) on `ring`.
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   accel::VirtualAcceleratorPool* pool_;
   CircuitBreaker breaker_;
   AccelDispatchGateStats stats_;
+  obs::TraceRing* ring_ = nullptr;
+  uint16_t ring_dispatch_ = 0;
+  uint16_t ring_fallback_ = 0;
 };
 
 }  // namespace snic::core

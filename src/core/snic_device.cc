@@ -49,6 +49,16 @@ void SnicDevice::AttachObs(obs::MetricRegistry* registry) {
   (void)registry;
 }
 
+void SnicDevice::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    trace_ring_ = ring;
+    for (auto& [id, record] : nfs_) {
+      if (record->vpp != nullptr) record->vpp->AttachTraceRing(ring);
+    }
+  });
+  (void)ring;
+}
+
 Result<const SnicDevice::NfRecord*> SnicDevice::FindNf(uint64_t nf_id) const {
   const auto it = nfs_.find(nf_id);
   if (it == nfs_.end()) {
@@ -221,6 +231,9 @@ Result<uint64_t> SnicDevice::NfLaunch(const NfLaunchArgs& args) {
   record->vpp->AdvanceClockTo(now_);
   SNIC_OBS(if (obs_registry_ != nullptr) {
     record->vpp->AttachObs(obs_registry_);
+  });
+  SNIC_TRACE_RING(if (trace_ring_ != nullptr) {
+    record->vpp->AttachTraceRing(trace_ring_);
   });
 
   nfs_[nf_id] = std::move(record);

@@ -182,6 +182,11 @@ class SnicDevice {
   // to obs::DefaultRegistry() by default; pass a private registry in tests.
   void AttachObs(obs::MetricRegistry* registry);
 
+  // Attaches the binary span ring to every live VPP and to VPPs launched
+  // afterwards (docs/OBSERVABILITY.md "Binary tracing & spans"). Pass
+  // nullptr to detach.
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   struct NfRecord {
     uint64_t id;
@@ -218,6 +223,7 @@ class SnicDevice {
   TeardownLatency teardown_latency_;
 
   obs::MetricRegistry* obs_registry_ = nullptr;
+  obs::TraceRing* trace_ring_ = nullptr;
   obs::Counter* obs_launches_ = nullptr;
   obs::Counter* obs_launch_failures_ = nullptr;
   obs::Counter* obs_teardowns_ = nullptr;

@@ -3,6 +3,16 @@
 #include <algorithm>
 
 #include "src/fault/fault.h"
+#include "src/obs/span_names.h"
+
+namespace {
+
+// vpp.rx.rejected cause codes (arg word, key "cause").
+constexpr uint64_t kRejectFault = 0;      // injected ingress drop
+constexpr uint64_t kRejectAdmission = 1;  // policer / token bucket
+constexpr uint64_t kRejectFull = 2;       // buffer reservation full
+
+}  // namespace
 
 namespace snic::core {
 
@@ -88,7 +98,22 @@ void VirtualPacketPipeline::ShedRxAt(size_t index) {
     if (obs_shed_rx_ != nullptr) obs_shed_rx_->Inc();
     if (obs_shed_bytes_ != nullptr) obs_shed_bytes_->Inc(bytes);
   });
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_shed_, now_, RingPid(), /*tid=*/0,
+                       rx_queue_[index].packet.span_id(),
+                       now_ - rx_queue_[index].enqueue_cycle,
+                       ring_arg_residency_);
+  });
   rx_queue_.erase(rx_queue_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+void VirtualPacketPipeline::EmitRingRejected(uint64_t span, uint64_t cause) {
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_rx_rejected_, now_, RingPid(), /*tid=*/0, span,
+                       cause, ring_arg_cause_);
+  });
+  (void)span;
+  (void)cause;
 }
 
 bool VirtualPacketPipeline::MakeRoomByEarlyDrop(uint64_t incoming_bytes) {
@@ -125,8 +150,15 @@ bool VirtualPacketPipeline::MakeRoomByEarlyDrop(uint64_t incoming_bytes) {
 }
 
 Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
+  // Mint the causal span id at ingress — before any admission decision, so
+  // even rejected frames are reconstructable. (nf_id << 32 | seq) keeps one
+  // tenant's ids independent of every other tenant's traffic.
+  SNIC_TRACE_RING(if (ring_ != nullptr && packet.span_id() == 0) {
+    packet.set_span_id((nf_id_ << 32) | ++span_seq_);
+  });
   if (SNIC_FAULT_FIRES(fault::sites::kVppRxDrop, nf_id_)) {
     ++stats_.rx_dropped_fault;
+    EmitRingRejected(packet.span_id(), kRejectFault);
     return Unavailable("injected ingress drop");
   }
   if (!packet.empty() &&
@@ -142,11 +174,13 @@ Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
   if (SNIC_FAULT_FIRES(fault::sites::kVppRxAdmissionReject, nf_id_)) {
     ++stats_.rx_dropped_admission;
     SNIC_OBS(if (obs_drops_admission_ != nullptr) obs_drops_admission_->Inc());
+    EmitRingRejected(packet.span_id(), kRejectAdmission);
     return ResourceExhausted("injected admission reject");
   }
   if (!admission_.HasToken()) {
     ++stats_.rx_dropped_admission;
     SNIC_OBS(if (obs_drops_admission_ != nullptr) obs_drops_admission_->Inc());
+    EmitRingRejected(packet.span_id(), kRejectAdmission);
     return ResourceExhausted("admission token bucket empty");
   }
   const bool over_capacity =
@@ -159,6 +193,7 @@ Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
     if (!admitted) {
       ++stats_.rx_dropped_full;
       SNIC_OBS(if (obs_drops_full_rx_ != nullptr) obs_drops_full_rx_->Inc());
+      EmitRingRejected(packet.span_id(), kRejectFull);
       return ResourceExhausted("RX buffer reservation full");
     }
   }
@@ -171,6 +206,11 @@ Status VirtualPacketPipeline::EnqueueRx(net::Packet packet) {
       std::max<uint64_t>(stats_.rx_peak_frames, rx_queue_.size());
   stats_.rx_peak_bytes = std::max(stats_.rx_peak_bytes, rx_buffered_bytes_);
   UpdateRxDepthObs();
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_rx_enq_, now_, RingPid(), /*tid=*/0,
+                       rx_queue_.back().packet.span_id(), rx_queue_.size(),
+                       ring_arg_depth_);
+  });
   return OkStatus();
 }
 
@@ -193,10 +233,17 @@ Result<net::Packet> VirtualPacketPipeline::DequeueRx() {
       UpdateRxDepthObs();
       continue;
     }
+    const uint64_t queued_at = rx_queue_[pick].enqueue_cycle;
     net::Packet packet = std::move(rx_queue_[pick].packet);
     rx_buffered_bytes_ -= packet.size();
     rx_queue_.erase(rx_queue_.begin() + static_cast<ptrdiff_t>(pick));
     UpdateRxDepthObs();
+    SNIC_TRACE_RING(if (ring_ != nullptr) {
+      ring_->EmitInstant(ring_rx_deq_, now_, RingPid(), /*tid=*/0,
+                         packet.span_id(), now_ - queued_at,
+                         ring_arg_residency_);
+    });
+    (void)queued_at;
     return packet;
   }
 }
@@ -211,6 +258,11 @@ Status VirtualPacketPipeline::EnqueueTx(net::Packet packet) {
   stats_.tx_bytes += packet.size();
   ++stats_.tx_packets;
   tx_queue_.push_back(QueuedFrame{std::move(packet), now_});
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_tx_enq_, now_, RingPid(), /*tid=*/1,
+                       tx_queue_.back().packet.span_id(), tx_queue_.size(),
+                       ring_arg_depth_);
+  });
   return OkStatus();
 }
 
@@ -224,6 +276,12 @@ const net::Packet* VirtualPacketPipeline::PeekTx() {
       if (obs_shed_tx_ != nullptr) obs_shed_tx_->Inc();
       if (obs_shed_bytes_ != nullptr) obs_shed_bytes_->Inc(bytes);
     });
+    SNIC_TRACE_RING(if (ring_ != nullptr) {
+      ring_->EmitInstant(ring_shed_, now_, RingPid(), /*tid=*/1,
+                         tx_queue_.front().packet.span_id(),
+                         now_ - tx_queue_.front().enqueue_cycle,
+                         ring_arg_residency_);
+    });
     tx_queue_.pop_front();
   }
   return tx_queue_.empty() ? nullptr : &tx_queue_.front().packet;
@@ -233,8 +291,15 @@ Result<net::Packet> VirtualPacketPipeline::DequeueTx() {
   if (PeekTx() == nullptr) {
     return NotFound("TX queue empty");
   }
+  const uint64_t queued_at = tx_queue_.front().enqueue_cycle;
   net::Packet packet = std::move(tx_queue_.front().packet);
   tx_queue_.pop_front();
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    ring_->EmitInstant(ring_tx_deq_, now_, RingPid(), /*tid=*/1,
+                       packet.span_id(), now_ - queued_at,
+                       ring_arg_residency_);
+  });
+  (void)queued_at;
   return packet;
 }
 
@@ -258,6 +323,27 @@ void VirtualPacketPipeline::AttachObs(obs::MetricRegistry* registry) {
     UpdateRxDepthObs();
   });
   (void)registry;
+}
+
+void VirtualPacketPipeline::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_rx_enq_ = ring_->Intern(obs::spans::kVppRxEnqueue);
+      ring_rx_deq_ = ring_->Intern(obs::spans::kVppRxDequeue);
+      ring_tx_enq_ = ring_->Intern(obs::spans::kVppTxEnqueue);
+      ring_tx_deq_ = ring_->Intern(obs::spans::kVppTxDequeue);
+      ring_rx_rejected_ = ring_->Intern(obs::spans::kVppRxRejected);
+      ring_shed_ = ring_->Intern(obs::spans::kVppDeadlineShed);
+      ring_arg_depth_ = ring_->Intern(obs::spans::kArgDepth);
+      ring_arg_residency_ = ring_->Intern(obs::spans::kArgResidency);
+      ring_arg_cause_ = ring_->Intern(obs::spans::kArgCause);
+      ring_->SetProcessName(RingPid(), "nf" + std::to_string(nf_id_));
+      ring_->SetThreadName(RingPid(), 0, "rx");
+      ring_->SetThreadName(RingPid(), 1, "tx");
+    }
+  });
+  (void)ring;
 }
 
 }  // namespace snic::core

@@ -30,6 +30,7 @@
 #include "src/core/overload.h"
 #include "src/net/packet.h"
 #include "src/net/switching.h"
+#include "src/obs/trace_ring.h"
 #include "src/sim/tlb.h"
 
 namespace snic::core {
@@ -124,6 +125,13 @@ class VirtualPacketPipeline {
   // up at nf_launch.
   void AttachObs(obs::MetricRegistry* registry);
 
+  // Attaches the binary span ring (docs/OBSERVABILITY.md "Binary tracing &
+  // spans"): interns the vpp.* span names once, registers this NF's lane,
+  // and from then on mints a causal span id for every frame entering
+  // EnqueueRx. Each queue transition is then one fixed-size record. The
+  // device fans this out at nf_launch alongside AttachObs.
+  void AttachTraceRing(obs::TraceRing* ring);
+
   // The scheduler unit's locked TLB (priced in Table 4).
   sim::LockedTlb& scheduler_tlb() { return scheduler_tlb_; }
 
@@ -140,6 +148,9 @@ class VirtualPacketPipeline {
   bool MakeRoomByEarlyDrop(uint64_t incoming_bytes);
   void ShedRxAt(size_t index);
   void UpdateRxDepthObs();
+  uint32_t RingPid() const { return static_cast<uint32_t>(nf_id_); }
+  // One vpp.rx.rejected instant; `cause` is the admission-reject reason code.
+  void EmitRingRejected(uint64_t span, uint64_t cause);
 
   uint64_t nf_id_;
   VppConfig config_;
@@ -150,6 +161,18 @@ class VirtualPacketPipeline {
   TokenBucket admission_;
   sim::LockedTlb scheduler_tlb_;
   VppStats stats_;
+
+  obs::TraceRing* ring_ = nullptr;
+  uint64_t span_seq_ = 0;  // low word of minted span ids, per-VPP
+  uint16_t ring_rx_enq_ = 0;
+  uint16_t ring_rx_deq_ = 0;
+  uint16_t ring_tx_enq_ = 0;
+  uint16_t ring_tx_deq_ = 0;
+  uint16_t ring_rx_rejected_ = 0;
+  uint16_t ring_shed_ = 0;
+  uint16_t ring_arg_depth_ = 0;
+  uint16_t ring_arg_residency_ = 0;
+  uint16_t ring_arg_cause_ = 0;
 
   obs::Gauge* obs_rx_depth_ = nullptr;
   obs::Counter* obs_drops_full_rx_ = nullptr;

@@ -1,5 +1,7 @@
 #include "src/fault/fault.h"
 
+#include "src/obs/span_names.h"
+
 namespace snic::fault {
 
 namespace {
@@ -23,6 +25,11 @@ void FaultPlane::AddRule(FaultRule rule) {
   if (registry_ != nullptr) {
     PublishRule(rules_.back());
   }
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    // Rule sites are schedule data, not compile-time span names; they live
+    // in the fault-site registry. snic-lint: allow(span-name-registry)
+    rules_.back().ring_site = ring_->Intern(rules_.back().rule.site);
+  });
 }
 
 void FaultPlane::PublishRule(RuleState& state) {
@@ -45,6 +52,21 @@ void FaultPlane::AttachObs(obs::MetricRegistry* registry) {
   for (RuleState& state : rules_) {
     PublishRule(state);
   }
+}
+
+void FaultPlane::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_fired_ = ring_->Intern(obs::spans::kFaultFired);
+      ring_arg_site_ = ring_->Intern(obs::spans::kArgSite);
+      for (RuleState& state : rules_) {
+        // snic-lint: allow(span-name-registry) — see AddRule.
+        state.ring_site = ring_->Intern(state.rule.site);
+      }
+    }
+  });
+  (void)ring;
 }
 
 bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
@@ -86,6 +108,11 @@ bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
       trace_->AddInstant("fault", now_, static_cast<uint32_t>(nf_id),
                          /*tid=*/0, std::move(args));
     }
+    SNIC_TRACE_RING(if (ring_ != nullptr) {
+      ring_->EmitInstant(ring_fired_, now_, static_cast<uint32_t>(nf_id),
+                         /*tid=*/0, /*span=*/0, state.ring_site,
+                         ring_arg_site_, /*arg_is_name=*/true);
+    });
   }
   return fired;
 }

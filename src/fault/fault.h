@@ -35,6 +35,7 @@
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 
 // Injection-site check: true when an installed FaultPlane schedules a fault
 // for this execution of the site. Compiles to the constant `false` under
@@ -148,6 +149,10 @@ class FaultPlane {
   // Emits one instant event per injected fault at the plane clock, on the
   // faulted NF's trace lane.
   void AttachTrace(obs::TraceLog* trace) { trace_ = trace; }
+  // Binary-ring flavour: each injection lands as one fault.fired span
+  // instant whose arg resolves to the rule's site name (interned up front,
+  // so the firing path stays allocation-free).
+  void AttachTraceRing(obs::TraceRing* ring);
 
  private:
   struct RuleState {
@@ -156,6 +161,7 @@ class FaultPlane {
     uint64_t injected = 0;
     Rng rng;
     obs::Counter* obs_injected = nullptr;
+    uint16_t ring_site = 0;  // interned site name while a ring is attached
 
     RuleState(FaultRule r, uint64_t rule_seed)
         : rule(std::move(r)), rng(rule_seed) {}
@@ -172,6 +178,9 @@ class FaultPlane {
   std::vector<RuleState> rules_;
   obs::MetricRegistry* registry_ = nullptr;
   obs::TraceLog* trace_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;
+  uint16_t ring_fired_ = 0;
+  uint16_t ring_arg_site_ = 0;
 };
 
 // The plane installed on the calling thread, or nullptr. Injection sites go

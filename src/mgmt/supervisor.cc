@@ -5,6 +5,7 @@
 
 #include "src/core/attestation.h"
 #include "src/mgmt/verifier.h"
+#include "src/obs/span_names.h"
 
 namespace snic::mgmt {
 
@@ -51,6 +52,20 @@ void Supervisor::AttachObs(obs::MetricRegistry* registry) {
   (void)registry;
 }
 
+void Supervisor::AttachTraceRing(obs::TraceRing* ring) {
+  SNIC_TRACE_RING({
+    ring_ = ring;
+    if (ring_ != nullptr) {
+      ring_crash_ = ring_->Intern(obs::spans::kSupervisorCrash);
+      ring_restart_ = ring_->Intern(obs::spans::kSupervisorRestart);
+      ring_downgrade_ = ring_->Intern(obs::spans::kSupervisorDowngrade);
+      ring_quarantine_ = ring_->Intern(obs::spans::kSupervisorQuarantine);
+      ring_arg_cause_ = ring_->Intern(obs::spans::kArgCause);
+    }
+  });
+  (void)ring;
+}
+
 void Supervisor::Emit(std::string_view event, const std::string& name,
                       const Child& child) {
   if (trace_ != nullptr) {
@@ -58,6 +73,26 @@ void Supervisor::Emit(std::string_view event, const std::string& name,
                        {{"nf", name},
                         {"cause", std::string(CrashCauseName(child.last_cause))}});
   }
+  SNIC_TRACE_RING(if (ring_ != nullptr) {
+    // Event strings here are the registry constants themselves; resolve to
+    // the pre-interned id by identity so the hot path never re-interns.
+    uint16_t id = 0;
+    if (event == obs::spans::kSupervisorCrash) {
+      id = ring_crash_;
+    } else if (event == obs::spans::kSupervisorRestart) {
+      id = ring_restart_;
+    } else if (event == obs::spans::kSupervisorDowngrade) {
+      id = ring_downgrade_;
+    } else if (event == obs::spans::kSupervisorQuarantine) {
+      id = ring_quarantine_;
+    }
+    if (id != 0) {
+      ring_->EmitInstant(
+          id, now_, static_cast<uint32_t>(child.nf_id), /*tid=*/0, /*span=*/0,
+          static_cast<uint64_t>(static_cast<uint8_t>(child.last_cause)),
+          ring_arg_cause_);
+    }
+  });
 }
 
 Status Supervisor::LaunchChild(const std::string& name, Child& child) {
@@ -163,7 +198,7 @@ void Supervisor::HandleCrash(const std::string& name, Child& child,
   ++stats_.crashes;
   SNIC_OBS(if (obs_crashes_ != nullptr) obs_crashes_->Inc());
   child.last_cause = cause;
-  Emit("supervisor.crash", name, child);
+  Emit(obs::spans::kSupervisorCrash, name, child);
 
   // The instance is gone as far as the tenant is concerned; reclaim its
   // resources through the trusted teardown path. Failure just means the
@@ -187,7 +222,7 @@ void Supervisor::HandleCrash(const std::string& name, Child& child,
       child.degraded = true;
       ++stats_.accel_downgrades;
       SNIC_OBS(if (obs_downgrades_ != nullptr) obs_downgrades_->Inc());
-      Emit("supervisor.downgrade", name, child);
+      Emit(obs::spans::kSupervisorDowngrade, name, child);
     }
   }
 
@@ -195,7 +230,7 @@ void Supervisor::HandleCrash(const std::string& name, Child& child,
     child.health = NfHealth::kQuarantined;
     ++stats_.quarantines;
     SNIC_OBS(if (obs_quarantines_ != nullptr) obs_quarantines_->Inc());
-    Emit("supervisor.quarantine", name, child);
+    Emit(obs::spans::kSupervisorQuarantine, name, child);
     return;
   }
   child.health = NfHealth::kRestarting;
@@ -237,7 +272,7 @@ void Supervisor::Tick(uint64_t now_cycles) {
         child.health = NfHealth::kQuarantined;
         ++stats_.quarantines;
         SNIC_OBS(if (obs_quarantines_ != nullptr) obs_quarantines_->Inc());
-        Emit("supervisor.quarantine", name, child);
+        Emit(obs::spans::kSupervisorQuarantine, name, child);
       } else {
         child.restart_due = now_ + BackoffCycles(child.consecutive_failures);
       }
@@ -248,7 +283,7 @@ void Supervisor::Tick(uint64_t now_cycles) {
     child.last_heartbeat = now_;
     ++stats_.restarts;
     SNIC_OBS(if (obs_restarts_ != nullptr) obs_restarts_->Inc());
-    Emit("supervisor.restart", name, child);
+    Emit(obs::spans::kSupervisorRestart, name, child);
     if (restart_callback_) {
       restart_callback_(name, old_id, child.nf_id);
     }

@@ -37,6 +37,7 @@
 #include "src/mgmt/nic_os.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 
 namespace snic::mgmt {
 
@@ -142,6 +143,12 @@ class Supervisor {
   void AttachObs(obs::MetricRegistry* registry);
   void AttachTrace(obs::TraceLog* trace) { trace_ = trace; }
 
+  // Binary-ring flavour of AttachTrace: crash/restart/downgrade/quarantine
+  // land as fixed-size supervisor.* span instants on the crashed child's
+  // lane (arg = crash-cause ordinal), so forensics can correlate recovery
+  // with the victim's packet spans without parsing JSON.
+  void AttachTraceRing(obs::TraceRing* ring);
+
  private:
   struct Child {
     FunctionImage image;
@@ -173,6 +180,12 @@ class Supervisor {
   std::map<std::string, Child> children_;  // ordered: deterministic scans
   RestartCallback restart_callback_;
   obs::TraceLog* trace_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;
+  uint16_t ring_crash_ = 0;
+  uint16_t ring_restart_ = 0;
+  uint16_t ring_downgrade_ = 0;
+  uint16_t ring_quarantine_ = 0;
+  uint16_t ring_arg_cause_ = 0;
   obs::Counter* obs_crashes_ = nullptr;
   obs::Counter* obs_restarts_ = nullptr;
   obs::Counter* obs_quarantines_ = nullptr;

@@ -34,12 +34,20 @@ class Packet {
   uint64_t flow_rank() const { return flow_rank_; }
   void set_flow_rank(uint64_t r) { flow_rank_ = r; }
 
+  // Causal span id minted at VPP ingress (0 = untraced); rides the frame
+  // across queues, chain hops and the echo path so the binary trace can
+  // reconstruct one packet's life across layers (docs/OBSERVABILITY.md
+  // "Binary tracing & spans"). NFs never read this.
+  uint64_t span_id() const { return span_id_; }
+  void set_span_id(uint64_t id) { span_id_ = id; }
+
   void Resize(size_t n) { bytes_.resize(n); }
 
  private:
   std::vector<uint8_t> bytes_;
   uint64_t arrival_ns_ = 0;
   uint64_t flow_rank_ = 0;
+  uint64_t span_id_ = 0;
 };
 
 }  // namespace snic::net

@@ -31,6 +31,22 @@ void MetricShards::MergeInto(obs::MetricRegistry* target) const {
   }
 }
 
+TraceRingShards::TraceRingShards(size_t num_shards, size_t capacity_records) {
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<obs::TraceRing>(capacity_records));
+  }
+}
+
+void TraceRingShards::MergeInto(obs::TraceRing* sink) const {
+  if (sink == nullptr) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    sink->Append(*shard);
+  }
+}
+
 void ShardedParallelFor(
     ThreadPool* pool, size_t num_tasks, obs::MetricRegistry* target,
     const std::function<void(size_t, obs::MetricRegistry&)>& body) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/runtime/thread_pool.h"
 
 namespace snic::runtime {
@@ -50,6 +51,27 @@ class MetricShards {
 
  private:
   std::vector<std::unique_ptr<obs::MetricRegistry>> shards_;
+};
+
+// One private TraceRing per task of a sweep — the trace analogue of
+// MetricShards. Workers emit POD records into their own bounded ring; at
+// join, MergeInto stitches the rings into the sink in ascending task-index
+// order (TraceRing::Append remaps interned name ids), reproducing the single
+// serial ring byte-for-byte. `capacity_records` bounds each shard; pass 0
+// for unbounded shards.
+class TraceRingShards {
+ public:
+  TraceRingShards(size_t num_shards, size_t capacity_records);
+
+  size_t size() const { return shards_.size(); }
+  obs::TraceRing& shard(size_t task_index) { return *shards_[task_index]; }
+
+  // Appends every shard into `sink` in ascending task-index order. No-op
+  // when `sink` is null. Shards must be quiescent (workers joined).
+  void MergeInto(obs::TraceRing* sink) const;
+
+ private:
+  std::vector<std::unique_ptr<obs::TraceRing>> shards_;
 };
 
 // ParallelFor plus the metric contract: runs body(task_index, shard) for

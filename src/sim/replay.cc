@@ -60,7 +60,7 @@ ReplayResult Replay(const MachineConfig& config,
   // Observability sinks. Both stay null under SNIC_OBS_DISABLED, so every
   // `if (trace != nullptr)` below is dead code in that build.
   obs::MetricRegistry* metrics = nullptr;
-  obs::TraceLog* trace = nullptr;
+  obs::TraceRing* trace = nullptr;
   uint32_t trace_pid_base = 0;
   SNIC_OBS(if (obs_hooks != nullptr) {
     metrics = obs_hooks->metrics;
@@ -69,6 +69,16 @@ ReplayResult Replay(const MachineConfig& config,
   });
   (void)obs_hooks;
   const uint32_t bus_pid = trace_pid_base + num_cores;
+  // Interned once per replay; each hot-path emission below is then a
+  // fixed-size record store (docs/OBSERVABILITY.md "Binary tracing & spans").
+  uint16_t dram_id = 0;
+  uint16_t xfer_id = 0;
+  uint16_t warmup_id = 0;
+  if (trace != nullptr) {
+    dram_id = trace->Intern("dram");
+    xfer_id = trace->Intern("xfer");
+    warmup_id = trace->Intern("warmup_done");
+  }
   if (metrics != nullptr) {
     obs::Labels l2_labels = obs_hooks->labels;
     l2_labels.emplace_back("level", "l2");
@@ -160,8 +170,8 @@ ReplayResult Replay(const MachineConfig& config,
       // the arbitrated bus.
       const uint64_t grant = bus->Grant(core.cycle + 1, best);
       if (trace != nullptr) {
-        trace->AddComplete("xfer", grant, config.bus_transfer_cycles, bus_pid,
-                           best);
+        trace->EmitComplete(xfer_id, grant, config.bus_transfer_cycles,
+                            bus_pid, best);
       }
       {
         // Store-queue model: the core retires the store immediately unless
@@ -188,11 +198,11 @@ ReplayResult Replay(const MachineConfig& config,
             // One span on the core's lane for the whole DRAM round trip
             // (arbitration wait + transfer + DRAM), one on the bus lane for
             // the transfer itself.
-            trace->AddComplete("dram", request_time,
-                               (core.cycle + latency) - request_time,
-                               trace_pid_base + best, 0);
-            trace->AddComplete("xfer", grant, config.bus_transfer_cycles,
-                               bus_pid, best);
+            trace->EmitComplete(dram_id, request_time,
+                                (core.cycle + latency) - request_time,
+                                trace_pid_base + best, 0);
+            trace->EmitComplete(xfer_id, grant, config.bus_transfer_cycles,
+                                bus_pid, best);
           }
         }
       }
@@ -210,8 +220,7 @@ ReplayResult Replay(const MachineConfig& config,
       core.l1_miss_at_reset = core.l1_misses;
       core.l2_miss_at_reset = core.l2_misses;
       if (trace != nullptr) {
-        trace->AddInstant("warmup_done", core.cycle, trace_pid_base + best,
-                          0);
+        trace->EmitInstant(warmup_id, core.cycle, trace_pid_base + best, 0);
       }
       if (!stats_reset_issued) {
         bool all_reset = true;

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
-#include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 #include "src/sim/bus.h"
 #include "src/sim/cache.h"
 #include "src/sim/mem_access.h"
@@ -78,13 +78,15 @@ struct ReplayResult {
 // engine registers per-core counters (`sim.core.l1.hits{core=c}`, ...,
 // `sim.core.l2.misses{core=c}`), cache-level counters (`sim.cache.*`), and
 // per-domain bus series (`sim.bus.requests` / `sim.bus.wait_cycles`). When
-// `trace` is set, every DRAM-bound access becomes a Chrome-trace span: one
-// lane per core (pid = trace_pid_base + core) plus a shared bus lane
-// (pid = trace_pid_base + num_cores, tid = domain), so FCFS-vs-temporal bus
-// schedules are directly visible in Perfetto.
+// `trace` is set, every DRAM-bound access becomes a fixed-size binary ring
+// record ("dram" / "xfer" spans, "warmup_done" instants): one lane per core
+// (pid = trace_pid_base + core) plus a shared bus lane (pid =
+// trace_pid_base + num_cores, tid = domain). Convert offline with
+// TraceRing::ToChromeJson() (or tools/snic_trace) to see FCFS-vs-temporal
+// bus schedules side by side in Perfetto.
 struct ReplayObs {
   obs::MetricRegistry* metrics = nullptr;
-  obs::TraceLog* trace = nullptr;
+  obs::TraceRing* trace = nullptr;
   // Extra labels stamped on every series (e.g. {{"config","snic"}}).
   obs::Labels labels;
   // Offset for trace pids so two replays can share one trace file.

@@ -1,0 +1,23 @@
+// Known-bad input for snic_lint's span-name-registry rule
+// (tests/lint_test.cc). Never compiled.
+#include "src/obs/trace_ring.h"
+
+#include <string_view>
+
+namespace fixture::spans {
+inline constexpr std::string_view kRegistered = "fix.span_registered";
+inline constexpr std::string_view kUnregistered = "fix.span_unregistered";
+}  // namespace fixture::spans
+
+namespace fixture {
+
+void Emit(Ring* ring) {
+  ring->Intern(spans::kRegistered);    // listed + documented: clean
+  ring->Intern(spans::kUnregistered);  // missing from registry AND doc
+  ring->Intern("fix.span_literal");    // literals audit too: undocumented
+  ring->Intern(dynamic_name);          // resolves to no constant
+  // snic-lint: allow(span-name-registry)
+  ring->Intern(another_dynamic);
+}
+
+}  // namespace fixture

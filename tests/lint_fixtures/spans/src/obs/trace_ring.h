@@ -1,0 +1,18 @@
+// Fixture stand-in for the real trace ring: declares Intern so the use site
+// compiles in the reader's head (tests/lint_test.cc). This path is exempt
+// from the span-name-registry rule, exactly like the real ring. Never
+// compiled.
+#ifndef FIXTURE_TRACE_RING_H_
+#define FIXTURE_TRACE_RING_H_
+
+#include <string_view>
+
+namespace fixture {
+
+struct Ring {
+  int Intern(std::string_view name);
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_TRACE_RING_H_

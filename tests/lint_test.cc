@@ -108,6 +108,28 @@ TEST(SnicLintTest, MetricNameDriftFiresAndInlineSuppressionHolds) {
   EXPECT_FALSE(HasFinding(findings, "metric-name-drift", "fix.suppressed"));
 }
 
+TEST(SnicLintTest, SpanNameRegistryFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("spans");
+  EXPECT_EQ(findings.size(), 5u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "span-name-registry"), 5u);
+  EXPECT_TRUE(HasFinding(findings, "span-name-registry",
+                         "\"fix.span_unregistered\" is not listed"));
+  EXPECT_TRUE(HasFinding(findings, "span-name-registry",
+                         "\"fix.span_unregistered\" is not documented"));
+  // Literal names audit exactly like constants.
+  EXPECT_TRUE(HasFinding(findings, "span-name-registry",
+                         "\"fix.span_literal\" is not documented"));
+  EXPECT_FALSE(HasFinding(findings, "span-name-registry",
+                          "\"fix.span_literal\" is not listed"));
+  EXPECT_TRUE(HasFinding(findings, "span-name-registry", "stale"));
+  EXPECT_TRUE(HasFinding(findings, "span-name-registry",
+                         "cannot resolve span name `dynamic_name`"));
+  EXPECT_FALSE(HasFinding(findings, "span-name-registry", "another_dynamic"));
+  // The registered + documented name is clean.
+  EXPECT_FALSE(HasFinding(findings, "span-name-registry",
+                          "fix.span_registered"));
+}
+
 TEST(SnicLintTest, IncludeCycleFires) {
   const auto findings = LintFixture("cycle");
   EXPECT_EQ(findings.size(), 1u) << FormatFindings(findings);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 
 namespace snic::obs {
 namespace {
@@ -41,6 +42,36 @@ TEST(ObsDisabled, RegistryStillWorksWhenUsedDirectly) {
   MetricRegistry registry;
   registry.GetCounter("direct.use").Inc(3);
   EXPECT_EQ(registry.FindCounter("direct.use")->value(), 3u);
+}
+
+TEST(ObsDisabled, TraceRingStatementsDoNotExecute) {
+  // SNIC_TRACE_RING follows the same contract as SNIC_OBS: wrapped span
+  // emissions vanish entirely, conditions included.
+  int executed = 0;
+  SNIC_TRACE_RING(++executed);
+  SNIC_TRACE_RING({
+    executed += 10;
+    executed += 100;
+  });
+  bool probed = false;
+  auto probe = [&probed] {
+    probed = true;
+    return true;
+  };
+  SNIC_TRACE_RING(if (probe()) { probed = true; });
+  EXPECT_EQ(executed, 0);
+  EXPECT_FALSE(probed);
+  (void)probe;
+}
+
+TEST(ObsDisabled, TraceRingStillWorksWhenUsedDirectly) {
+  // The ring library itself survives compile-out, like MetricRegistry: the
+  // offline converter and analyzer tools still link and run.
+  TraceRing ring;
+  const uint16_t name = ring.Intern("direct.use");
+  ring.EmitInstant(name, /*ts=*/7, /*pid=*/1, /*tid=*/0);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.NameOf(ring.record(0).name), "direct.use");
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/obs/trace_ring.h"
 #include "src/sim/mem_access.h"
 #include "src/sim/replay.h"
 
@@ -225,7 +226,7 @@ TEST(ReplayObservability, PublishesSeriesAndWellFormedTrace) {
     t1.Record(static_cast<uint64_t>(i % 8) * 64, sim::AccessType::kRead, 4);
   }
   MetricRegistry registry;
-  TraceLog trace;
+  TraceRing trace;
   sim::ReplayObs hooks;
   hooks.metrics = &registry;
   hooks.trace = &trace;
@@ -255,15 +256,16 @@ TEST(ReplayObservability, PublishesSeriesAndWellFormedTrace) {
     ASSERT_NE(registry.FindHistogram("sim.bus.wait_cycles", labels), nullptr);
   }
 
-  // The trace parses and spans are non-overlapping per (pid, tid).
+  // The converted trace parses and spans are non-overlapping per (pid, tid).
   ASSERT_GT(trace.size(), 0u);
-  auto parsed = json::Value::Parse(trace.ToJson());
+  auto parsed = json::Value::Parse(trace.ToChromeJson());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   std::map<std::pair<uint32_t, uint32_t>,
            std::vector<std::pair<uint64_t, uint64_t>>>
       lanes;
-  for (const TraceEvent& e : trace.events()) {
-    if (e.ph == 'X') {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceRecord& e = trace.record(i);
+    if (e.kind == TraceRecord::kComplete) {
       lanes[{e.pid, e.tid}].emplace_back(e.ts, e.ts + e.dur);
     }
   }

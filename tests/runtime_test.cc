@@ -213,13 +213,13 @@ TEST(Fig5SweepTest, SerialAndParallelRunsAreIdentical) {
   }
 
   obs::MetricRegistry serial_metrics;
-  obs::TraceLog serial_trace;
+  obs::TraceRing serial_trace;
   const auto serial_results = bench::RunDegradationSweep(
       nullptr, serial_traces, jobs, &serial_metrics, &serial_trace,
       bench::SweepTrace::kAllJobs);
 
   obs::MetricRegistry parallel_metrics;
-  obs::TraceLog parallel_trace;
+  obs::TraceRing parallel_trace;
   const auto parallel_results = bench::RunDegradationSweep(
       &pool, parallel_traces, jobs, &parallel_metrics, &parallel_trace,
       bench::SweepTrace::kAllJobs);
@@ -233,7 +233,11 @@ TEST(Fig5SweepTest, SerialAndParallelRunsAreIdentical) {
     }
   }
   EXPECT_EQ(serial_metrics.ExportJson(), parallel_metrics.ExportJson());
-  EXPECT_EQ(serial_trace.ToJson(), parallel_trace.ToJson());
+  // Both the converted JSON and the raw binary image must be byte-identical:
+  // the stitched parallel rings intern names and order records exactly like
+  // the serial ring.
+  EXPECT_EQ(serial_trace.ToChromeJson(), parallel_trace.ToChromeJson());
+  EXPECT_EQ(serial_trace.SerializeBinary(), parallel_trace.SerializeBinary());
 }
 
 }  // namespace

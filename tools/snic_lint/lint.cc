@@ -345,6 +345,7 @@ class Linter {
     }
     CheckFaultSites();
     CheckMetricNames();
+    CheckSpanNames();
     CheckIncludeCycles();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -741,6 +742,144 @@ class Linter {
                  "metric/trace name \"" + name + "\" is not documented in " +
                      options_.obs_doc_path);
         }
+      }
+    }
+  }
+
+  // ---- span-name-registry -------------------------------------------------
+
+  void CheckSpanNames() {
+    // Constants that can satisfy an Intern argument: every
+    // `string_view kName = "value"` in the tree (first declaration wins).
+    std::map<std::string, SiteConstant> constants;
+    for (const SourceFile& file : files_) {
+      const auto& toks = file.tokens;
+      for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::kIdent &&
+            toks[i].text == "string_view" &&
+            toks[i + 1].kind == TokKind::kIdent &&
+            toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "=" &&
+            toks[i + 3].kind == TokKind::kString) {
+          constants.emplace(
+              toks[i + 1].text,
+              SiteConstant{toks[i + 3].text, file.path, toks[i + 1].line});
+        }
+      }
+    }
+
+    // Every TraceRing::Intern call in instrumented layers registers a span
+    // or arg-key name. tools/ and tests/ intern freely (decoys, fixtures);
+    // the ring's own translation units declare/define Intern itself.
+    std::map<std::string, SiteConstant> used;  // name string -> first use
+    for (const SourceFile& file : files_) {
+      if (!(StartsWith(file.path, "src/") ||
+            StartsWith(file.path, "bench/"))) {
+        continue;
+      }
+      if (file.path == "src/obs/trace_ring.h" ||
+          file.path == "src/obs/trace_ring.cc") {
+        continue;
+      }
+      const auto& toks = file.tokens;
+      for (size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i].text != "Intern" ||
+            toks[i + 1].text != "(") {
+          continue;
+        }
+        // The argument expression: tokens to the call's closing paren.
+        int depth = 1;
+        std::string last_ident;
+        std::string literal;
+        for (size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+          const Token& t = toks[j];
+          if (t.kind == TokKind::kPunct) {
+            if (t.text == "(") {
+              ++depth;
+            } else if (t.text == ")") {
+              --depth;
+            } else if (t.text == "," && depth == 1) {
+              break;
+            }
+          } else if (t.kind == TokKind::kIdent) {
+            last_ident = t.text;
+          } else if (t.kind == TokKind::kString) {
+            literal = t.text;
+          }
+        }
+        std::string value;
+        if (!literal.empty()) {
+          value = literal;
+        } else if (!last_ident.empty()) {
+          const auto decl = constants.find(last_ident);
+          if (decl == constants.end()) {
+            Report("span-name-registry", file, toks[i].line, last_ident,
+                   "cannot resolve span name `" + last_ident +
+                       "` to a string_view constant or literal; span names "
+                       "must be auditable at lint time");
+            continue;
+          }
+          value = decl->second.value;
+        } else {
+          Report("span-name-registry", file, toks[i].line, "",
+                 "span name argument is neither a constant nor a literal");
+          continue;
+        }
+        const auto it = file.suppressions.find(toks[i].line);
+        if (it != file.suppressions.end() &&
+            it->second.count("span-name-registry") != 0) {
+          continue;  // suppressed uses don't register the name either
+        }
+        used.emplace(value, SiteConstant{value, file.path, toks[i].line});
+      }
+    }
+
+    if (used.empty()) {
+      return;  // tree without ring instrumentation: nothing to audit
+    }
+
+    const fs::path reg_path =
+        fs::path(options_.root) / options_.span_registry_path;
+    if (!fs::exists(reg_path)) {
+      ReportGlobal("span-name-registry", options_.span_registry_path, 0, "",
+                   "span-name registry file is missing but " +
+                       std::to_string(used.size()) + " names are interned");
+      return;
+    }
+    std::set<std::string> registered;
+    {
+      std::istringstream in(ReadFileOrEmpty(reg_path));
+      std::string line;
+      while (std::getline(in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+          line = line.substr(0, hash);
+        }
+        std::istringstream fields(line);
+        std::string name;
+        if (fields >> name) {
+          registered.insert(name);
+        }
+      }
+    }
+    for (const auto& [value, decl] : used) {
+      if (registered.count(value) == 0) {
+        ReportGlobal("span-name-registry", decl.file, decl.line, value,
+                     "span name \"" + value + "\" is not listed in " +
+                         options_.span_registry_path);
+      }
+      if (!obs_doc_.empty() && obs_doc_.find(value) == std::string::npos) {
+        ReportGlobal("span-name-registry", decl.file, decl.line, value,
+                     "span name \"" + value + "\" is not documented in " +
+                         options_.obs_doc_path);
+      }
+    }
+    for (const std::string& name : registered) {
+      if (used.count(name) == 0) {
+        ReportGlobal("span-name-registry", options_.span_registry_path, 0,
+                     name,
+                     "registry lists \"" + name +
+                         "\" but no instrumentation interns it (stale "
+                         "entry?)");
       }
     }
   }

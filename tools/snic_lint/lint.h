@@ -23,6 +23,11 @@
 //                           docs/ROBUSTNESS.md
 //   metric-name-drift       literal metric/trace names documented in
 //                           docs/OBSERVABILITY.md
+//   span-name-registry      TraceRing::Intern span/arg names in src/ and
+//                           bench/: literals or named constants resolvable
+//                           at lint time, listed in
+//                           tools/snic_lint/span_names.txt and documented in
+//                           docs/OBSERVABILITY.md
 //   include-cycle           no #include cycles across src/
 
 #ifndef SNIC_TOOLS_SNIC_LINT_LINT_H_
@@ -50,6 +55,7 @@ struct Options {
   // as empty; a missing registry or doc only matters when a rule needs it.
   std::string allowlist_path = "tools/snic_lint/allowlist.txt";
   std::string fault_registry_path = "tools/snic_lint/fault_sites.txt";
+  std::string span_registry_path = "tools/snic_lint/span_names.txt";
   std::string obs_doc_path = "docs/OBSERVABILITY.md";
   std::string robustness_doc_path = "docs/ROBUSTNESS.md";
 };
