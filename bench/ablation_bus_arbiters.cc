@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/fig5_common.h"
 #include "src/common/table_printer.h"
 #include "src/sim/bus.h"
 #include "src/sim/replay.h"
@@ -86,14 +87,23 @@ int main(int argc, char** argv) {
   for (const Policy& p : policies) {
     std::vector<std::string> row = {p.name};
     for (uint32_t cores : {2u, 4u, 8u}) {
-      std::vector<sim::InstructionTrace> traces;
-      for (uint32_t c = 0; c < cores; ++c) {
-        traces.push_back(DramBoundTrace(events, 17 + c));
-      }
+      // Encoded and prepared like the Fig. 5 traces so the replay streams
+      // through the shared driver (and thus the same codec) as the headline
+      // benches.
       sim::MachineConfig config =
           sim::MachineConfig::MarvellLike(cores, 4u << 20, false);
       config.bus_policy = p.policy;
-      const auto result = sim::Replay(config, traces, 0.1);
+      std::vector<sim::PreparedTrace> traces;
+      std::vector<const sim::PreparedTrace*> mix;
+      for (uint32_t c = 0; c < cores; ++c) {
+        traces.push_back(sim::PreparedTrace::Prepare(
+            sim::EncodedTrace::Encode(DramBoundTrace(events, 17 + c)),
+            config.l1, 0.1));
+      }
+      for (const auto& t : traces) {
+        mix.push_back(&t);
+      }
+      const auto result = snic::bench::ReplayPreparedMix(config, mix);
       row.push_back(TablePrinter::Fmt(result.cores[0].Ipc(), 4));
     }
     row.push_back(TablePrinter::Fmt(LeakageCycles(p.policy), 2));

@@ -14,6 +14,15 @@
 // index-addressed slots, and per-task metric/trace shards merge in task
 // order — so every jobs count, including the serial `--jobs=1` path, emits
 // byte-identical tables and snapshots.
+//
+// Trace form: recorded traces are immediately run-length/delta encoded
+// (sim::EncodedTrace), then prepared once — sim::PreparedTrace streams the
+// bytes through the codec and precomputes the private-L1 pass, and every
+// replay in the sweep reuses the prepared form. PrepareNfTraces() /
+// ReplayPreparedMix() are the places where the consumed form is chosen, so
+// the whole Fig. 5 family (5a, 5b, obs_overhead, the bus ablation) switches
+// codecs together. Preparation is exact, so results are identical to
+// replaying the materialized traces (docs/PERFORMANCE.md).
 
 #ifndef SNIC_BENCH_FIG5_COMMON_H_
 #define SNIC_BENCH_FIG5_COMMON_H_
@@ -21,8 +30,11 @@
 #include <array>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/net/packet.h"
 #include "src/nf/nf_factory.h"
@@ -36,6 +48,15 @@
 namespace snic::bench {
 
 inline constexpr size_t kNumNfs = nf::kNumNfKinds;
+
+// One encoded instruction stream per NF kind.
+using EncodedNfTraces = std::array<sim::EncodedTrace, kNumNfs>;
+
+// One prepared trace per NF kind — the form the sweep drivers replay from.
+using PreparedNfTraces = std::array<sim::PreparedTrace, kNumNfs>;
+
+// All Fig. 5 replays warm 30% of each trace before measuring.
+inline constexpr double kFig5WarmupFraction = 0.3;
 
 // Records one instruction trace per NF kind (full-size NF configurations),
 // fanning the six recordings across `pool` (inline serial when null). Each
@@ -68,15 +89,59 @@ inline std::array<sim::InstructionTrace, kNumNfs> RecordNfTraces(
   return traces;
 }
 
+// Encodes a recorded trace set into the replayable form.
+inline EncodedNfTraces EncodeNfTraces(
+    const std::array<sim::InstructionTrace, kNumNfs>& traces) {
+  EncodedNfTraces encoded;
+  for (size_t k = 0; k < kNumNfs; ++k) {
+    encoded[k] = sim::EncodedTrace::Encode(traces[k]);
+  }
+  return encoded;
+}
+
+// Record + encode in one step: what the benches call. The materialized
+// traces are dropped as soon as encoding finishes.
+inline EncodedNfTraces RecordAndEncodeNfTraces(
+    size_t events_per_nf, uint64_t seed,
+    runtime::ThreadPool* pool = nullptr) {
+  return EncodeNfTraces(RecordNfTraces(events_per_nf, seed, pool));
+}
+
+// Streams each encoded trace through the codec and precomputes its
+// private-L1 pass at the Fig. 5 warmup fraction. The Marvell-like L1 is the
+// same for every core count, L2 capacity, and configuration, so one
+// prepared set serves the entire sweep.
+inline PreparedNfTraces PrepareNfTraces(const EncodedNfTraces& encoded) {
+  const sim::CacheConfig l1 =
+      sim::MachineConfig::MarvellLike(2, 4u << 20, false).l1;
+  PreparedNfTraces prepared;
+  for (size_t k = 0; k < kNumNfs; ++k) {
+    prepared[k] =
+        sim::PreparedTrace::Prepare(encoded[k], l1, kFig5WarmupFraction);
+  }
+  return prepared;
+}
+
+// The single replay driver for the Fig. 5 family. Every bench-side replay —
+// both DegradationForMix configurations, and the ablations' custom machine
+// configs — funnels through here, so the trace form handed to the engine
+// (today: codec-decoded prepared traces) is switched in exactly one place.
+inline sim::ReplayResult ReplayPreparedMix(
+    const sim::MachineConfig& config,
+    const std::vector<const sim::PreparedTrace*>& mix,
+    const sim::ReplayObs* obs_hooks = nullptr) {
+  return sim::Replay(config, mix, obs_hooks);
+}
+
 // Replays one colocation mix under baseline and S-NIC configurations and
 // returns the per-core IPC degradation. When `metrics` / `trace` are set the
 // two replays publish their series with a `config=baseline` / `config=snic`
 // label (trace lanes for the S-NIC run sit above the baseline's).
 inline std::vector<double> DegradationForMix(
-    const std::array<sim::InstructionTrace, kNumNfs>& traces,
-    const std::vector<size_t>& mix_kinds, uint64_t l2_bytes,
-    obs::MetricRegistry* metrics = nullptr, obs::TraceRing* trace = nullptr) {
-  std::vector<const sim::InstructionTrace*> mix;
+    const PreparedNfTraces& traces, const std::vector<size_t>& mix_kinds,
+    uint64_t l2_bytes, obs::MetricRegistry* metrics = nullptr,
+    obs::TraceRing* trace = nullptr) {
+  std::vector<const sim::PreparedTrace*> mix;
   mix.reserve(mix_kinds.size());
   for (size_t kind : mix_kinds) {
     mix.push_back(&traces[kind]);
@@ -98,12 +163,12 @@ inline std::vector<double> DegradationForMix(
     baseline_hooks = &baseline_obs;
     secure_hooks = &secure_obs;
   }
-  const auto baseline = sim::Replay(
+  const auto baseline = ReplayPreparedMix(
       sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/false), mix,
-      /*warmup_fraction=*/0.3, baseline_hooks);
-  const auto secure = sim::Replay(
+      baseline_hooks);
+  const auto secure = ReplayPreparedMix(
       sim::MachineConfig::MarvellLike(cores, l2_bytes, /*secure=*/true), mix,
-      /*warmup_fraction=*/0.3, secure_hooks);
+      secure_hooks);
   std::vector<double> degradation(mix.size());
   for (size_t c = 0; c < mix.size(); ++c) {
     degradation[c] = 1.0 - secure.cores[c].Ipc() / baseline.cores[c].Ipc();
@@ -143,8 +208,7 @@ inline constexpr size_t kSweepRingRecordsPerJob = size_t{1} << 12;
 // records land in per-job binary rings (runtime::TraceRingShards) stitched
 // into `trace` in job order at join, off the hot path.
 inline std::vector<std::vector<double>> RunDegradationSweep(
-    runtime::ThreadPool* pool,
-    const std::array<sim::InstructionTrace, kNumNfs>& traces,
+    runtime::ThreadPool* pool, const PreparedNfTraces& traces,
     const std::vector<SweepJob>& jobs, obs::MetricRegistry* metrics,
     obs::TraceRing* trace = nullptr,
     SweepTrace trace_mode = SweepTrace::kFirstJob) {
@@ -169,6 +233,101 @@ inline std::vector<std::vector<double>> RunDegradationSweep(
   trace_shards.MergeInto(trace);
   return results;
 }
+
+// Shared main-loop scaffolding for the Fig. 5 benches. fig5a and fig5b had
+// drifted into near-copies of the same driver (flag parsing, trace
+// recording, sweep dispatch, metrics/trace snapshot writing); both now
+// delegate everything but their job list and their table aggregation here.
+class Fig5Session {
+ public:
+  Fig5Session(int argc, char** argv)
+      : quick_(QuickMode(argc, argv)),
+        metrics_out_(FlagValue(argc, argv, "--metrics-out")),
+        trace_out_(FlagValue(argc, argv, "--trace-out")),
+        trace_bin_out_(FlagValue(argc, argv, "--trace-bin-out")),
+        pool_(MakePool(JobsFlag(argc, argv))),
+        events_per_nf_(quick_ ? 20'000 : 120'000) {}
+
+  bool quick() const { return quick_; }
+  size_t events_per_nf() const { return events_per_nf_; }
+  runtime::ThreadPool* pool() { return pool_.get(); }
+
+  // Records, encodes, and prepares the per-NF traces (announcing the size).
+  void RecordTraces(uint64_t seed) {
+    std::printf(
+        "Recording NF traces (%zu events/NF, Zipf 1.1 over 100k flows)"
+        "...\n\n",
+        events_per_nf_);
+    traces_ =
+        PrepareNfTraces(RecordAndEncodeNfTraces(events_per_nf_, seed,
+                                                pool_.get()));
+  }
+
+  // Runs the bench's job list through the shared sweep driver, with the
+  // metric/trace sinks the command-line flags requested.
+  std::vector<std::vector<double>> RunSweep(
+      const std::vector<SweepJob>& jobs,
+      SweepTrace trace_mode = SweepTrace::kFirstJob) {
+    return RunDegradationSweep(pool_.get(), traces_, jobs, metrics_sink(),
+                               trace_sink(), trace_mode);
+  }
+
+  // Writes whatever snapshots the flags requested (--metrics-out,
+  // --trace-out, --trace-bin-out). Returns 0, or 1 if any write failed.
+  int WriteOutputs() {
+    if (!metrics_out_.empty()) {
+      obs::MetricRegistry& metrics = obs::GlobalRegistry();
+      if (metrics.WriteJsonFile(metrics_out_).ok()) {
+        std::printf("Wrote metrics snapshot (%zu series) to %s\n",
+                    metrics.NumSeries(), metrics_out_.c_str());
+      } else {
+        std::fprintf(stderr, "Failed to write %s\n", metrics_out_.c_str());
+        return 1;
+      }
+    }
+    if (!trace_out_.empty()) {
+      obs::TraceLog converted;
+      trace_.ConvertTo(&converted);
+      if (converted.WriteFile(trace_out_).ok()) {
+        std::printf("Wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
+                    trace_.size(), trace_out_.c_str());
+      } else {
+        std::fprintf(stderr, "Failed to write %s\n", trace_out_.c_str());
+        return 1;
+      }
+    }
+    if (!trace_bin_out_.empty()) {
+      if (trace_.WriteBinaryFile(trace_bin_out_).ok()) {
+        std::printf("Wrote %zu binary ring records to %s"
+                    " (analyze with tools/snic_trace)\n",
+                    trace_.size(), trace_bin_out_.c_str());
+      } else {
+        std::fprintf(stderr, "Failed to write %s\n", trace_bin_out_.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  obs::MetricRegistry* metrics_sink() {
+    // The global registry already holds the nf.* series the NFs published
+    // while their traces were recorded; replay series join them there.
+    return metrics_out_.empty() ? nullptr : &obs::GlobalRegistry();
+  }
+  obs::TraceRing* trace_sink() {
+    return trace_out_.empty() && trace_bin_out_.empty() ? nullptr : &trace_;
+  }
+
+  bool quick_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::string trace_bin_out_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  size_t events_per_nf_;
+  PreparedNfTraces traces_;
+  obs::TraceRing trace_;  // unbounded merge sink, filled at task join
+};
 
 }  // namespace snic::bench
 

@@ -9,11 +9,8 @@
 #include "bench/fig5_common.h"
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace_ring.h"
 
 int main(int argc, char** argv) {
-  const bool quick = snic::bench::QuickMode(argc, argv);
   using namespace snic;
   using namespace snic::bench;
 
@@ -26,24 +23,10 @@ int main(int argc, char** argv) {
   //   converted offline from the binary ring at exit.
   // --trace-bin-out=<file>: the raw binary ring image (tools/snic_trace).
   // --jobs=N: sweep workers; output is byte-identical at every N.
-  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
-  const std::string trace_out = FlagValue(argc, argv, "--trace-out");
-  const std::string trace_bin_out = FlagValue(argc, argv, "--trace-bin-out");
-  const auto pool = MakePool(JobsFlag(argc, argv));
-  // The global registry already holds the nf.* series the NFs published
-  // while their traces were recorded; replay series join them there.
-  obs::MetricRegistry& metrics = obs::GlobalRegistry();
-  obs::TraceRing trace;  // unbounded merge sink, filled at task join
-  obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
-  obs::TraceRing* trace_sink =
-      trace_out.empty() && trace_bin_out.empty() ? nullptr : &trace;
+  Fig5Session session(argc, argv);
+  session.RecordTraces(2024);
 
-  const size_t events = quick ? 20'000 : 120'000;
-  std::printf("Recording NF traces (%zu events/NF, Zipf 1.1 over 100k flows)"
-              "...\n\n", events);
-  const auto traces = RecordNfTraces(events, 2024, pool.get());
-
-  const std::vector<uint64_t> cache_sizes = quick
+  const std::vector<uint64_t> cache_sizes = session.quick()
       ? std::vector<uint64_t>{KiB(32), KiB(512), MiB(4)}
       : std::vector<uint64_t>{KiB(8),   KiB(16),  KiB(32), KiB(64), KiB(128),
                               KiB(256), KiB(512), MiB(1),  MiB(2),  MiB(4),
@@ -61,10 +44,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto degradations =
-      RunDegradationSweep(pool.get(), traces, sweep, metrics_sink, trace_sink);
+  const auto degradations = session.RunSweep(sweep);
 
-  const auto kinds = nf::AllNfKinds();
   TablePrinter table({"L2 size", "FW", "DPI", "NAT", "LB", "LPM", "Mon"});
   size_t job = 0;
   for (uint64_t l2 : cache_sizes) {
@@ -90,36 +71,5 @@ int main(int argc, char** argv) {
       "Values are median IPC-degradation %% across all partner pairings.\n"
       "Paper shape: degradation rises as L2 shrinks; FW/DPI/NAT suffer most\n"
       "(larger working sets); at 4MB with 2 NFs the median is ~0.24%%.\n");
-  if (!metrics_out.empty()) {
-    if (metrics.WriteJsonFile(metrics_out).ok()) {
-      std::printf("Wrote metrics snapshot (%zu series) to %s\n",
-                  metrics.NumSeries(), metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "Failed to write %s\n", metrics_out.c_str());
-      return 1;
-    }
-  }
-  if (!trace_out.empty()) {
-    obs::TraceLog converted;
-    trace.ConvertTo(&converted);
-    if (converted.WriteFile(trace_out).ok()) {
-      std::printf("Wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
-                  trace.size(), trace_out.c_str());
-    } else {
-      std::fprintf(stderr, "Failed to write %s\n", trace_out.c_str());
-      return 1;
-    }
-  }
-  if (!trace_bin_out.empty()) {
-    if (trace.WriteBinaryFile(trace_bin_out).ok()) {
-      std::printf("Wrote %zu binary ring records to %s"
-                  " (analyze with tools/snic_trace)\n",
-                  trace.size(), trace_bin_out.c_str());
-    } else {
-      std::fprintf(stderr, "Failed to write %s\n", trace_bin_out.c_str());
-      return 1;
-    }
-  }
-  (void)kinds;
-  return 0;
+  return session.WriteOutputs();
 }

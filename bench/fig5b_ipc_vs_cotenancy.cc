@@ -12,27 +12,20 @@
 #include "src/common/rng.h"
 #include "src/common/table_printer.h"
 #include "src/common/units.h"
-#include "src/obs/metrics.h"
 
 int main(int argc, char** argv) {
-  const bool quick = snic::bench::QuickMode(argc, argv);
   using namespace snic;
   using namespace snic::bench;
 
   PrintHeader("Fig. 5b: IPC degradation vs co-tenancy (4MB L2)",
               "S-NIC (EuroSys'24) Figure 5b");
 
+  // --metrics-out=<file>: JSON replay-series snapshot.
   // --jobs=N: sweep workers; output is byte-identical at every N.
-  const std::string metrics_out = FlagValue(argc, argv, "--metrics-out");
-  const auto pool = MakePool(JobsFlag(argc, argv));
-  obs::MetricRegistry& metrics = obs::GlobalRegistry();
-  obs::MetricRegistry* metrics_sink = metrics_out.empty() ? nullptr : &metrics;
+  Fig5Session session(argc, argv);
+  session.RecordTraces(2024);
 
-  const size_t events = quick ? 20'000 : 120'000;
-  std::printf("Recording NF traces (%zu events/NF)...\n\n", events);
-  const auto traces = RecordNfTraces(events, 2024, pool.get());
-
-  const std::vector<uint32_t> arities = quick
+  const std::vector<uint32_t> arities = session.quick()
       ? std::vector<uint32_t>{2, 4, 8}
       : std::vector<uint32_t>{2, 3, 4, 8, 16};
 
@@ -42,7 +35,8 @@ int main(int argc, char** argv) {
   std::vector<SweepJob> sweep;
   Rng rng(99);
   for (uint32_t n : arities) {
-    const size_t num_mixes = quick ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
+    const size_t num_mixes =
+        session.quick() ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
     for (size_t m = 0; m < num_mixes; ++m) {
       std::vector<size_t> mix(n);
       for (auto& kind : mix) {
@@ -51,14 +45,14 @@ int main(int argc, char** argv) {
       sweep.push_back(SweepJob{std::move(mix), MiB(4)});
     }
   }
-  const auto degradations =
-      RunDegradationSweep(pool.get(), traces, sweep, metrics_sink);
+  const auto degradations = session.RunSweep(sweep);
 
   TablePrinter table({"NFs", "FW", "DPI", "NAT", "LB", "LPM", "Mon",
                       "median(all)", "p99(all)"});
   size_t job = 0;
   for (uint32_t n : arities) {
-    const size_t num_mixes = quick ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
+    const size_t num_mixes =
+        session.quick() ? 4 : (n <= 4 ? 12 : (n == 8 ? 8 : 5));
     std::array<SampleSet, kNumNfs> per_nf;
     SampleSet all;
     for (size_t m = 0; m < num_mixes; ++m, ++job) {
@@ -84,14 +78,5 @@ int main(int argc, char** argv) {
       "Paper reference (median / p99 across colocations): 2 NFs 0.24%%;\n"
       "4 NFs 0.93%% / 1.66%%; 8 NFs 3.41%% / 5.12%%; 16 NFs 9.44%% / 13.71%%.\n"
       "Shape to verify: monotone growth with co-tenancy; FW/DPI/NAT worst.\n");
-  if (!metrics_out.empty()) {
-    if (metrics.WriteJsonFile(metrics_out).ok()) {
-      std::printf("Wrote metrics snapshot (%zu series) to %s\n",
-                  metrics.NumSeries(), metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "Failed to write %s\n", metrics_out.c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return session.WriteOutputs();
 }

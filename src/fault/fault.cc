@@ -4,9 +4,11 @@
 
 namespace snic::fault {
 
-namespace {
-
+namespace internal {
 thread_local FaultPlane* tls_plane = nullptr;
+}  // namespace internal
+
+namespace {
 
 // Per-rule stream seed: a pure function of (plane seed, rule index), mixed
 // the same way runtime::DeriveTaskSeed mixes (base, task) so adjacent rules
@@ -148,22 +150,13 @@ uint64_t FaultPlane::InjectedAt(std::string_view site) const {
   return total;
 }
 
-FaultPlane* CurrentFaultPlane() { return tls_plane; }
+FaultPlane* CurrentFaultPlane() { return internal::tls_plane; }
 
-ScopedFaultPlane::ScopedFaultPlane(FaultPlane* plane) : previous_(tls_plane) {
-  tls_plane = plane;
+ScopedFaultPlane::ScopedFaultPlane(FaultPlane* plane)
+    : previous_(internal::tls_plane) {
+  internal::tls_plane = plane;
 }
 
-ScopedFaultPlane::~ScopedFaultPlane() { tls_plane = previous_; }
-
-bool SiteFires(std::string_view site, uint64_t nf_id) {
-  FaultPlane* plane = tls_plane;
-  return plane != nullptr && plane->Fires(site, nf_id);
-}
-
-uint64_t SiteStall(std::string_view site, uint64_t nf_id) {
-  FaultPlane* plane = tls_plane;
-  return plane == nullptr ? 0 : plane->StallCycles(site, nf_id);
-}
+ScopedFaultPlane::~ScopedFaultPlane() { internal::tls_plane = previous_; }
 
 }  // namespace snic::fault

@@ -200,10 +200,25 @@ class ScopedFaultPlane {
   FaultPlane* previous_;
 };
 
-// Macro back-ends: null-plane fast path, then FaultPlane::Fires /
-// StallCycles on the installed plane.
-bool SiteFires(std::string_view site, uint64_t nf_id);
-uint64_t SiteStall(std::string_view site, uint64_t nf_id);
+namespace internal {
+// The calling thread's installed plane (set by ScopedFaultPlane). Exposed so
+// the injection-site macros below can test it inline: sites sit on hot loops
+// (every bus grant crosses one), and an uninstrumented run must pay one
+// thread-local load and a predicted branch, not an out-of-line call.
+extern thread_local FaultPlane* tls_plane;
+}  // namespace internal
+
+// Macro back-ends: inline null-plane fast path, then the out-of-line
+// FaultPlane::Fires / StallCycles on the installed plane.
+inline bool SiteFires(std::string_view site, uint64_t nf_id) {
+  FaultPlane* plane = internal::tls_plane;
+  return plane != nullptr && plane->Fires(site, nf_id);
+}
+
+inline uint64_t SiteStall(std::string_view site, uint64_t nf_id) {
+  FaultPlane* plane = internal::tls_plane;
+  return plane == nullptr ? 0 : plane->StallCycles(site, nf_id);
+}
 
 }  // namespace snic::fault
 

@@ -1,28 +1,50 @@
 #include "src/sim/bus.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/fault/fault.h"
 
 namespace snic::sim {
+namespace {
 
-void BusArbiter::AttachObs(obs::MetricRegistry* registry,
-                           const obs::Labels& labels, uint32_t num_domains) {
+// One registration body for both frontends (BusArbiter and InlineBus) so
+// the series names and histogram geometry cannot drift apart.
+void AttachDomainObs(obs::MetricRegistry* registry, const obs::Labels& labels,
+                     uint32_t num_domains,
+                     std::vector<obs::Counter*>* requests,
+                     std::vector<obs::LatencyHistogram*>* wait_cycles) {
   SNIC_OBS({
-    obs_requests_.clear();
-    obs_wait_cycles_.clear();
+    requests->clear();
+    wait_cycles->clear();
     for (uint32_t d = 0; d < num_domains; ++d) {
       obs::Labels domain_labels = labels;
       domain_labels.emplace_back("domain", std::to_string(d));
-      obs_requests_.push_back(
+      requests->push_back(
           &registry->GetCounter("sim.bus.requests", domain_labels));
-      obs_wait_cycles_.push_back(&registry->GetHistogram(
+      wait_cycles->push_back(&registry->GetHistogram(
           "sim.bus.wait_cycles", domain_labels, 0.0, 4096.0, 64));
     }
   });
   (void)registry;
   (void)labels;
   (void)num_domains;
+  (void)requests;
+  (void)wait_cycles;
+}
+
+}  // namespace
+
+void BusArbiter::AttachObs(obs::MetricRegistry* registry,
+                           const obs::Labels& labels, uint32_t num_domains) {
+  AttachDomainObs(registry, labels, num_domains, &obs_requests_,
+                  &obs_wait_cycles_);
+}
+
+void InlineBus::AttachObs(obs::MetricRegistry* registry,
+                          const obs::Labels& labels, uint32_t num_domains) {
+  AttachDomainObs(registry, labels, num_domains, &obs_requests_,
+                  &obs_wait_cycles_);
 }
 
 uint64_t FcfsArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
@@ -30,8 +52,8 @@ uint64_t FcfsArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
   // wait shows up in the domain's own stats, like a real stalled transfer.
   const uint64_t issue =
       arrival_cycle + SNIC_FAULT_STALL(fault::sites::kBusTimeout, domain);
-  const uint64_t grant = std::max(issue, busy_until_);
-  busy_until_ = grant + transfer_cycles_;
+  const uint64_t grant =
+      bus_detail::FcfsGrant(issue, transfer_cycles_, &busy_until_);
   RecordGrant(arrival_cycle, grant, domain);
   return grant;
 }
@@ -47,19 +69,9 @@ uint64_t RoundRobinArbiter::Grant(uint64_t arrival_cycle, uint32_t domain) {
   SNIC_CHECK(domain < num_domains_);
   const uint64_t issue =
       arrival_cycle + SNIC_FAULT_STALL(fault::sites::kBusTimeout, domain);
-  // A back-to-back request from the same domain yields to the others for one
-  // slot each (approximates a rotating grant without a full event queue).
-  uint64_t earliest = std::max(issue, busy_until_);
-  if (domain == last_domain_ && busy_until_ > issue) {
-    earliest = std::max(earliest, domain_ready_[domain]);
-  }
-  const uint64_t grant = earliest;
-  busy_until_ = grant + transfer_cycles_;
-  last_domain_ = domain;
-  // After serving this domain, its next turn is one rotation away if others
-  // are contending.
-  domain_ready_[domain] = grant + static_cast<uint64_t>(transfer_cycles_) *
-                                      num_domains_;
+  const uint64_t grant = bus_detail::RoundRobinGrant(
+      issue, transfer_cycles_, num_domains_, domain, &busy_until_,
+      &last_domain_, domain_ready_.data());
   RecordGrant(arrival_cycle, grant, domain);
   return grant;
 }
@@ -76,25 +88,9 @@ TemporalPartitionArbiter::TemporalPartitionArbiter(const Config& config)
 uint64_t TemporalPartitionArbiter::NextIssueSlot(uint64_t cycle,
                                                  uint32_t domain) const {
   const uint64_t epoch = config_.epoch_cycles;
-  const uint64_t rotation = epoch * config_.num_domains;
-  const uint64_t issue_len = epoch - config_.dead_time_cycles;
-
-  for (;;) {
-    const uint64_t rotation_start = (cycle / rotation) * rotation;
-    const uint64_t domain_start = rotation_start + domain * epoch;
-    const uint64_t issue_end = domain_start + issue_len;  // exclusive
-    if (cycle < domain_start) {
-      return domain_start;
-    }
-    // The transfer must be able to *start* before the dead time begins.
-    if (cycle < issue_end &&
-        cycle + config_.transfer_cycles <= domain_start + epoch) {
-      return cycle;
-    }
-    // Move to this domain's slot in the next rotation.
-    cycle = rotation_start + rotation + domain * epoch;
-    return cycle;
-  }
+  return bus_detail::TemporalNextIssueSlot(
+      cycle, epoch, epoch * config_.num_domains,
+      epoch - config_.dead_time_cycles, domain);
 }
 
 uint64_t TemporalPartitionArbiter::Grant(uint64_t arrival_cycle,

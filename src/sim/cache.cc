@@ -17,8 +17,18 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   SNIC_CHECK(lines >= config_.associativity);
   num_sets_ = static_cast<uint32_t>(lines / config_.associativity);
   SNIC_CHECK(IsPowerOfTwo(num_sets_));
-  lines_.assign(static_cast<size_t>(num_sets_) * config_.associativity,
-                Line{});
+  line_shift_ = static_cast<uint32_t>(std::countr_zero(
+      static_cast<uint64_t>(config_.line_bytes)));
+  set_mask_ = num_sets_ - 1;
+  set_shift_ = static_cast<uint32_t>(std::countr_zero(
+      static_cast<uint64_t>(num_sets_)));
+  shared_ = config_.policy == PartitionPolicy::kShared;
+  wide_ = config_.associativity > 64;
+  const size_t total =
+      static_cast<size_t>(num_sets_) * config_.associativity;
+  tags_.assign(total, kInvalidTag);
+  lru_.assign(total, 0);
+  domains_.assign(total, 0);
   if (config_.policy != PartitionPolicy::kShared) {
     SNIC_CHECK(config_.associativity >= config_.num_domains);
   }
@@ -26,6 +36,7 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
     secdcp_ways_.assign(config_.num_domains,
                         config_.associativity / config_.num_domains);
   }
+  RebuildWayRanges();
 }
 
 void Cache::AttachObs(obs::MetricRegistry* registry,
@@ -70,78 +81,104 @@ void Cache::DomainWayRange(uint32_t domain, uint32_t* begin,
   SNIC_CHECK(false);
 }
 
+void Cache::RebuildWayRanges() {
+  if (shared_) {
+    return;  // Access uses [0, associativity) directly
+  }
+  way_begin_.resize(config_.num_domains);
+  way_end_.resize(config_.num_domains);
+  for (uint32_t d = 0; d < config_.num_domains; ++d) {
+    DomainWayRange(d, &way_begin_[d], &way_end_[d]);
+  }
+}
+
 uint32_t Cache::WaysForDomain(uint32_t domain) const {
   uint32_t begin, end;
   DomainWayRange(domain, &begin, &end);
   return end - begin;
 }
 
-bool Cache::Access(uint64_t addr, uint32_t domain) {
-  SNIC_CHECK(domain < config_.num_domains ||
-             config_.policy == PartitionPolicy::kShared);
-  const uint64_t line_addr = addr / config_.line_bytes;
-  const uint32_t set = static_cast<uint32_t>(line_addr) & (num_sets_ - 1);
-  const uint64_t tag = line_addr / num_sets_;
-  Line* base = &lines_[static_cast<size_t>(set) * config_.associativity];
-  ++tick_;
+bool Cache::MissFill(uint64_t tag, uint32_t domain, size_t base,
+                     uint32_t begin, uint32_t end) {
+  ++stats_.misses;
+  SNIC_OBS(if (obs_misses_ != nullptr) obs_misses_->Inc());
+  // Victim: first invalid way, else LRU within the allowed range (with
+  // occasional random-way eviction under pseudo-LRU). Both rules collapse
+  // into ONE scan through the lru==0-means-invalid invariant (see cache.h):
+  // invalid ways hold tick 0, every valid way holds a tick >= 1, so the
+  // first index of the minimum LRU tick is the first invalid way when one
+  // exists and the reference's strict-`<` LRU victim otherwise.
+  const uint64_t* lru = lru_.data() + base + begin;
+  const uint32_t rel = cache_internal::MinIndex(lru, end - begin);
+  const bool evicting = lru[rel] != 0;
+  uint32_t victim = begin + rel;
+  if (config_.pseudo_lru && evicting) {
+    victim_lcg_ = victim_lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    if (((victim_lcg_ >> 33) & 7) == 0) {
+      victim = begin + static_cast<uint32_t>((victim_lcg_ >> 36) %
+                                             (end - begin));
+    }
+  }
+  if (evicting) {
+    ++stats_.evictions;
+    SNIC_OBS(if (obs_evictions_ != nullptr) obs_evictions_->Inc());
+  }
+  tags_[base + victim] = tag;
+  domains_[base + victim] = domain;
+  lru_[base + victim] = tick_;
+  return false;
+}
 
-  uint32_t begin, end;
-  DomainWayRange(domain, &begin, &end);
-
-  // Hit scan. Under kShared a hit anywhere in the set counts (this is what
-  // makes "soft" partitioning like Intel CAT leaky, see §4.2 footnote); under
-  // hard partitioning only the domain's own ways are searched.
+bool Cache::AccessWide(uint64_t tag, uint32_t domain, size_t base,
+                       uint32_t begin, uint32_t end) {
+  // Associativity > 64: the mask scans above would overflow their u64, so
+  // fall back to the reference-shaped scalar scans. Same semantics.
   for (uint32_t w = begin; w < end; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      // Under kShared, a cross-domain hit transfers LRU ownership; the
-      // domain tag is informational there.
-      line.lru = tick_;
-      line.domain = domain;
+    if (tags_[base + w] == tag) {
+      lru_[base + w] = tick_;
+      domains_[base + w] = domain;
       ++stats_.hits;
       SNIC_OBS(if (obs_hits_ != nullptr) obs_hits_->Inc());
       return true;
     }
   }
-
   ++stats_.misses;
   SNIC_OBS(if (obs_misses_ != nullptr) obs_misses_->Inc());
-  // Victim: invalid way first, else LRU within the allowed range (with
-  // occasional random-way eviction under pseudo-LRU).
-  Line* victim = nullptr;
+  uint32_t victim = end;
   for (uint32_t w = begin; w < end; ++w) {
-    Line& line = base[w];
-    if (!line.valid) {
-      victim = &line;
+    if (tags_[base + w] == kInvalidTag) {
+      victim = w;
       break;
     }
-    if (victim == nullptr || line.lru < victim->lru) {
-      victim = &line;
+    if (victim == end || lru_[base + w] < lru_[base + victim]) {
+      victim = w;
     }
   }
-  SNIC_CHECK(victim != nullptr);
-  if (config_.pseudo_lru && victim->valid) {
+  SNIC_CHECK(victim != end);
+  const bool evicting = tags_[base + victim] != kInvalidTag;
+  if (config_.pseudo_lru && evicting) {
     victim_lcg_ = victim_lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
     if (((victim_lcg_ >> 33) & 7) == 0) {
-      victim = &base[begin + static_cast<uint32_t>((victim_lcg_ >> 36) %
-                                                   (end - begin))];
+      victim = begin + static_cast<uint32_t>((victim_lcg_ >> 36) %
+                                             (end - begin));
     }
   }
-  if (victim->valid) {
+  if (evicting) {
     ++stats_.evictions;
     SNIC_OBS(if (obs_evictions_ != nullptr) obs_evictions_->Inc());
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->domain = domain;
-  victim->lru = tick_;
+  tags_[base + victim] = tag;
+  domains_[base + victim] = domain;
+  lru_[base + victim] = tick_;
   return false;
 }
 
 void Cache::FlushDomain(uint32_t domain) {
-  for (Line& line : lines_) {
-    if (line.valid && line.domain == domain) {
-      line.valid = false;
+  const size_t total = tags_.size();
+  for (size_t i = 0; i < total; ++i) {
+    if (tags_[i] != kInvalidTag && domains_[i] == domain) {
+      tags_[i] = kInvalidTag;
+      lru_[i] = 0;  // lru==0-means-invalid invariant (victim scan)
     }
   }
 }
@@ -170,11 +207,11 @@ void Cache::ResizeDomain(uint32_t domain, uint32_t ways) {
       }
     }
   }
+  RebuildWayRanges();
   // Repartitioning invalidates everything: lines may now sit in ways their
   // owner can no longer reach (hardware would migrate or flush; we flush).
-  for (Line& line : lines_) {
-    line.valid = false;
-  }
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(lru_.begin(), lru_.end(), 0);  // lru==0-means-invalid invariant
 }
 
 }  // namespace snic::sim

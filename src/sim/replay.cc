@@ -1,6 +1,9 @@
 #include "src/sim/replay.h"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -37,25 +40,419 @@ MachineConfig MachineConfig::MarvellLike(uint32_t cores, uint64_t l2_bytes,
   return m;
 }
 
-ReplayResult Replay(const MachineConfig& config,
-                    const std::vector<const InstructionTrace*>& traces,
-                    double warmup_fraction, const ReplayObs* obs_hooks) {
-  SNIC_CHECK(!traces.empty());
-  SNIC_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
-  const auto num_cores = static_cast<uint32_t>(traces.size());
+// ---------------------------------------------------------------------------
+// Trace codec (format documented in mem_access.h).
 
-  // Per-core private L1s; one shared (or partitioned) L2; one bus arbiter.
-  std::vector<Cache> l1s;
-  l1s.reserve(num_cores);
-  for (uint32_t c = 0; c < num_cores; ++c) {
-    l1s.emplace_back(config.l1);
+namespace {
+
+constexpr uint8_t kMagic[4] = {'S', 'N', 'T', 'C'};
+constexpr uint8_t kVersion = 1;
+constexpr size_t kHeaderSize = 16;
+constexpr uint8_t kTokenTypeMask = 0x03;
+constexpr uint8_t kTokenRunFlag = 0x04;
+constexpr uint8_t kTokenNewComputeFlag = 0x08;
+constexpr uint8_t kTokenReservedMask = 0xF0;
+
+void AppendVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
   }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+// Deltas are wrapping u64 differences; zigzag maps small magnitudes of
+// either sign to short varints.
+uint64_t ZigZag(uint64_t wrapped_delta) {
+  const int64_t sd = static_cast<int64_t>(wrapped_delta);
+  return (static_cast<uint64_t>(sd) << 1) ^
+         static_cast<uint64_t>(sd >> 63);
+}
+
+uint64_t UnZigZag(uint64_t zz) { return (zz >> 1) ^ (0 - (zz & 1)); }
+
+}  // namespace
+
+EncodedTrace EncodedTrace::Encode(const InstructionTrace& trace) {
+  EncodedTrace out;
+  const std::vector<TraceEvent>& ev = trace.events();
+  std::vector<uint8_t>& b = out.bytes_;
+  b.reserve(kHeaderSize + ev.size() * 3);
+  // One fixed-size block write for the header (byte-by-byte inserts into
+  // the fresh vector trip gcc 12's -Wstringop-overflow false positive).
+  uint8_t header[kHeaderSize] = {};
+  std::memcpy(header, kMagic, 4);
+  header[4] = kVersion;
+  const uint64_t n = ev.size();
+  for (int i = 0; i < 8; ++i) {
+    header[8 + i] = static_cast<uint8_t>(n >> (8 * i));
+  }
+  b.insert(b.end(), header, header + kHeaderSize);
+
+  uint64_t prev_addr = 0;
+  uint32_t prev_compute = 0;
+  size_t i = 0;
+  while (i < ev.size()) {
+    // Wrapping stride vs. the previous event; a run is a maximal span of
+    // events sharing this stride, the access type, and the compute count.
+    const uint64_t delta = ev[i].addr - prev_addr;
+    size_t j = i + 1;
+    while (j < ev.size() && ev[j].type == ev[i].type &&
+           ev[j].compute_instructions == ev[i].compute_instructions &&
+           ev[j].addr - ev[j - 1].addr == delta) {
+      ++j;
+    }
+    const uint64_t run = j - i;
+    const bool new_compute = ev[i].compute_instructions != prev_compute;
+    uint8_t token = static_cast<uint8_t>(ev[i].type);
+    if (run >= 2) {
+      token |= kTokenRunFlag;
+    }
+    if (new_compute) {
+      token |= kTokenNewComputeFlag;
+    }
+    b.push_back(token);
+    if (run >= 2) {
+      AppendVarint(&b, run);
+    }
+    AppendVarint(&b, ZigZag(delta));
+    if (new_compute) {
+      AppendVarint(&b, ev[i].compute_instructions);
+    }
+    prev_compute = ev[i].compute_instructions;
+    prev_addr = ev[j - 1].addr;
+    i = (run >= 2) ? j : i + 1;
+  }
+  return out;
+}
+
+uint64_t EncodedTrace::event_count() const {
+  TraceDecoder d(bytes_.data(), bytes_.size());
+  return d.event_count();
+}
+
+TraceDecoder::TraceDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  if (size_ < kHeaderSize) {
+    Reject("truncated header");
+    return;
+  }
+  if (std::memcmp(data_, kMagic, 4) != 0) {
+    Reject("bad magic");
+    return;
+  }
+  if (data_[4] != kVersion) {
+    Reject("unsupported version");
+    return;
+  }
+  if ((data_[5] | data_[6] | data_[7]) != 0) {
+    Reject("nonzero reserved header bytes");
+    return;
+  }
+  uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) {
+    n |= static_cast<uint64_t>(data_[8 + i]) << (8 * i);
+  }
+  event_count_ = n;
+  pos_ = kHeaderSize;
+  if (event_count_ == 0 && pos_ != size_) {
+    Reject("trailing bytes after final event");
+  }
+}
+
+Status TraceDecoder::Reject(const char* why) {
+  status_ = InvalidArgument(std::string("trace codec: ") + why);
+  return status_;
+}
+
+size_t TraceDecoder::Fill(TraceEvent* out, size_t max) {
+  if (!ok()) {
+    return 0;
+  }
+  size_t produced = 0;
+  while (produced < max && decoded_ < event_count_) {
+    if (run_left_ > 0) {
+      // Continue an open run (possibly carried over from a previous Fill).
+      prev_addr_ += run_delta_;
+      out[produced++] = TraceEvent{prev_addr_, run_compute_, run_type_};
+      --run_left_;
+      ++decoded_;
+      continue;
+    }
+    if (pos_ >= size_) {
+      Reject("stream ends before event_count events");
+      break;
+    }
+    const uint8_t token = data_[pos_++];
+    if ((token & kTokenReservedMask) != 0) {
+      Reject("nonzero reserved token bits");
+      break;
+    }
+    const auto type = static_cast<AccessType>(token & kTokenTypeMask);
+    const bool is_run = (token & kTokenRunFlag) != 0;
+    uint64_t count = 1;
+    if (is_run) {
+      if (!ReadVarint(&count)) {
+        break;
+      }
+      if (count < 2) {
+        Reject("run shorter than 2 events");
+        break;
+      }
+      if (count > event_count_ - decoded_) {
+        Reject("run exceeds remaining events");
+        break;
+      }
+    }
+    uint64_t zz;
+    if (!ReadVarint(&zz)) {
+      break;
+    }
+    const uint64_t delta = UnZigZag(zz);
+    if ((token & kTokenNewComputeFlag) != 0) {
+      uint64_t compute;
+      if (!ReadVarint(&compute)) {
+        break;
+      }
+      if (compute > UINT32_MAX) {
+        Reject("compute count overflows u32");
+        break;
+      }
+      prev_compute_ = static_cast<uint32_t>(compute);
+    }
+    if (is_run) {
+      run_left_ = count;
+      run_delta_ = delta;
+      run_compute_ = prev_compute_;
+      run_type_ = type;
+      continue;  // events materialize at the top of the loop
+    }
+    prev_addr_ += delta;
+    out[produced++] = TraceEvent{prev_addr_, prev_compute_, type};
+    ++decoded_;
+  }
+  if (ok() && decoded_ == event_count_ && pos_ != size_) {
+    Reject("trailing bytes after final event");
+  }
+  return produced;
+}
+
+bool TraceDecoder::ReadVarint(uint64_t* v) {
+  uint64_t result = 0;
+  uint32_t shift = 0;
+  for (size_t n = 0; n < 10; ++n) {
+    if (pos_ >= size_) {
+      Reject("truncated varint");
+      return false;
+    }
+    const uint8_t byte = data_[pos_++];
+    if (n == 9 && byte > 1) {
+      // The 10th byte may only contribute bit 63.
+      Reject("varint overflows 64 bits");
+      return false;
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  Reject("varint longer than 10 bytes");
+  return false;
+}
+
+Status TraceDecoder::DecodeAll(const EncodedTrace& trace,
+                               InstructionTrace* out) {
+  out->clear();
+  TraceDecoder d(trace);
+  TraceEvent buf[512];
+  for (;;) {
+    const size_t n = d.Fill(buf, 512);
+    for (size_t i = 0; i < n; ++i) {
+      out->Record(buf[i].addr, buf[i].type, buf[i].compute_instructions);
+    }
+    if (n == 0) {
+      break;
+    }
+  }
+  if (!d.ok()) {
+    out->clear();
+    return d.status();
+  }
+  if (!d.done()) {
+    out->clear();
+    return InvalidArgument("trace codec: stream ended early");
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Private-L1 pass: PreparedTrace.
+
+// Builder for PreparedTrace: consumes the event stream once, simulates the
+// private L1 (untagged addresses — the per-core tag sits above the L1 index
+// and tag-compare bits, so tagging cannot change the hit/miss/victim/PLRU
+// sequence), and emits one GlobalEvent per shared-state event. The d_*
+// windows between global events capture every locally-satisfied event's
+// instruction count and latency class; the warmup boundary becomes either a
+// flag on a global event or a kWarmupMark record of its own, so the replay
+// merge snapshots counters at exactly the reference's event.
+class TracePreparer {
+ public:
+  TracePreparer(PreparedTrace* out, const CacheConfig& l1_config,
+                double warmup_fraction, uint64_t total_events)
+      : out_(out), l1_(l1_config) {
+    SNIC_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+    out_->l1_ = l1_config;
+    out_->warmup_fraction_ = warmup_fraction;
+    out_->event_count_ = total_events;
+    // The reference crosses warmup at the first 1-based event index >=
+    // warmup_events; as a 0-based index that is warmup_events - 1 (or the
+    // very first event when the window rounds to zero).
+    const auto warmup_events = static_cast<uint64_t>(
+        warmup_fraction * static_cast<double>(total_events));
+    boundary_idx_ = total_events == 0 ? ~uint64_t{0}
+                    : warmup_events == 0 ? 0
+                                         : warmup_events - 1;
+  }
+
+  void Consume(const TraceEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      ConsumeOne(ev[i]);
+    }
+  }
+
+  void Finish() {
+    out_->tail_instr_ = d_instr_;
+    out_->tail_mem_ = d_mem_;
+    out_->tail_uncached_ = d_uncached_;
+    out_->l1_hits_ = l1_.stats().hits;
+    out_->l1_misses_ = l1_.stats().misses;
+    out_->l1_evictions_ = l1_.stats().evictions;
+  }
+
+ private:
+  void ConsumeOne(const TraceEvent& ev) {
+    const bool boundary = idx_ == boundary_idx_;
+    ++idx_;
+    switch (ev.type) {
+      case AccessType::kUncachedRead:
+        // Fixed-latency DMA-path read: local. Becomes a marker only when it
+        // is the warmup-boundary event.
+        if (boundary) {
+          Emit(0, ev.compute_instructions, PreparedTrace::kWarmupMark,
+               PreparedTrace::kCrossesWarmup |
+                   PreparedTrace::kMarkerUncachedRead);
+        } else {
+          d_instr_ += ev.compute_instructions + uint64_t{1};
+          ++d_uncached_;
+        }
+        return;
+      case AccessType::kUncachedWrite:
+        Emit(0, ev.compute_instructions, PreparedTrace::kUncachedWrite,
+             boundary ? PreparedTrace::kCrossesWarmup : 0);
+        return;
+      default:
+        break;
+    }
+    if (l1_.Access(ev.addr, 0)) {
+      if (boundary) {
+        Emit(0, ev.compute_instructions, PreparedTrace::kWarmupMark,
+             PreparedTrace::kCrossesWarmup | PreparedTrace::kMarkerCountsMem);
+      } else {
+        d_instr_ += ev.compute_instructions + uint64_t{1};
+        ++d_mem_;
+      }
+      return;
+    }
+    Emit(ev.addr, ev.compute_instructions, PreparedTrace::kL1Miss,
+         boundary ? PreparedTrace::kCrossesWarmup : 0);
+  }
+
+  void Emit(uint64_t addr, uint32_t compute, uint8_t kind, uint8_t flags) {
+    // The window counters narrow to u32: a single window with 2^32 hits (or
+    // uncached reads) between two shared-state events is beyond any trace
+    // this engine is asked to replay.
+    SNIC_CHECK(d_mem_ <= UINT32_MAX && d_uncached_ <= UINT32_MAX);
+    out_->events_.push_back(PreparedTrace::GlobalEvent{
+        addr, d_instr_, static_cast<uint32_t>(d_mem_),
+        static_cast<uint32_t>(d_uncached_), compute, kind, flags});
+    d_instr_ = 0;
+    d_mem_ = 0;
+    d_uncached_ = 0;
+  }
+
+  PreparedTrace* out_;
+  Cache l1_;
+  uint64_t idx_ = 0;
+  uint64_t boundary_idx_ = 0;
+  uint64_t d_instr_ = 0;
+  uint64_t d_mem_ = 0;
+  uint64_t d_uncached_ = 0;
+};
+
+PreparedTrace PreparedTrace::Prepare(const InstructionTrace& trace,
+                                     const CacheConfig& l1_config,
+                                     double warmup_fraction) {
+  PreparedTrace out;
+  TracePreparer prep(&out, l1_config, warmup_fraction, trace.size());
+  prep.Consume(trace.events().data(), trace.events().size());
+  prep.Finish();
+  return out;
+}
+
+PreparedTrace PreparedTrace::Prepare(const EncodedTrace& trace,
+                                     const CacheConfig& l1_config,
+                                     double warmup_fraction) {
+  constexpr size_t kDecodeBlock = 512;
+  TraceDecoder decoder(trace);
+  SNIC_CHECK(decoder.ok());
+  PreparedTrace out;
+  TracePreparer prep(&out, l1_config, warmup_fraction,
+                     decoder.event_count());
+  TraceEvent buf[kDecodeBlock];
+  for (;;) {
+    const size_t n = decoder.Fill(buf, kDecodeBlock);
+    SNIC_CHECK(decoder.ok());
+    if (n == 0) {
+      break;
+    }
+    prep.Consume(buf, n);
+  }
+  SNIC_CHECK(decoder.done());
+  prep.Finish();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fast replay engine: merge of prepared global events.
+
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const PreparedTrace*>& traces,
+                    const ReplayObs* obs_hooks) {
+  SNIC_CHECK(!traces.empty());
+  const auto num_cores = static_cast<uint32_t>(traces.size());
+  for (const PreparedTrace* t : traces) {
+    SNIC_CHECK(t != nullptr);
+    // The private-L1 pass is baked in; it is only valid against the same L1.
+    const CacheConfig& a = t->l1_;
+    const CacheConfig& b = config.l1;
+    SNIC_CHECK(a.size_bytes == b.size_bytes &&
+               a.line_bytes == b.line_bytes &&
+               a.associativity == b.associativity &&
+               a.hit_latency_cycles == b.hit_latency_cycles &&
+               a.policy == b.policy && a.num_domains == b.num_domains &&
+               a.pseudo_lru == b.pseudo_lru);
+  }
+
+  // One shared (or partitioned) L2; one bus arbiter. The private L1s were
+  // consumed at prepare time.
   CacheConfig l2_config = config.l2;
   l2_config.num_domains = num_cores;
   Cache l2(l2_config);
-  std::unique_ptr<BusArbiter> bus =
-      MakeArbiter(config.bus_policy, config.bus_transfer_cycles, num_cores,
-                  config.bus_epoch_cycles, config.bus_dead_time_cycles);
+  InlineBus bus(config.bus_policy, config.bus_transfer_cycles, num_cores,
+                config.bus_epoch_cycles, config.bus_dead_time_cycles);
 
   // Observability sinks. Both stay null under SNIC_OBS_DISABLED, so every
   // `if (trace != nullptr)` below is dead code in that build.
@@ -83,18 +480,24 @@ ReplayResult Replay(const MachineConfig& config,
     obs::Labels l2_labels = obs_hooks->labels;
     l2_labels.emplace_back("level", "l2");
     l2.AttachObs(metrics, l2_labels);
+    // Per-core L1 series: the totals were counted at prepare time; create
+    // and bump them in the order a live per-core L1 would have registered
+    // them so merged snapshots stay byte-identical to the reference.
     for (uint32_t c = 0; c < num_cores; ++c) {
       obs::Labels l1_labels = obs_hooks->labels;
       l1_labels.emplace_back("level", "l1");
       l1_labels.emplace_back("core", std::to_string(c));
-      l1s[c].AttachObs(metrics, l1_labels);
+      metrics->GetCounter("sim.cache.hits", l1_labels).Inc(traces[c]->l1_hits_);
+      metrics->GetCounter("sim.cache.misses", l1_labels)
+          .Inc(traces[c]->l1_misses_);
+      metrics->GetCounter("sim.cache.evictions", l1_labels)
+          .Inc(traces[c]->l1_evictions_);
     }
-    bus->AttachObs(metrics, obs_hooks->labels, num_cores);
+    bus.AttachObs(metrics, obs_hooks->labels, num_cores);
   }
   if (trace != nullptr) {
     for (uint32_t c = 0; c < num_cores; ++c) {
-      trace->SetProcessName(trace_pid_base + c,
-                            "core" + std::to_string(c));
+      trace->SetProcessName(trace_pid_base + c, "core" + std::to_string(c));
     }
     trace->SetProcessName(bus_pid, "bus");
     for (uint32_t c = 0; c < num_cores; ++c) {
@@ -103,135 +506,188 @@ ReplayResult Replay(const MachineConfig& config,
   }
 
   struct CoreState {
-    size_t next_event = 0;
+    const PreparedTrace::GlobalEvent* rec = nullptr;
+    const PreparedTrace::GlobalEvent* rec_end = nullptr;
+    // Presented cycle of the next global event's start: the merge key.
+    uint64_t next_key = 0;
     uint64_t cycle = 0;
     uint64_t instructions = 0;
     uint64_t mem_accesses = 0;
     uint64_t l1_misses = 0;
     uint64_t l2_misses = 0;
-    size_t warmup_events = 0;
     // Snapshot taken when the core crosses its warmup boundary.
     uint64_t cycle_at_reset = 0;
     uint64_t instr_at_reset = 0;
     uint64_t mem_at_reset = 0;
     uint64_t l1_miss_at_reset = 0;
     uint64_t l2_miss_at_reset = 0;
-    bool reset_done = false;
   };
+
+  const uint64_t l1_hit_cycles = config.l1.hit_latency_cycles;
+  const uint64_t l2_hit_cycles = config.l2.hit_latency_cycles;
+  const uint64_t transfer_cycles = config.bus_transfer_cycles;
+  const uint64_t dram_cycles = config.dram_latency_cycles;
+  const uint64_t uncached_cycles = transfer_cycles + dram_cycles;
+  // Cycle cost of a local window: every local event costs compute + latency
+  // cycles against compute + 1 instructions, so the window's cycles are
+  // d_instr plus (latency - 1) per hit and per uncached read. Intermediate
+  // terms may wrap when a latency is zero; the true sum always fits u64.
+  auto window_cycles = [&](uint64_t d_instr, uint64_t d_mem,
+                           uint64_t d_uncached) {
+    return d_instr + d_mem * (l1_hit_cycles - 1) +
+           d_uncached * (uncached_cycles - 1);
+  };
+
   std::vector<CoreState> cores(num_cores);
+  uint32_t live = 0;
   for (uint32_t c = 0; c < num_cores; ++c) {
-    cores[c].warmup_events = static_cast<size_t>(
-        warmup_fraction * static_cast<double>(traces[c]->events().size()));
+    cores[c].rec = traces[c]->events_.data();
+    cores[c].rec_end = cores[c].rec + traces[c]->events_.size();
+    if (cores[c].rec != cores[c].rec_end) {
+      ++live;
+      const PreparedTrace::GlobalEvent& r = *cores[c].rec;
+      cores[c].next_key = window_cycles(r.d_instr, r.d_mem, r.d_uncached);
+    }
   }
 
-  // Interleave cores by advancing whichever core is earliest in simulated
-  // time; this keeps bus arrivals near-globally-ordered, which the arbiters
-  // assume.
-  auto all_done = [&] {
-    for (uint32_t c = 0; c < num_cores; ++c) {
-      if (cores[c].next_event < traces[c]->events().size()) {
-        return false;
-      }
-    }
-    return true;
-  };
-
-  bool stats_reset_issued = false;
-  while (!all_done()) {
-    // Pick the live core with the smallest current cycle.
-    uint32_t best = num_cores;
-    for (uint32_t c = 0; c < num_cores; ++c) {
-      if (cores[c].next_event >= traces[c]->events().size()) {
-        continue;
-      }
-      if (best == num_cores || cores[c].cycle < cores[best].cycle) {
-        best = c;
-      }
-    }
-    CoreState& core = cores[best];
-    const TraceEvent& ev = traces[best]->events()[core.next_event];
-    ++core.next_event;
-
-    // Compute portion: one instruction per cycle.
-    core.cycle += ev.compute_instructions;
-    core.instructions += ev.compute_instructions;
-
-    // Memory portion. Addresses are tagged per core so distinct NF arenas
-    // never alias in the shared L2.
-    const uint64_t addr = ev.addr | (static_cast<uint64_t>(best) << 44);
-    uint64_t latency;
-    if (ev.type == AccessType::kUncachedRead) {
-      // Streaming packet-buffer reads ride the VPP/DMA path, which holds a
-      // hardware bandwidth reservation in both configurations (§4.4): fixed
-      // transfer + DRAM cost, no arbitration wait, no cache pollution.
-      latency = config.bus_transfer_cycles + config.dram_latency_cycles;
-    } else if (ev.type == AccessType::kUncachedWrite) {
-      // Core-issued uncached ops (semaphores, device registers) do cross
-      // the arbitrated bus.
-      const uint64_t grant = bus->Grant(core.cycle + 1, best);
-      if (trace != nullptr) {
-        trace->EmitComplete(xfer_id, grant, config.bus_transfer_cycles,
-                            bus_pid, best);
-      }
-      {
-        // Store-queue model: the core retires the store immediately unless
-        // more than kStoreQueueDepth transfers are queued ahead of it.
-        constexpr uint64_t kStoreQueueDepth = 8;
-        const uint64_t backlog = grant - (core.cycle + 1);
-        const uint64_t queue_cap =
-            kStoreQueueDepth * config.bus_transfer_cycles;
-        latency = backlog > queue_cap ? 1 + (backlog - queue_cap) : 1;
-      }
+  uint32_t crossed = 0;
+  while (live > 0) {
+    // Merge scan: the pending global event with the smallest presented start
+    // cycle runs next, lowest core index on ties — the order the reference's
+    // per-event argmin processes these same events in (each event's key is
+    // independent of other cores' progress, so skipping the local events
+    // cannot reorder the shared-state ones). The runner-up stays valid for a
+    // whole batch — other cores' keys cannot move while they are not running.
+    uint32_t best;
+    uint64_t other_min;
+    uint32_t other_idx;
+    if (num_cores == 2 && live == 2) {
+      // The Fig. 5a sweep is entirely two-core mixes; batches average ~3
+      // events there, so the generic scans below would charge every third
+      // event for two core walks. A direct compare replaces both.
+      best = cores[1].next_key < cores[0].next_key ? 1u : 0u;
+      other_idx = 1u - best;
+      other_min = cores[other_idx].next_key;
     } else {
-      ++core.mem_accesses;
-      latency = config.l1.hit_latency_cycles;
-      if (!l1s[best].Access(addr, 0)) {
-        ++core.l1_misses;
-        latency += config.l2.hit_latency_cycles;
-        if (!l2.Access(addr, best)) {
-          ++core.l2_misses;
-          const uint64_t request_time = core.cycle + latency;
-          const uint64_t grant = bus->Grant(request_time, best);
-          latency = (grant - core.cycle) + config.bus_transfer_cycles +
-                    config.dram_latency_cycles;
+      best = num_cores;
+      for (uint32_t c = 0; c < num_cores; ++c) {
+        if (cores[c].rec == cores[c].rec_end) {
+          continue;
+        }
+        if (best == num_cores || cores[c].next_key < cores[best].next_key) {
+          best = c;
+        }
+      }
+      other_min = ~uint64_t{0};
+      other_idx = num_cores;
+      for (uint32_t c = 0; c < num_cores; ++c) {
+        if (c == best || cores[c].rec == cores[c].rec_end) {
+          continue;
+        }
+        if (other_idx == num_cores || cores[c].next_key < other_min) {
+          other_min = cores[c].next_key;
+          other_idx = c;
+        }
+      }
+    }
+
+    CoreState& core = cores[best];
+    // Addresses are tagged per core so distinct NF arenas never alias in
+    // the shared L2 (trace addresses fit in 44 bits).
+    const uint64_t core_tag = static_cast<uint64_t>(best) << 44;
+    for (;;) {
+      const PreparedTrace::GlobalEvent& r = *core.rec;
+      // Replay the local window, then this event's compute phase.
+      uint64_t cycle = core.next_key + r.compute;
+      core.instructions += r.d_instr + r.compute;
+      core.mem_accesses += r.d_mem;
+
+      switch (r.kind) {
+        case PreparedTrace::kL1Miss: {
+          ++core.mem_accesses;
+          ++core.l1_misses;
+          uint64_t latency = l1_hit_cycles + l2_hit_cycles;
+          if (!l2.Access(r.addr | core_tag, best)) {
+            ++core.l2_misses;
+            const uint64_t request_time = cycle + latency;
+            const uint64_t grant = bus.Grant(request_time, best);
+            latency = (grant - cycle) + transfer_cycles + dram_cycles;
+            if (trace != nullptr) {
+              // One span on the core's lane for the whole DRAM round trip
+              // (arbitration wait + transfer + DRAM), one on the bus lane
+              // for the transfer itself.
+              trace->EmitComplete(dram_id, request_time,
+                                  (cycle + latency) - request_time,
+                                  trace_pid_base + best, 0);
+              trace->EmitComplete(xfer_id, grant, config.bus_transfer_cycles,
+                                  bus_pid, best);
+            }
+          }
+          core.cycle = cycle + latency;
+          break;
+        }
+        case PreparedTrace::kUncachedWrite: {
+          // Core-issued uncached ops (semaphores, device registers) cross
+          // the arbitrated bus through the store-queue model.
+          const uint64_t grant = bus.Grant(cycle + 1, best);
           if (trace != nullptr) {
-            // One span on the core's lane for the whole DRAM round trip
-            // (arbitration wait + transfer + DRAM), one on the bus lane for
-            // the transfer itself.
-            trace->EmitComplete(dram_id, request_time,
-                                (core.cycle + latency) - request_time,
-                                trace_pid_base + best, 0);
             trace->EmitComplete(xfer_id, grant, config.bus_transfer_cycles,
                                 bus_pid, best);
           }
+          constexpr uint64_t kStoreQueueDepth = 8;
+          const uint64_t backlog = grant - (cycle + 1);
+          const uint64_t queue_cap = kStoreQueueDepth * transfer_cycles;
+          core.cycle =
+              cycle + (backlog > queue_cap ? 1 + (backlog - queue_cap) : 1);
+          break;
+        }
+        default: {  // kWarmupMark: a locally-satisfied boundary event
+          core.mem_accesses += (r.flags & PreparedTrace::kMarkerCountsMem) ? 1
+                                                                           : 0;
+          core.cycle = cycle + ((r.flags & PreparedTrace::kMarkerUncachedRead)
+                                    ? uncached_cycles
+                                    : l1_hit_cycles);
+          break;
         }
       }
-    }
-    core.cycle += latency;
-    core.instructions += 1;
+      core.instructions += 1;
 
-    // Warmup boundary: snapshot per-core counters; reset shared stats once
-    // every core has crossed (approximates the paper's warm/measure split).
-    if (!core.reset_done && core.next_event >= core.warmup_events) {
-      core.reset_done = true;
-      core.cycle_at_reset = core.cycle;
-      core.instr_at_reset = core.instructions;
-      core.mem_at_reset = core.mem_accesses;
-      core.l1_miss_at_reset = core.l1_misses;
-      core.l2_miss_at_reset = core.l2_misses;
-      if (trace != nullptr) {
-        trace->EmitInstant(warmup_id, core.cycle, trace_pid_base + best, 0);
-      }
-      if (!stats_reset_issued) {
-        bool all_reset = true;
-        for (const CoreState& s : cores) {
-          all_reset &= s.reset_done;
+      // Warmup boundary: snapshot per-core counters; reset shared stats
+      // once every core has crossed (approximates the paper's warm/measure
+      // split).
+      if (r.flags & PreparedTrace::kCrossesWarmup) {
+        core.cycle_at_reset = core.cycle;
+        core.instr_at_reset = core.instructions;
+        core.mem_at_reset = core.mem_accesses;
+        core.l1_miss_at_reset = core.l1_misses;
+        core.l2_miss_at_reset = core.l2_misses;
+        if (trace != nullptr) {
+          trace->EmitInstant(warmup_id, core.cycle, trace_pid_base + best, 0);
         }
-        if (all_reset) {
+        // Cores with empty traces never cross, matching the reference's
+        // all-cores condition (the reset is then never issued).
+        if (++crossed == num_cores) {
           l2.ResetStats();
-          bus->ResetStats();
-          stats_reset_issued = true;
+          bus.ResetStats();
         }
+      }
+
+      if (++core.rec == core.rec_end) {
+        // Local run after the final global event.
+        const PreparedTrace& t = *traces[best];
+        core.cycle +=
+            window_cycles(t.tail_instr_, t.tail_mem_, t.tail_uncached_);
+        core.instructions += t.tail_instr_;
+        core.mem_accesses += t.tail_mem_;
+        --live;
+        break;
+      }
+      const PreparedTrace::GlobalEvent& next = *core.rec;
+      core.next_key = core.cycle +
+                      window_cycles(next.d_instr, next.d_mem, next.d_uncached);
+      if (!(core.next_key < other_min ||
+            (core.next_key == other_min && best < other_idx))) {
+        break;
       }
     }
   }
@@ -248,7 +704,7 @@ ReplayResult Replay(const MachineConfig& config,
     r.l2_misses = s.l2_misses - s.l2_miss_at_reset;
   }
   result.l2_stats = l2.stats();
-  result.bus_stats = bus->stats();
+  result.bus_stats = bus.stats();
 
   // Per-core post-warmup counters: published once at the end of the run, so
   // they cost nothing on the hot path.
@@ -271,12 +727,60 @@ ReplayResult Replay(const MachineConfig& config,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Convenience overloads: prepare, then run the merge.
+
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const InstructionTrace*>& traces,
+                    double warmup_fraction, const ReplayObs* obs_hooks) {
+  std::vector<PreparedTrace> prepared;
+  prepared.reserve(traces.size());
+  for (const InstructionTrace* t : traces) {
+    prepared.push_back(
+        PreparedTrace::Prepare(*t, config.l1, warmup_fraction));
+  }
+  std::vector<const PreparedTrace*> ptrs;
+  ptrs.reserve(prepared.size());
+  for (const PreparedTrace& p : prepared) {
+    ptrs.push_back(&p);
+  }
+  return Replay(config, ptrs, obs_hooks);
+}
+
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<InstructionTrace>& traces,
                     double warmup_fraction, const ReplayObs* obs_hooks) {
   std::vector<const InstructionTrace*> ptrs;
   ptrs.reserve(traces.size());
   for (const InstructionTrace& t : traces) {
+    ptrs.push_back(&t);
+  }
+  return Replay(config, ptrs, warmup_fraction, obs_hooks);
+}
+
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const EncodedTrace*>& traces,
+                    double warmup_fraction, const ReplayObs* obs_hooks) {
+  std::vector<PreparedTrace> prepared;
+  prepared.reserve(traces.size());
+  for (const EncodedTrace* t : traces) {
+    prepared.push_back(
+        PreparedTrace::Prepare(*t, config.l1, warmup_fraction));
+  }
+  std::vector<const PreparedTrace*> ptrs;
+  ptrs.reserve(prepared.size());
+  for (const PreparedTrace& p : prepared) {
+    ptrs.push_back(&p);
+  }
+  return Replay(config, ptrs, obs_hooks);
+}
+
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<EncodedTrace>& traces,
+                    double warmup_fraction, const ReplayObs* obs_hooks) {
+  std::vector<const EncodedTrace*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const EncodedTrace& t : traces) {
     ptrs.push_back(&t);
   }
   return Replay(config, ptrs, warmup_fraction, obs_hooks);

@@ -12,6 +12,34 @@
 //   S-NIC:    statically partitioned L2, temporal-partitioned bus
 // IPC degradation = 1 - IPC_snic / IPC_baseline, per NF, over all possible
 // colocation mixes (§5.3).
+//
+// This is the fast engine. It splits every trace into a *local* part and a
+// *global* part. A core's private L1 is untouched by other cores, so its
+// hit/miss pattern — and the latency of every hit and uncached read — is a
+// pure function of the core's own access sequence, independent of timing.
+// PreparedTrace runs that private pass once (through the SoA sim::Cache and
+// the streaming RLE/delta TraceDecoder) and boils the trace down to its
+// shared-state events only: L1 misses, uncached writes, and the warmup
+// boundary. Replaying a mix then merges just those events — ~a third of the
+// trace on the Fig. 5 workloads — against the shared L2, the devirtualized
+// sim::InlineBus, and the observability sinks. A prepared trace is reusable
+// across mixes, core slots, and machine configs that share its L1 shape,
+// which is what makes the Fig. 5 sweeps (each NF trace is replayed dozens
+// of times) another order cheaper.
+//
+// The merge order is provably the reference's: ReferenceReplay picks the
+// live core with the smallest current cycle (lowest index on ties), which
+// processes events in ascending (start-cycle, core-index) order — a key each
+// event carries independently of any other core's progress. So replaying
+// only the global events, merged by that same key, touches the L2 / bus /
+// trace ring in exactly the reference's sequence. Results — every counter,
+// every metric increment, the order of every trace-ring record — are byte-
+// identical to the scalar sim::ReferenceReplay oracle (src/sim/reference.h,
+// held by tests/sim_differential_test.cc). See docs/PERFORMANCE.md.
+//
+// Address contract (both engines): trace addresses must fit in 44 bits —
+// the replay tags bit 44+ with the core index so distinct NF arenas never
+// alias in the shared L2.
 
 #ifndef SNIC_SIM_REPLAY_H_
 #define SNIC_SIM_REPLAY_H_
@@ -93,6 +121,92 @@ struct ReplayObs {
   uint32_t trace_pid_base = 0;
 };
 
+class PreparedTrace;
+class TracePreparer;
+
+// A trace with its private-L1 pass precomputed against one L1 configuration
+// and one warmup fraction. Holds only the shared-state ("global") events —
+// L1 misses, uncached writes, the warmup-boundary marker — each carrying the
+// local cycle/instruction/access deltas accrued since the previous one, plus
+// the residue after the last and the full-run L1 totals. Prepare once, then
+// replay under any MachineConfig whose `l1` matches (the S-NIC experiments
+// vary the L2/bus between configurations, never the private L1).
+class PreparedTrace {
+ public:
+  PreparedTrace() = default;
+
+  // The encoded overload streams through the block decoder without
+  // materializing the events; the bytes must be well-formed (malformed input
+  // aborts via SNIC_CHECK — untrusted bytes belong in TraceDecoder).
+  static PreparedTrace Prepare(const InstructionTrace& trace,
+                               const CacheConfig& l1_config,
+                               double warmup_fraction);
+  static PreparedTrace Prepare(const EncodedTrace& trace,
+                               const CacheConfig& l1_config,
+                               double warmup_fraction);
+
+  uint64_t event_count() const { return event_count_; }
+  // Shared-state events the replay merge actually walks.
+  size_t global_event_count() const { return events_.size(); }
+  const CacheConfig& l1_config() const { return l1_; }
+  double warmup_fraction() const { return warmup_fraction_; }
+
+ private:
+  friend class TracePreparer;
+  friend ReplayResult Replay(const MachineConfig& config,
+                             const std::vector<const PreparedTrace*>& traces,
+                             const ReplayObs* obs_hooks);
+
+  enum Kind : uint8_t {
+    kL1Miss = 0,         // L2 probe, maybe bus + DRAM
+    kUncachedWrite = 1,  // bus grant through the store queue
+    kWarmupMark = 2,     // locally-satisfied boundary event (stats snapshot)
+  };
+  enum Flags : uint8_t {
+    kCrossesWarmup = 1,       // snapshot stats after this event completes
+    kMarkerUncachedRead = 2,  // marker's own latency is the uncached-read cost
+    kMarkerCountsMem = 4,     // marker's own event was a cacheable access
+  };
+
+  // One global event. The d_* fields describe the run of local events since
+  // the previous global event's completion: their cycle cost is derived at
+  // replay time as d_instr + d_mem*(l1_hit-1) + d_uncached*(uncached-1)
+  // (each local event costs compute + latency cycles against compute + 1
+  // instructions; only hits and uncached reads are local). The arithmetic
+  // wraps intermediate terms but the true sum always fits u64.
+  struct GlobalEvent {
+    uint64_t addr = 0;      // miss address (untagged); unused for others
+    uint64_t d_instr = 0;   // instructions retired by the local run
+    uint32_t d_mem = 0;     // cacheable accesses (all L1 hits) in the run
+    uint32_t d_uncached = 0;  // uncached reads in the run
+    uint32_t compute = 0;   // this event's own compute instructions
+    uint8_t kind = 0;       // Kind
+    uint8_t flags = 0;      // Flags
+  };
+
+  std::vector<GlobalEvent> events_;
+  CacheConfig l1_;
+  double warmup_fraction_ = 0.0;
+  uint64_t event_count_ = 0;
+  // Local run after the final global event.
+  uint64_t tail_instr_ = 0;
+  uint64_t tail_mem_ = 0;
+  uint64_t tail_uncached_ = 0;
+  // Full-run private-L1 totals (sim.cache.* series for level=l1).
+  uint64_t l1_hits_ = 0;
+  uint64_t l1_misses_ = 0;
+  uint64_t l1_evictions_ = 0;
+};
+
+// Replays one prepared trace per core: the fastest path, and the form every
+// other overload funnels into. Each prepared trace's L1 configuration must
+// match `config.l1` (checked); the warmup boundary is baked in at prepare
+// time. Reusing prepared traces across replays amortizes the private-L1
+// pass across a whole sweep.
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const PreparedTrace*>& traces,
+                    const ReplayObs* obs_hooks = nullptr);
+
 // Replays one trace per core. `warmup_fraction` of each trace runs before
 // statistics reset (the paper warms 1 B instructions before measuring 100 M).
 ReplayResult Replay(const MachineConfig& config,
@@ -103,6 +217,22 @@ ReplayResult Replay(const MachineConfig& config,
 // Convenience overload owning copies.
 ReplayResult Replay(const MachineConfig& config,
                     const std::vector<InstructionTrace>& traces,
+                    double warmup_fraction = 0.1,
+                    const ReplayObs* obs_hooks = nullptr);
+
+// Streaming overloads: replay directly from encoded traces through the
+// block decoder, never materializing the event vectors. Results are
+// identical to decoding first and replaying the materialized form. The
+// encoded bytes must be well-formed (i.e. produced by EncodedTrace::Encode
+// or validated beforehand); malformed input aborts via SNIC_CHECK —
+// untrusted bytes belong in TraceDecoder, which reports errors as values.
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<const EncodedTrace*>& traces,
+                    double warmup_fraction = 0.1,
+                    const ReplayObs* obs_hooks = nullptr);
+
+ReplayResult Replay(const MachineConfig& config,
+                    const std::vector<EncodedTrace>& traces,
                     double warmup_fraction = 0.1,
                     const ReplayObs* obs_hooks = nullptr);
 

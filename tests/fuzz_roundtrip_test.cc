@@ -1,12 +1,14 @@
-// Randomized round-trip and mutation fuzzing for the two wire formats that
-// cross trust boundaries: Ethernet/IPv4 frames (net::Parser) and attestation
-// quotes (core::attestation_wire).
+// Randomized round-trip and mutation fuzzing for the wire formats that
+// cross trust boundaries: Ethernet/IPv4 frames (net::Parser), attestation
+// quotes (core::attestation_wire), and the SNTC trace codec
+// (sim::TraceDecoder, docs/PERFORMANCE.md).
 //
 // Invariants under fuzz: parsing arbitrary bytes never crashes; a frame
 // built by PacketBuilder parses back to exactly the inputs and reserializes
 // byte-identically; ParseStrict never accepts a frame whose IPv4 header
 // checksum is wrong; a mutated quote either fails to deserialize or fails
-// verification (unless the mutation canonicalizes away byte-identically).
+// verification (unless the mutation canonicalizes away byte-identically);
+// the trace decoder decodes or rejects every input deterministically.
 
 #include <algorithm>
 #include <cstdint>
@@ -22,6 +24,7 @@
 #include "src/mgmt/nic_os.h"
 #include "src/mgmt/verifier.h"
 #include "src/net/parser.h"
+#include "src/sim/mem_access.h"
 
 namespace snic {
 namespace {
@@ -444,6 +447,279 @@ TEST(ConfigFuzzTest, MeasurementMismatchIsWhatAttestationCatches) {
     EXPECT_NE(measured.value(),
               mgmt::ExpectedMeasurement(tampered, device.config().page_bytes))
         << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SNTC trace codec (sim::EncodedTrace / sim::TraceDecoder). The decoder
+// consumes replay traces that may come from disk, so it must decode-or-
+// reject every byte string deterministically and never crash; the encoder's
+// output must round-trip element for element.
+
+using sim::AccessType;
+using sim::EncodedTrace;
+using sim::InstructionTrace;
+using sim::TraceDecoder;
+using sim::TraceEvent;
+
+// Drains an arbitrary byte string through the block decoder. `block` sizes
+// below a run length force the run carry-over path across Fill calls.
+struct DecodeOutcome {
+  bool ok = false;
+  std::string error;
+  std::vector<TraceEvent> events;
+
+  bool operator==(const DecodeOutcome& o) const {
+    if (ok != o.ok || error != o.error || events.size() != o.events.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].addr != o.events[i].addr ||
+          events[i].type != o.events[i].type ||
+          events[i].compute_instructions !=
+              o.events[i].compute_instructions) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+DecodeOutcome DecodeBytes(const std::vector<uint8_t>& bytes, size_t block) {
+  DecodeOutcome out;
+  TraceDecoder d(bytes.data(), bytes.size());
+  std::vector<TraceEvent> buf(block);
+  for (;;) {
+    const size_t n = d.Fill(buf.data(), block);
+    out.events.insert(out.events.end(), buf.begin(), buf.begin() + n);
+    if (n == 0) {
+      break;
+    }
+  }
+  out.ok = d.ok() && d.done();
+  out.error = d.ok() ? std::string() : d.status().message();
+  return out;
+}
+
+void AppendVarint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+std::vector<uint8_t> CodecHeader(uint64_t event_count) {
+  std::vector<uint8_t> b = {'S', 'N', 'T', 'C', 1, 0, 0, 0};
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<uint8_t>(event_count >> (8 * i)));
+  }
+  return b;
+}
+
+TEST(TraceCodecFuzzTest, RunsStraddlingFillBlocksRoundTrip) {
+  // Runs sized around the 512-event Fill block the replay engine uses, plus
+  // zero-delta runs (spinning on one address) and singleton events. Every
+  // block size must reproduce the recording exactly, including blocks that
+  // chop runs mid-way.
+  InstructionTrace trace;
+  const size_t runs[] = {1, 2, 511, 512, 513, 1025, 3000};
+  uint64_t addr = 0x20000;
+  for (size_t r = 0; r < std::size(runs); ++r) {
+    const uint64_t delta = (r % 3 == 0) ? 0 : 64 * (r % 5);
+    for (size_t i = 0; i < runs[r]; ++i) {
+      addr = (addr + delta) & ((uint64_t{1} << 44) - 1);
+      trace.Record(addr, static_cast<AccessType>(r % 4),
+                   static_cast<uint32_t>(r * 7));
+    }
+  }
+  const EncodedTrace encoded = EncodedTrace::Encode(trace);
+  for (size_t block : {1u, 7u, 512u, 4096u}) {
+    const DecodeOutcome out = DecodeBytes(encoded.bytes(), block);
+    ASSERT_TRUE(out.ok) << "block " << block << ": " << out.error;
+    ASSERT_EQ(out.events.size(), trace.size()) << "block " << block;
+    for (size_t i = 0; i < out.events.size(); ++i) {
+      ASSERT_EQ(out.events[i].addr, trace.events()[i].addr) << i;
+      ASSERT_EQ(out.events[i].type, trace.events()[i].type) << i;
+      ASSERT_EQ(out.events[i].compute_instructions,
+                trace.events()[i].compute_instructions)
+          << i;
+    }
+  }
+}
+
+TEST(TraceCodecFuzzTest, EveryTruncationIsRejected) {
+  Rng rng(0xc0dec);
+  InstructionTrace trace;
+  for (int i = 0; i < 200; ++i) {
+    trace.Record(rng.NextU64() & ((uint64_t{1} << 44) - 1),
+                 static_cast<AccessType>(rng.NextBounded(4)),
+                 static_cast<uint32_t>(rng.NextBounded(100)));
+  }
+  const EncodedTrace encoded = EncodedTrace::Encode(trace);
+  const std::vector<uint8_t>& bytes = encoded.bytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    const DecodeOutcome out = DecodeBytes(prefix, 512);
+    EXPECT_FALSE(out.ok) << "prefix of " << len << " bytes accepted";
+  }
+  EXPECT_TRUE(DecodeBytes(bytes, 512).ok);
+}
+
+TEST(TraceCodecFuzzTest, MutantsDecodeOrRejectDeterministicallyAndNeverCrash) {
+  Rng rng(0xf422);
+  InstructionTrace trace;
+  uint64_t addr = 0;
+  for (int i = 0; i < 500; ++i) {
+    addr += (rng.NextBounded(2) != 0) ? 64 : rng.NextU64() % (1 << 20);
+    trace.Record(addr & ((uint64_t{1} << 44) - 1),
+                 static_cast<AccessType>(rng.NextBounded(4)),
+                 static_cast<uint32_t>(rng.NextBounded(64)));
+  }
+  const std::vector<uint8_t> valid = EncodedTrace::Encode(trace).bytes();
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<uint8_t> mutant = valid;
+    switch (rng.NextBounded(4)) {
+      case 0:  // flip one byte
+        mutant[rng.NextBounded(mutant.size())] ^=
+            static_cast<uint8_t>(1 + rng.NextBounded(255));
+        break;
+      case 1:  // delete a span
+        if (mutant.size() > 1) {
+          const size_t at = rng.NextBounded(mutant.size() - 1);
+          const size_t n = 1 + rng.NextBounded(
+                                   std::min<size_t>(16, mutant.size() - at));
+          mutant.erase(mutant.begin() + at, mutant.begin() + at + n);
+        }
+        break;
+      case 2: {  // insert random bytes
+        const size_t at = rng.NextBounded(mutant.size() + 1);
+        uint8_t noise[8];
+        const size_t n = 1 + rng.NextBounded(8);
+        for (size_t i = 0; i < n; ++i) {
+          noise[i] = static_cast<uint8_t>(rng.NextBounded(256));
+        }
+        mutant.insert(mutant.begin() + at, noise, noise + n);
+        break;
+      }
+      default:  // truncate + random tail (worst case for varint endings)
+        mutant.resize(rng.NextBounded(mutant.size() + 1));
+        for (size_t i = 0; i < 4; ++i) {
+          mutant.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+        }
+        break;
+    }
+    // Decode twice, different block sizes: the outcome (accept + events, or
+    // reject + reason) must be identical — no hidden state, no UB.
+    const DecodeOutcome a = DecodeBytes(mutant, 512);
+    const DecodeOutcome b = DecodeBytes(mutant, 3);
+    EXPECT_TRUE(a == b) << "iter " << iter;
+    if (a.ok) {
+      // Whatever decoded must honour the header's event count.
+      TraceDecoder d(mutant.data(), mutant.size());
+      EXPECT_EQ(a.events.size(), d.event_count()) << "iter " << iter;
+    }
+  }
+}
+
+TEST(TraceCodecFuzzTest, MalformedConstructsAreRejected) {
+  auto reject = [](std::vector<uint8_t> bytes, const char* what) {
+    const DecodeOutcome out = DecodeBytes(bytes, 512);
+    EXPECT_FALSE(out.ok) << what;
+  };
+
+  reject({}, "empty input");
+  reject({'S', 'N', 'T'}, "truncated header");
+  {
+    auto b = CodecHeader(1);
+    b[0] = 'X';
+    b.push_back(0x00);
+    AppendVarint(b, 0);
+    reject(b, "bad magic");
+  }
+  {
+    auto b = CodecHeader(1);
+    b[4] = 2;
+    b.push_back(0x00);
+    AppendVarint(b, 0);
+    reject(b, "unsupported version");
+  }
+  {
+    auto b = CodecHeader(1);
+    b[6] = 0xAA;
+    b.push_back(0x00);
+    AppendVarint(b, 0);
+    reject(b, "nonzero reserved header bytes");
+  }
+  {
+    auto b = CodecHeader(1);
+    b.push_back(0x10);  // reserved token bit
+    AppendVarint(b, 0);
+    reject(b, "reserved token bits");
+  }
+  for (uint64_t run : {uint64_t{0}, uint64_t{1}}) {
+    auto b = CodecHeader(4);
+    b.push_back(0x04);  // run flag, type kRead
+    AppendVarint(b, run);
+    AppendVarint(b, 0);
+    reject(b, "run shorter than 2");
+  }
+  {
+    auto b = CodecHeader(2);  // run of 3 > 2 remaining events
+    b.push_back(0x04);
+    AppendVarint(b, 3);
+    AppendVarint(b, 0);
+    reject(b, "run exceeds remaining events");
+  }
+  {
+    auto b = CodecHeader(1);
+    b.push_back(0x00);
+    b.insert(b.end(), 9, 0x80);  // 10-byte varint whose 10th byte...
+    b.push_back(0x02);           // ...contributes more than bit 63
+    reject(b, "varint overflows 64 bits");
+  }
+  {
+    auto b = CodecHeader(1);
+    b.push_back(0x00);
+    b.insert(b.end(), 12, 0x80);  // continuation bits forever
+    reject(b, "varint longer than 10 bytes");
+  }
+  {
+    auto b = CodecHeader(1);
+    b.push_back(0x00);
+    AppendVarint(b, 0);
+    b.push_back(0x00);  // one byte past the final event
+    reject(b, "trailing bytes after final event");
+  }
+
+  // The valid boundary cases of the same constructs must still decode.
+  {
+    auto b = CodecHeader(0);
+    const DecodeOutcome out = DecodeBytes(b, 512);
+    EXPECT_TRUE(out.ok) << "empty trace: " << out.error;
+    EXPECT_TRUE(out.events.empty());
+    b.push_back(0x00);
+    reject(b, "trailing byte after empty trace");
+  }
+  {
+    auto b = CodecHeader(2);  // minimal legal run: length exactly 2
+    b.push_back(0x04);
+    AppendVarint(b, 2);
+    AppendVarint(b, 2);  // zigzag(+1)
+    const DecodeOutcome out = DecodeBytes(b, 512);
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_EQ(out.events.size(), 2u);
+    EXPECT_EQ(out.events[0].addr, 1u);
+    EXPECT_EQ(out.events[1].addr, 2u);
+  }
+  {
+    auto b = CodecHeader(1);  // exactly-64-bit varint: 10th byte == 1
+    b.push_back(0x00);
+    b.insert(b.end(), 9, 0x80);
+    b.push_back(0x01);  // zigzag(1<<63 ... ) decodes to some addr; must parse
+    const DecodeOutcome out = DecodeBytes(b, 512);
+    EXPECT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.events.size(), 1u);
   }
 }
 

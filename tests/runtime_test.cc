@@ -212,16 +212,23 @@ TEST(Fig5SweepTest, SerialAndParallelRunsAreIdentical) {
     }
   }
 
+  // The sweep drivers replay from the encoded-then-prepared form
+  // (bench/fig5_common.h).
+  const auto serial_encoded =
+      bench::PrepareNfTraces(bench::EncodeNfTraces(serial_traces));
+  const auto parallel_encoded =
+      bench::PrepareNfTraces(bench::EncodeNfTraces(parallel_traces));
+
   obs::MetricRegistry serial_metrics;
   obs::TraceRing serial_trace;
   const auto serial_results = bench::RunDegradationSweep(
-      nullptr, serial_traces, jobs, &serial_metrics, &serial_trace,
+      nullptr, serial_encoded, jobs, &serial_metrics, &serial_trace,
       bench::SweepTrace::kAllJobs);
 
   obs::MetricRegistry parallel_metrics;
   obs::TraceRing parallel_trace;
   const auto parallel_results = bench::RunDegradationSweep(
-      &pool, parallel_traces, jobs, &parallel_metrics, &parallel_trace,
+      &pool, parallel_encoded, jobs, &parallel_metrics, &parallel_trace,
       bench::SweepTrace::kAllJobs);
 
   ASSERT_EQ(serial_results.size(), parallel_results.size());

@@ -149,5 +149,76 @@ TEST(CacheTest, EvictionCounted) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+// Full-way conflict inside one partition: a domain that owns 2 of 4 ways
+// cycling 3 conflicting lines must evict on every access after warmup, and
+// every eviction must land inside its own window (the other domain's
+// resident line survives the whole storm).
+TEST(CacheTest, ConflictStormStaysInsidePartitionWindow) {
+  Cache cache(SmallConfig(PartitionPolicy::kStaticEqual, 2));
+  const uint64_t stride = static_cast<uint64_t>(cache.num_sets()) * 64;
+  cache.Access(7 * stride, 1);  // domain 1 parks a line in the same set
+  cache.ResetStats();
+  for (uint64_t round = 0; round < 12; ++round) {
+    // 3 tags > 2 ways: strict LRU turns the cycle into an all-miss loop.
+    cache.Access((round % 3) * stride, 0);
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 12u);
+  EXPECT_EQ(cache.stats().evictions, 10u);  // first 2 fills take empty ways
+  EXPECT_TRUE(cache.Access(7 * stride, 1));  // domain 1 was never touched
+}
+
+// The way window boundary: with 3 domains over 4 ways the windows are
+// [0,2), [2,3), [3,4). The single-way domains behave as direct-mapped
+// caches — two alternating tags never stick — while the 2-way domain holds
+// both. Guards the begin/end offsets the masked scans and MissFill use.
+TEST(CacheTest, PartitionBoundaryWindowsAreExact) {
+  Cache cache(SmallConfig(PartitionPolicy::kStaticEqual, 3));
+  const uint64_t stride = static_cast<uint64_t>(cache.num_sets()) * 64;
+  for (int round = 0; round < 4; ++round) {
+    cache.Access(0 * stride, 1);
+    cache.Access(1 * stride, 1);  // evicts the other: window is one way
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.ResetStats();
+  for (int round = 0; round < 4; ++round) {
+    cache.Access(0 * stride, 0);
+    cache.Access(1 * stride, 0);  // 2-way window: both fit
+  }
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 6u);
+  // Domain 2's single way at the top boundary is still empty: filling it
+  // must evict nothing from domains 0/1.
+  cache.ResetStats();
+  cache.Access(5 * stride, 2);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_TRUE(cache.Access(0 * stride, 0));
+  EXPECT_TRUE(cache.Access(1 * stride, 0));
+}
+
+// Associativity 1: every set is a single way, so the victim scan degenerates
+// to "the one way" and every conflicting access evicts. The mask scans must
+// handle n == 1 (a 1-bit mask) without touching neighbouring ways.
+TEST(CacheTest, SingleWaySetsBehaveDirectMapped) {
+  CacheConfig config;
+  config.size_bytes = 4 * 1024;
+  config.line_bytes = 64;
+  config.associativity = 1;
+  config.policy = PartitionPolicy::kShared;
+  config.num_domains = 1;
+  Cache cache(config);
+  EXPECT_EQ(cache.num_sets(), 64u);
+  const uint64_t stride = static_cast<uint64_t>(cache.num_sets()) * 64;
+  EXPECT_FALSE(cache.Access(0, 0));
+  EXPECT_TRUE(cache.Access(0, 0));
+  EXPECT_FALSE(cache.Access(stride, 0));   // evicts tag 0
+  EXPECT_FALSE(cache.Access(0, 0));        // evicts tag 1
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Neighbouring sets are independent single-line caches.
+  EXPECT_FALSE(cache.Access(64, 0));
+  EXPECT_TRUE(cache.Access(64, 0));
+  EXPECT_TRUE(cache.Access(0, 0));
+}
+
 }  // namespace
 }  // namespace snic::sim
