@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/soak_common.h"
 #include "src/accel/accelerator.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -51,21 +52,8 @@ constexpr uint64_t kCyclesPerStep = 100;
 // polls its pipeline (a hung function, as the watchdog sees it).
 constexpr std::string_view kHangSite = "chaos.hang";
 
-struct Fnv {
-  uint64_t h = 1469598103934665603ull;
-  void Mix(const uint8_t* p, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      h = (h ^ p[i]) * 1099511628211ull;
-    }
-  }
-  void Mix64(uint64_t v) {
-    uint8_t b[8];
-    for (int i = 0; i < 8; ++i) {
-      b[i] = static_cast<uint8_t>(v >> (8 * i));
-    }
-    Mix(b, 8);
-  }
-};
+using bench::AppendF;
+using bench::Fnv;
 
 struct ScenarioResult {
   std::string b_report;   // the invariant: identical across scenarios
@@ -357,89 +345,46 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
   }
 
   // ---- B's invariant report ----------------------------------------------
-  char line[256];
   std::string& report = result.b_report;
   const core::VirtualPacketPipeline* b_vpp = device.Vpp(b_id);
   SNIC_CHECK(b_vpp != nullptr);
   const core::VppStats& bs = b_vpp->stats();
-  Fnv b_trace_digest;
-  uint64_t b_trace_events = 0;
-  for (const obs::TraceEvent& event : result.trace.events()) {
-    if (event.pid != static_cast<uint32_t>(b_id)) {
-      continue;
-    }
-    b_trace_digest.Mix(reinterpret_cast<const uint8_t*>(event.name.data()),
-                       event.name.size());
-    b_trace_digest.Mix64(event.ts);
-    b_trace_digest.Mix64(event.dur);
-    ++b_trace_events;
-  }
-  std::snprintf(line, sizeof(line), "b.nf_id: %" PRIu64 "\n", b_id);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.rx: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_rx.value(), b_rx_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_wire_packets, b_wire_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.vpp: rx=%" PRIu64 " drop_full=%" PRIu64
-                " drop_fault=%" PRIu64 " corrupt_fault=%" PRIu64
-                " tx=%" PRIu64 " rx_bytes=%" PRIu64 " tx_bytes=%" PRIu64 "\n",
-                bs.rx_packets, bs.rx_dropped_full, bs.rx_dropped_fault,
-                bs.rx_corrupt_fault, bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.vpp.overload: drop_admission=%" PRIu64
-                " drop_early=%" PRIu64 " shed_rx=%" PRIu64 " shed_tx=%" PRIu64
-                " shed_bytes=%" PRIu64 " peak_frames=%" PRIu64
-                " peak_bytes=%" PRIu64 "\n",
-                bs.rx_dropped_admission, bs.rx_dropped_early,
-                bs.rx_shed_deadline, bs.tx_shed_deadline, bs.shed_bytes,
-                bs.rx_peak_frames, bs.rx_peak_bytes);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_bus_grants, b_bus_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.metrics: tx=%" PRIu64 "\n", b_tx.value());
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_trace_events, b_trace_digest.h);
-  report += line;
-  // B's binary span stream: same invariant, fixed-size records. Names are
-  // resolved to strings so the digest is independent of interning order.
-  Fnv b_ring_digest;
-  uint64_t b_ring_records = 0;
-  for (size_t i = 0; i < result.ring.size(); ++i) {
-    const obs::TraceRecord& r = result.ring.record(i);
-    if (r.pid != static_cast<uint32_t>(b_id)) {
-      continue;
-    }
-    const std::string_view name = result.ring.NameOf(r.name);
-    b_ring_digest.Mix(reinterpret_cast<const uint8_t*>(name.data()),
-                      name.size());
-    b_ring_digest.Mix64(r.ts);
-    b_ring_digest.Mix64(r.span);
-    b_ring_digest.Mix64(r.arg);
-    b_ring_digest.Mix64(r.tid);
-    ++b_ring_records;
-  }
-  std::snprintf(line, sizeof(line),
-                "b.ring: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_ring_records, b_ring_digest.h);
-  report += line;
+  const bench::LaneDigest b_trace =
+      bench::DigestTraceLane(result.trace, static_cast<uint32_t>(b_id));
+  AppendF(report, "b.nf_id: %" PRIu64 "\n", b_id);
+  AppendF(report, "b.rx: %" PRIu64 " digest: %016" PRIx64 "\n", b_rx.value(),
+          b_rx_digest.h);
+  AppendF(report, "b.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
+          b_wire_packets, b_wire_digest.h);
+  AppendF(report,
+          "b.vpp: rx=%" PRIu64 " drop_full=%" PRIu64 " drop_fault=%" PRIu64
+          " corrupt_fault=%" PRIu64 " tx=%" PRIu64 " rx_bytes=%" PRIu64
+          " tx_bytes=%" PRIu64 "\n",
+          bs.rx_packets, bs.rx_dropped_full, bs.rx_dropped_fault,
+          bs.rx_corrupt_fault, bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
+  AppendF(report,
+          "b.vpp.overload: drop_admission=%" PRIu64 " drop_early=%" PRIu64
+          " shed_rx=%" PRIu64 " shed_tx=%" PRIu64 " shed_bytes=%" PRIu64
+          " peak_frames=%" PRIu64 " peak_bytes=%" PRIu64 "\n",
+          bs.rx_dropped_admission, bs.rx_dropped_early, bs.rx_shed_deadline,
+          bs.tx_shed_deadline, bs.shed_bytes, bs.rx_peak_frames,
+          bs.rx_peak_bytes);
+  AppendF(report, "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n", b_bus_grants,
+          b_bus_digest.h);
+  AppendF(report, "b.metrics: tx=%" PRIu64 "\n", b_tx.value());
+  AppendF(report, "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
+          b_trace.count, b_trace.digest);
+  // B's binary span stream: same invariant, fixed-size records.
+  const bench::LaneDigest b_ring =
+      bench::DigestRingLane(result.ring, static_cast<uint32_t>(b_id));
+  AppendF(report, "b.ring: %" PRIu64 " digest: %016" PRIx64 "\n", b_ring.count,
+          b_ring.digest);
 
   // ---- Scenario narrative ------------------------------------------------
   const mgmt::SupervisorStats& stats = supervisor.stats();
   std::string& summary = result.summary;
-  std::snprintf(line, sizeof(line), "  faults injected:   %" PRIu64 "\n",
-                plane.injected_total());
-  summary += line;
+  AppendF(summary, "  faults injected:   %" PRIu64 "\n",
+          plane.injected_total());
   for (std::string_view site :
        {fault::sites::kVppRxDrop, fault::sites::kVppRxCorrupt,
         fault::sites::kVppRxAdmissionReject, fault::sites::kAccelThreadAccess,
@@ -447,34 +392,26 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
         fault::sites::kDmaHostToNic, fault::sites::kBusTimeout, kHangSite}) {
     const uint64_t n = plane.InjectedAt(site);
     if (n > 0) {
-      std::snprintf(line, sizeof(line), "    %-22s %" PRIu64 "\n",
-                    std::string(site).c_str(), n);
-      summary += line;
+      AppendF(summary, "    %-22s %" PRIu64 "\n", std::string(site).c_str(),
+              n);
     }
   }
-  std::snprintf(line, sizeof(line),
-                "  supervisor: crashes=%" PRIu64 " watchdog=%" PRIu64
-                " restarts=%" PRIu64 " failed_restarts=%" PRIu64
-                " quarantines=%" PRIu64 "\n",
-                stats.crashes, stats.watchdog_timeouts, stats.restarts,
-                stats.failed_restarts, stats.quarantines);
-  summary += line;
-  std::snprintf(line, sizeof(line),
-                "  supervisor: downgrades=%" PRIu64 " reattestations=%" PRIu64
-                "\n",
-                stats.accel_downgrades, stats.reattestations);
-  summary += line;
-  std::snprintf(
-      line, sizeof(line), "  victim-a: health=%s degraded=%d crashes=%" PRIu64
-      "\n",
+  AppendF(summary,
+          "  supervisor: crashes=%" PRIu64 " watchdog=%" PRIu64
+          " restarts=%" PRIu64 " failed_restarts=%" PRIu64
+          " quarantines=%" PRIu64 "\n",
+          stats.crashes, stats.watchdog_timeouts, stats.restarts,
+          stats.failed_restarts, stats.quarantines);
+  AppendF(summary,
+          "  supervisor: downgrades=%" PRIu64 " reattestations=%" PRIu64 "\n",
+          stats.accel_downgrades, stats.reattestations);
+  AppendF(
+      summary, "  victim-a: health=%s degraded=%d crashes=%" PRIu64 "\n",
       std::string(mgmt::NfHealthName(supervisor.HealthOf("victim-a"))).c_str(),
       supervisor.IsDegraded("victim-a") ? 1 : 0, a_crashes_seen);
-  summary += line;
-  std::snprintf(line, sizeof(line),
-                "  rejected: wire=%" PRIu64 " a_tx=%" PRIu64 " c_tx=%" PRIu64
-                "\n",
-                wire_rejected, a_tx_rejected, c_tx_rejected);
-  summary += line;
+  AppendF(summary,
+          "  rejected: wire=%" PRIu64 " a_tx=%" PRIu64 " c_tx=%" PRIu64 "\n",
+          wire_rejected, a_tx_rejected, c_tx_rejected);
   result.faults_injected = plane.injected_total();
   result.supervisor_stats = stats;
   return result;
@@ -486,14 +423,9 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
 int main(int argc, char** argv) {
   using namespace snic;
 
-  const bool quick = bench::QuickMode(argc, argv);
-  const size_t jobs = bench::JobsFlag(argc, argv);
-  const std::string seed_flag = bench::FlagValue(argc, argv, "--seed");
-  const uint64_t seed =
-      seed_flag.empty() ? 0xc4a05ull
-                        : std::strtoull(seed_flag.c_str(), nullptr, 10);
-  const uint64_t steps = quick ? 2000 : 12000;
-  const std::string out = bench::FlagValue(argc, argv, "--out");
+  const bench::SoakFlags flags = bench::ParseSoakFlags(
+      argc, argv, /*default_seed=*/0xc4a05ull, /*quick_steps=*/2000,
+      /*full_steps=*/12000);
   const std::string trace_out = bench::FlagValue(argc, argv, "--trace-out");
   const std::string forensics_out =
       bench::FlagValue(argc, argv, "--forensics-out");
@@ -503,14 +435,15 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results(2);
   {
-    auto pool = bench::MakePool(jobs);
+    auto pool = bench::MakePool(flags.jobs);
     runtime::ParallelFor(pool.get(), 2, [&](size_t task) {
-      results[task] = RunScenario(/*faulted=*/task == 1, seed, steps);
+      results[task] =
+          RunScenario(/*faulted=*/task == 1, flags.seed, flags.steps);
     });
   }
 
-  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n", seed,
-              steps);
+  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n", flags.seed,
+              flags.steps);
   std::printf("scenario 0 (fault-free):\n%s\n", results[0].summary.c_str());
   std::printf("scenario 1 (faults in victim-a only):\n%s\n",
               results[1].summary.c_str());
@@ -551,28 +484,19 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  // One-line machine-readable verdict, always written (same convention as
-  // BENCH_obs_overhead.json); --out overrides the default path.
-  const std::string out_path =
-      out.empty() ? std::string("BENCH_chaos_soak.json") : out;
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  // One-line machine-readable verdict, always written; --out overrides the
+  // default BENCH_chaos_soak.json path.
+  const mgmt::SupervisorStats& fs = results[1].supervisor_stats;
+  bench::VerdictJson verdict("chaos_soak", flags);
+  verdict.AddU64("faults_injected", results[1].faults_injected);
+  verdict.AddU64("crashes", fs.crashes);
+  verdict.AddU64("watchdog_timeouts", fs.watchdog_timeouts);
+  verdict.AddU64("restarts", fs.restarts);
+  verdict.AddU64("quarantines", fs.quarantines);
+  verdict.AddU64("accel_downgrades", fs.accel_downgrades);
+  verdict.AddBool("invariant_holds", identical);
+  if (!verdict.Write(identical)) {
     return 1;
   }
-  const mgmt::SupervisorStats& fs = results[1].supervisor_stats;
-  std::fprintf(f,
-               "{\"bench\":\"chaos_soak\",\"seed\":%" PRIu64
-               ",\"steps\":%" PRIu64 ",\"jobs\":%zu,\"quick\":%s"
-               ",\"faults_injected\":%" PRIu64 ",\"crashes\":%" PRIu64
-               ",\"watchdog_timeouts\":%" PRIu64 ",\"restarts\":%" PRIu64
-               ",\"quarantines\":%" PRIu64 ",\"accel_downgrades\":%" PRIu64
-               ",\"invariant_holds\":%s,\"pass\":%s}\n",
-               seed, steps, jobs, quick ? "true" : "false",
-               results[1].faults_injected, fs.crashes, fs.watchdog_timeouts,
-               fs.restarts, fs.quarantines, fs.accel_downgrades,
-               identical ? "true" : "false", identical ? "true" : "false");
-  std::fclose(f);
-  std::printf("Wrote %s\n", out_path.c_str());
   return identical ? 0 : 1;
 }

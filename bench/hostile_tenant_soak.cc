@@ -1,0 +1,623 @@
+// Hostile-tenant soak: device-edge isolation as a byte-identity invariant.
+//
+// Runs the same two-tenant constellation through a sweep of attack
+// scenarios from one seed. Victim NF V and attacker NF X each sit behind
+// their own virtual function on the vNIC front-end (src/core/vnic): per-VF
+// descriptor rings, policed doorbells, completion queues and posted-byte
+// quotas. Scenario 0 is a well-behaved attacker; the rest escalate through
+// doorbell flooding, completion-queue squatting, malformed/stale
+// descriptors and quota-exhaustion churn, at several intensities, with the
+// hostile moves driven both by an attack driver and by the registered
+// vnic.* fault sites. The front-end's abuse detector routes threshold
+// crossings to the Supervisor (CrashCause::kVnicAbuse), whose restart path
+// resets and rebinds the attacker's VF; repeat offenders end quarantined at
+// the device edge.
+//
+// Invariants, checked at every --jobs count:
+//
+//   1. V's full observable record — packet digests, harvested completions
+//      (including per-descriptor wait cycles), VPP stats, VF/ring/CQ/
+//      doorbell stats, metrics, binary trace lane — is BYTE-IDENTICAL
+//      across every attack scenario: a hostile tenant is invisible to its
+//      neighbour at the device edge.
+//   2. V's ring latency is bounded: max delivery wait never exceeds
+//      kVictimWaitBound cycles in any scenario.
+//   3. Detection: each headline attack at high intensity flags the
+//      matching abuse kind (and the baseline flags nothing).
+//   4. Containment: under full hostility the attacker is flagged, crashed
+//      with cause vnic_abuse, and finally quarantined by both the
+//      Supervisor and the front-end.
+//
+// Flags: --quick --jobs=N --seed=S --out=FILE (JSON verdict)
+// Exit status 1 when any invariant is violated.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/soak_common.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/vnic/descriptor.h"
+#include "src/core/vnic/pf_vf.h"
+#include "src/crypto/keys.h"
+#include "src/fault/fault.h"
+#include "src/mgmt/nic_os.h"
+#include "src/mgmt/supervisor.h"
+#include "src/net/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
+#include "src/runtime/sweep.h"
+#include "src/runtime/thread_pool.h"
+
+namespace snic {
+namespace {
+
+using bench::AppendF;
+using bench::Fnv;
+using core::vnic::kNumVfAbuseKinds;
+using core::vnic::PfVfManager;
+using core::vnic::RxDescriptor;
+using core::vnic::VfAbuse;
+using core::vnic::VfQuota;
+using core::vnic::VfStats;
+
+constexpr uint16_t kPortV = 6100;  // the victim
+constexpr uint16_t kPortX = 6200;  // the attacker
+constexpr uint64_t kCyclesPerStep = 100;
+constexpr uint32_t kVictimRingSlots = 16;
+constexpr uint16_t kVictimBufferBytes = 2048;
+// V keeps its ring full and drains ~3 frames/step, so a descriptor waits
+// about ring_slots/3 steps; the hard bound leaves slack, not slop.
+constexpr uint64_t kVictimWaitBound = 10 * kCyclesPerStep;
+
+// One attack scenario: driver-side volume plus fault-site periods (0 = the
+// rule is absent). Intensities sweep both dials.
+struct AttackProfile {
+  const char* name;
+  uint64_t flood_rings;     // extra doorbell writes per step
+  bool squat;               // attacker never harvests its completions
+  uint64_t flood_period;    // vnic.doorbell.flood
+  uint64_t squat_period;    // vnic.cq.squat
+  uint64_t corrupt_period;  // vnic.desc.corrupt
+  uint64_t stale_period;    // vnic.desc.stale
+  uint64_t churn_period;    // vnic.quota.churn
+};
+
+constexpr AttackProfile kAttacks[] = {
+    {"baseline", 0, false, 0, 0, 0, 0, 0},
+    {"flood-1x", 4, false, 31, 0, 0, 0, 0},
+    {"flood-4x", 16, false, 13, 0, 0, 0, 0},
+    {"flood-16x", 64, false, 5, 0, 0, 0, 0},
+    {"squat-soft", 0, false, 0, 17, 0, 0, 0},
+    {"squat-hard", 0, true, 0, 3, 0, 0, 0},
+    {"malformed", 0, false, 0, 0, 7, 11, 0},
+    {"quota-churn", 0, false, 0, 0, 0, 0, 5},
+    {"full-hostility", 64, true, 5, 3, 7, 11, 19},
+};
+constexpr size_t kNumAttacks = sizeof(kAttacks) / sizeof(kAttacks[0]);
+constexpr size_t kTopAttack = kNumAttacks - 1;
+
+struct ScenarioResult {
+  std::string v_report;  // invariant #1: identical across scenarios
+  std::string summary;   // printed narrative
+  obs::TraceRing ring;
+  uint64_t faults_injected = 0;
+  uint64_t abuse_reports[kNumVfAbuseKinds] = {0, 0, 0, 0};
+  uint64_t victim_max_wait = 0;
+  uint64_t victim_abuse_flags = 0;
+  bool attacker_quarantined_edge = false;
+  bool attacker_quarantined_supervisor = false;
+  VfStats attacker_stats;
+  mgmt::SupervisorStats supervisor_stats;
+};
+
+mgmt::FunctionImage MakeImage(const std::string& name, uint16_t port) {
+  mgmt::FunctionImage image;
+  image.name = name;
+  image.code_and_data.assign(3000, 0xe0);
+  image.cores = 1;
+  image.memory_bytes = 8ull << 20;
+  net::SwitchRule rule;
+  rule.dst_port = port;
+  image.switch_rules.push_back(rule);
+  return image;
+}
+
+// Attack fault rules, all scoped to the attacker's NF id; the Supervisor's
+// restart callback retargets them as that id changes.
+void InstallAttack(fault::FaultPlane& plane, const AttackProfile& attack,
+                   uint64_t x_id) {
+  const auto add = [&plane, x_id](std::string_view site, uint64_t period) {
+    if (period == 0) {
+      return;
+    }
+    fault::FaultRule rule;
+    rule.site = std::string(site);
+    rule.nf_id = x_id;
+    rule.skip = 2;
+    rule.count = 1;  // once per period window, forever
+    rule.period = period;
+    plane.AddRule(rule);
+  };
+  add(fault::sites::kVnicDoorbellFlood, attack.flood_period);
+  add(fault::sites::kVnicCqSquat, attack.squat_period);
+  add(fault::sites::kVnicDescCorrupt, attack.corrupt_period);
+  add(fault::sites::kVnicDescStale, attack.stale_period);
+  add(fault::sites::kVnicQuotaChurn, attack.churn_period);
+}
+
+// Encodes a block of in-order descriptors continuing at `posted_total`.
+std::vector<uint8_t> RefillBlock(uint64_t posted_total, uint32_t count,
+                                 uint32_t ring_slots, uint16_t buffer_len) {
+  std::vector<RxDescriptor> batch;
+  batch.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RxDescriptor descriptor;
+    const uint64_t index = (posted_total + i) % ring_slots;
+    descriptor.ring_index = static_cast<uint16_t>(index);
+    descriptor.buffer_len = buffer_len;
+    descriptor.buffer_addr = core::vnic::kBufferAlign * (index + 1);
+    batch.push_back(descriptor);
+  }
+  return core::vnic::EncodeDescriptors(batch);
+}
+
+ScenarioResult RunScenario(size_t attack_index, uint64_t seed,
+                           uint64_t steps) {
+  const AttackProfile& attack = kAttacks[attack_index];
+  ScenarioResult result;
+  obs::MetricRegistry registry;
+  obs::ScopedDefaultRegistry scoped_registry(&registry);
+
+  fault::FaultPlane plane(runtime::DeriveTaskSeed(seed, 1));
+  plane.AttachObs(&registry);
+  plane.AttachTraceRing(&result.ring);
+  fault::ScopedFaultPlane scoped_plane(&plane);
+
+  Rng vendor_rng(runtime::DeriveTaskSeed(seed, 2));
+  crypto::VendorAuthority vendor(512, vendor_rng);
+  core::SnicConfig config;
+  config.num_cores = 8;
+  config.dram_bytes = 256ull << 20;
+  config.rsa_modulus_bits = 512;
+  core::SnicDevice device(config, vendor);
+  device.AttachTraceRing(&result.ring);
+  mgmt::NicOs nic_os(&device);
+
+  // The device edge under test: both tenants route through their VFs.
+  PfVfManager front_end;
+  front_end.AttachObs(&registry);
+  front_end.AttachTraceRing(&result.ring);
+  device.AttachVnicFrontEnd(&front_end);
+
+  mgmt::SupervisorConfig sup_config;
+  sup_config.seed = runtime::DeriveTaskSeed(seed, 3);
+  sup_config.watchdog_timeout_cycles = 15 * kCyclesPerStep;
+  sup_config.backoff_base_cycles = 2 * kCyclesPerStep;
+  sup_config.backoff_max_cycles = 32 * kCyclesPerStep;
+  sup_config.backoff_jitter_pct = 25;
+  sup_config.quarantine_after = 3;
+  sup_config.stable_cycles = 20 * kCyclesPerStep;
+  mgmt::Supervisor supervisor(&nic_os, vendor.public_key(), sup_config);
+  supervisor.AttachObs(&registry);
+  supervisor.AttachTraceRing(&result.ring);
+
+  const auto adopt = [&supervisor](const mgmt::FunctionImage& image) {
+    const auto id = supervisor.Adopt(image);
+    SNIC_CHECK(id.ok());
+    return id.value();
+  };
+  const uint64_t v_id = adopt(MakeImage("victim-v", kPortV));
+  uint64_t x_id = adopt(MakeImage("attacker-x", kPortX));
+
+  VfQuota victim_quota;
+  victim_quota.ring_slots = kVictimRingSlots;
+  victim_quota.cq_slots = kVictimRingSlots;
+  victim_quota.posted_bytes_limit = 64 * 1024;
+  VfQuota attacker_quota;
+  attacker_quota.ring_slots = 16;
+  attacker_quota.cq_slots = 8;
+  attacker_quota.posted_bytes_limit = 48 * 1024;
+  attacker_quota.abuse_threshold = 16;
+  const uint32_t v_vf =
+      front_end.CreateVf(v_id, device.Vpp(v_id), victim_quota).value();
+  const uint32_t x_vf =
+      front_end.CreateVf(x_id, device.Vpp(x_id), attacker_quota).value();
+
+  // Abuse verdicts on the attacker's VF become Supervisor crash reports
+  // (the containment path); a verdict on the victim's VF would be a
+  // detector false positive and is only counted.
+  front_end.SetAbuseCallback([&](uint32_t vf, VfAbuse kind) {
+    if (vf != x_vf) {
+      ++result.victim_abuse_flags;
+      return;
+    }
+    ++result.abuse_reports[static_cast<int>(kind)];
+    if (supervisor.HealthOf("attacker-x") == mgmt::NfHealth::kRunning) {
+      supervisor.ReportCrash("attacker-x", mgmt::CrashCause::kVnicAbuse);
+    }
+  });
+  supervisor.SetRestartCallback([&](const std::string& name, uint64_t old_id,
+                                    uint64_t new_id) {
+    if (name == "attacker-x") {
+      plane.RetargetRules(old_id, new_id);
+      x_id = new_id;
+      SNIC_CHECK_OK(front_end.RebindVf(x_vf, new_id, device.Vpp(new_id)));
+    }
+  });
+
+  InstallAttack(plane, attack, x_id);
+
+  // Traffic from disjoint seed lanes: V's stream is the scenario-invariant
+  // control, X's only feeds its own VF.
+  Rng v_traffic(runtime::DeriveTaskSeed(seed, 4));
+  Rng x_traffic(runtime::DeriveTaskSeed(seed, 5));
+  obs::Counter& v_rx = registry.GetCounter("hostile.victim.rx", {{"nf", "v"}});
+  obs::Counter& v_tx = registry.GetCounter("hostile.victim.tx", {{"nf", "v"}});
+
+  const auto make_packet = [](Rng& rng, uint16_t port) {
+    net::FiveTuple tuple;
+    tuple.src_ip = net::Ipv4FromString("10.0.0.9");
+    tuple.dst_ip = net::Ipv4FromString("203.0.113.7");
+    tuple.src_port = static_cast<uint16_t>(10000 + rng.NextBounded(100));
+    tuple.dst_port = port;
+    tuple.protocol = 6;
+    std::vector<uint8_t> payload(64 + rng.NextBounded(4) * 64);
+    for (size_t k = 0; k < payload.size(); ++k) {
+      payload[k] = static_cast<uint8_t>(rng.NextU64());
+    }
+    return net::PacketBuilder().SetTuple(tuple).SetPayload(payload).Build();
+  };
+
+  Fnv v_rx_digest, v_cpl_digest, v_wire_digest;
+  uint64_t v_wire_packets = 0, v_completions = 0;
+  uint64_t v_posted_total = 0, x_posted_total = 0;
+  uint64_t x_resets_seen = 0;
+  uint64_t wire_rejected = 0;
+
+  for (uint64_t step = 0; step < steps; ++step) {
+    const uint64_t now = (step + 1) * kCyclesPerStep;
+    plane.AdvanceClockTo(now);
+    device.AdvanceClockTo(now);
+
+    // Victim: refill the descriptor ring, one doorbell write per step —
+    // comfortably inside the policer budget, in every scenario.
+    const uint32_t v_occupancy = front_end.RingOccupancy(v_vf);
+    if (v_occupancy < kVictimRingSlots) {
+      const uint32_t refill = kVictimRingSlots - v_occupancy;
+      SNIC_CHECK_OK(front_end.PostDescriptors(
+          v_vf, RefillBlock(v_posted_total, refill, kVictimRingSlots,
+                            kVictimBufferBytes)));
+      v_posted_total += refill;
+    }
+    SNIC_CHECK(front_end.RingDoorbell(v_vf));
+
+    // Attacker: posts, rings, and (maybe) harvests — with the scenario's
+    // fault sites corrupting its moves and the driver adding volume.
+    const bool x_running =
+        supervisor.HealthOf("attacker-x") == mgmt::NfHealth::kRunning;
+    if (x_running && !front_end.IsQuarantined(x_vf)) {
+      const VfStats& xs = front_end.StatsOf(x_vf);
+      if (xs.resets != x_resets_seen) {
+        x_resets_seen = xs.resets;
+        x_posted_total = 0;  // VF reset rewound the ring's expected index
+      }
+      const uint32_t x_occupancy = front_end.RingOccupancy(x_vf);
+      if (x_occupancy < attacker_quota.ring_slots) {
+        const uint32_t refill = attacker_quota.ring_slots - x_occupancy;
+        if (front_end
+                .PostDescriptors(
+                    x_vf, RefillBlock(x_posted_total, refill,
+                                      attacker_quota.ring_slots, 1024))
+                .ok()) {
+          x_posted_total += refill;
+        }
+      }
+      for (uint64_t i = 0; i < 1 + attack.flood_rings; ++i) {
+        (void)front_end.RingDoorbell(x_vf);
+      }
+      if (!attack.squat) {
+        for (;;) {
+          if (!front_end.Harvest(x_vf).ok()) {
+            break;
+          }
+        }
+      }
+    }
+
+    // Wire traffic: V's three control frames, then X's two.
+    for (int i = 0; i < 3; ++i) {
+      SNIC_CHECK_OK(device.DeliverFromWire(make_packet(v_traffic, kPortV)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (!device.DeliverFromWire(make_packet(x_traffic, kPortX)).ok()) {
+        ++wire_rejected;  // X's edge drops: no descriptor, CQ full, dead NF
+      }
+    }
+
+    // Victim service: poll, digest, echo, harvest completions.
+    for (;;) {
+      auto received = device.NfReceive(v_id);
+      if (!received.ok()) {
+        break;
+      }
+      net::Packet packet = std::move(received).value();
+      v_rx_digest.Mix(packet.bytes().data(), packet.size());
+      v_rx.Inc();
+      if (device.NfSend(v_id, std::move(packet)).ok()) {
+        v_tx.Inc();
+      }
+    }
+    for (;;) {
+      const auto completion = front_end.Harvest(v_vf);
+      if (!completion.ok()) {
+        break;
+      }
+      const auto& c = completion.value();
+      v_cpl_digest.Mix64(c.ring_index);
+      v_cpl_digest.Mix64(c.bytes);
+      v_cpl_digest.Mix64(c.cycle);
+      v_cpl_digest.Mix64(c.wait_cycles);
+      ++v_completions;
+    }
+    supervisor.Heartbeat("victim-v");
+    if (x_running) {
+      supervisor.Heartbeat("attacker-x");
+    }
+
+    // Attacker service: drain its pipeline so squatting (not a full VPP)
+    // is what fills the completion queue.
+    if (x_running) {
+      for (;;) {
+        auto received = device.NfReceive(x_id);
+        if (!received.ok()) {
+          break;
+        }
+        (void)device.NfSend(x_id, std::move(received).value());
+      }
+    }
+
+    supervisor.Tick(now);
+    // The Supervisor's quarantine verdict is mirrored to the device edge:
+    // from here on X's frames drop at the VF, not in the switch.
+    if (supervisor.HealthOf("attacker-x") == mgmt::NfHealth::kQuarantined &&
+        !front_end.IsQuarantined(x_vf)) {
+      SNIC_CHECK_OK(front_end.QuarantineVf(x_vf));
+    }
+
+    // Drain the wire; V's frames join its record by port.
+    for (;;) {
+      auto out = device.TransmitToWire();
+      if (!out.ok()) {
+        break;
+      }
+      const auto parsed = net::Parse(out.value().bytes());
+      if (parsed.ok() && parsed.value().Tuple().dst_port == kPortV) {
+        v_wire_digest.Mix(out.value().bytes().data(), out.value().size());
+        ++v_wire_packets;
+      }
+    }
+  }
+
+  // ---- V's invariant report ----------------------------------------------
+  std::string& report = result.v_report;
+  const core::VirtualPacketPipeline* v_vpp = device.Vpp(v_id);
+  SNIC_CHECK(v_vpp != nullptr);
+  const core::VppStats& vs = v_vpp->stats();
+  const VfStats& vfs = front_end.StatsOf(v_vf);
+  const auto& ring_stats = front_end.RingStatsOf(v_vf);
+  const auto& cq_stats = front_end.CqStatsOf(v_vf);
+  const auto& doorbell_stats = front_end.DoorbellStatsOf(v_vf);
+  AppendF(report, "v.nf_id: %" PRIu64 " vf: %" PRIu32 "\n", v_id, v_vf);
+  AppendF(report, "v.rx: %" PRIu64 " digest: %016" PRIx64 "\n", v_rx.value(),
+          v_rx_digest.h);
+  AppendF(report, "v.completions: %" PRIu64 " digest: %016" PRIx64 "\n",
+          v_completions, v_cpl_digest.h);
+  AppendF(report, "v.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
+          v_wire_packets, v_wire_digest.h);
+  AppendF(report,
+          "v.vpp: rx=%" PRIu64 " drop_full=%" PRIu64 " tx=%" PRIu64
+          " rx_bytes=%" PRIu64 " tx_bytes=%" PRIu64 "\n",
+          vs.rx_packets, vs.rx_dropped_full, vs.tx_packets, vs.rx_bytes,
+          vs.tx_bytes);
+  AppendF(report,
+          "v.vf: posted=%" PRIu64 " delivered=%" PRIu64 " harvested=%" PRIu64
+          " rings=%" PRIu64 " ring_rejected=%" PRIu64 " drops=%" PRIu64
+          "/%" PRIu64 "/%" PRIu64 "/%" PRIu64 " abuse=%" PRIu64
+          " max_wait=%" PRIu64 "\n",
+          vfs.posts_accepted, vfs.delivered, vfs.harvested,
+          vfs.doorbell_rings, vfs.doorbell_rejected,
+          vfs.dropped_no_descriptor, vfs.dropped_cq_full, vfs.dropped_vpp,
+          vfs.dropped_quarantined, vfs.abuse_flags,
+          vfs.max_delivery_wait_cycles);
+  AppendF(report,
+          "v.ring: posted=%" PRIu64 " consumed=%" PRIu64 " peak=%" PRIu64
+          " stale=%" PRIu64 " full=%" PRIu64 "\n",
+          ring_stats.posted, ring_stats.consumed, ring_stats.peak_posted,
+          ring_stats.rejected_stale, ring_stats.rejected_full);
+  AppendF(report,
+          "v.cq: pushed=%" PRIu64 " harvested=%" PRIu64 " peak=%" PRIu64
+          " full=%" PRIu64 "\n",
+          cq_stats.pushed, cq_stats.harvested, cq_stats.peak_pending,
+          cq_stats.rejected_full);
+  AppendF(report, "v.doorbell: rings=%" PRIu64 " rejected=%" PRIu64 "\n",
+          doorbell_stats.rings, doorbell_stats.rejected);
+  AppendF(report, "v.metrics: tx=%" PRIu64 "\n", v_tx.value());
+  const bench::LaneDigest v_lane =
+      bench::DigestRingLane(result.ring, static_cast<uint32_t>(v_id));
+  AppendF(report, "v.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
+          v_lane.count, v_lane.digest);
+
+  result.victim_max_wait = vfs.max_delivery_wait_cycles;
+  result.faults_injected = plane.injected_total();
+  result.attacker_stats = front_end.StatsOf(x_vf);
+  result.attacker_quarantined_edge = front_end.IsQuarantined(x_vf);
+  result.attacker_quarantined_supervisor =
+      supervisor.HealthOf("attacker-x") == mgmt::NfHealth::kQuarantined;
+  result.supervisor_stats = supervisor.stats();
+
+  // ---- Scenario narrative ------------------------------------------------
+  std::string& summary = result.summary;
+  const VfStats& xs = result.attacker_stats;
+  const mgmt::SupervisorStats& stats = result.supervisor_stats;
+  AppendF(summary, "  faults injected:   %" PRIu64 "\n",
+          result.faults_injected);
+  AppendF(summary,
+          "  abuse flagged: flood=%" PRIu64 " squat=%" PRIu64 " desc=%" PRIu64
+          " churn=%" PRIu64 "\n",
+          result.abuse_reports[0], result.abuse_reports[1],
+          result.abuse_reports[2], result.abuse_reports[3]);
+  AppendF(summary,
+          "  attacker-x: delivered=%" PRIu64 " doorbell_rejected=%" PRIu64
+          " cq_full_drops=%" PRIu64 " decode_rejects=%" PRIu64
+          " quota_rejects=%" PRIu64 " resets=%" PRIu64 "\n",
+          xs.delivered, xs.doorbell_rejected, xs.dropped_cq_full,
+          xs.post_rejected_decode + xs.post_rejected_stale,
+          xs.post_rejected_quota, xs.resets);
+  AppendF(summary,
+          "  supervisor: crashes=%" PRIu64 " restarts=%" PRIu64
+          " quarantines=%" PRIu64 "  edge_quarantined=%d\n",
+          stats.crashes, stats.restarts, stats.quarantines,
+          result.attacker_quarantined_edge ? 1 : 0);
+  AppendF(summary, "  victim: max_wait=%" PRIu64 " (bound %" PRIu64 ")\n",
+          result.victim_max_wait, kVictimWaitBound);
+  return result;
+}
+
+}  // namespace
+}  // namespace snic
+
+int main(int argc, char** argv) {
+  using namespace snic;
+
+  const bench::SoakFlags flags = bench::ParseSoakFlags(
+      argc, argv, /*default_seed=*/0x5ecede5ull, /*quick_steps=*/1500,
+      /*full_steps=*/8000);
+
+  bench::PrintHeader("Hostile-tenant soak: device-edge isolation",
+                     "per-VF rings, doorbell policing, abuse containment "
+                     "under adversarial tenants");
+
+  std::vector<ScenarioResult> results(kNumAttacks);
+  {
+    auto pool = bench::MakePool(flags.jobs);
+    runtime::ParallelFor(pool.get(), kNumAttacks, [&](size_t task) {
+      results[task] = RunScenario(task, flags.seed, flags.steps);
+    });
+  }
+
+  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n",
+              flags.seed, flags.steps);
+  for (size_t i = 0; i < kNumAttacks; ++i) {
+    std::printf("scenario %zu (%s):\n%s\n", i, kAttacks[i].name,
+                results[i].summary.c_str());
+  }
+
+  // Invariant 1: the victim's record is identical in every scenario.
+  bool victim_identical = true;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].v_report != results[0].v_report) {
+      victim_identical = false;
+      std::printf("VICTIM DIVERGED under %s:\n--- %s ---\n%s--- %s ---\n%s",
+                  kAttacks[i].name, kAttacks[0].name,
+                  results[0].v_report.c_str(), kAttacks[i].name,
+                  results[i].v_report.c_str());
+    }
+  }
+  std::printf("victim-v report (all scenarios):\n%s\n",
+              results[0].v_report.c_str());
+
+  // Invariant 2: ring latency bounded everywhere (and no false verdicts on
+  // the victim's VF anywhere).
+  bool wait_bounded = true;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].victim_max_wait > kVictimWaitBound ||
+        results[i].victim_abuse_flags != 0) {
+      wait_bounded = false;
+      std::printf("VICTIM RING LATENCY/VERDICT VIOLATION under %s: "
+                  "max_wait=%" PRIu64 " false_flags=%" PRIu64 "\n",
+                  kAttacks[i].name, results[i].victim_max_wait,
+                  results[i].victim_abuse_flags);
+    }
+  }
+
+  // Invariant 3: high-intensity attacks are detected as the right kind;
+  // the baseline triggers nothing.
+  const auto reported = [&](size_t scenario, VfAbuse kind) {
+    return results[scenario].abuse_reports[static_cast<int>(kind)] > 0;
+  };
+  const bool baseline_clean =
+      results[0].abuse_reports[0] == 0 && results[0].abuse_reports[1] == 0 &&
+      results[0].abuse_reports[2] == 0 && results[0].abuse_reports[3] == 0 &&
+      results[0].supervisor_stats.crashes == 0 &&
+      results[0].attacker_stats.delivered > 0;
+  const bool detection_ok =
+      reported(3, VfAbuse::kDoorbellFlood) && reported(5, VfAbuse::kCqSquat) &&
+      reported(6, VfAbuse::kBadDescriptor) &&
+      reported(7, VfAbuse::kQuotaChurn);
+  if (!baseline_clean) {
+    std::printf("BASELINE NOT CLEAN: a well-behaved tenant was flagged or "
+                "starved\n");
+  }
+  if (!detection_ok) {
+    std::printf("DETECTION MISSED: a high-intensity attack never flagged "
+                "its abuse kind\n");
+  }
+
+  // Invariant 4: full hostility ends contained — flagged, crashed with
+  // cause vnic_abuse, quarantined at both layers.
+  const ScenarioResult& top = results[kTopAttack];
+  const bool containment_ok =
+      (top.abuse_reports[0] + top.abuse_reports[1] + top.abuse_reports[2] +
+       top.abuse_reports[3]) > 0 &&
+      top.supervisor_stats.crashes >= 1 &&
+      top.supervisor_stats.quarantines >= 1 &&
+      top.attacker_quarantined_supervisor && top.attacker_quarantined_edge;
+  if (!containment_ok) {
+    std::printf("CONTAINMENT FAILED under %s: crashes=%" PRIu64
+                " quarantines=%" PRIu64 " supervisor=%d edge=%d\n",
+                kAttacks[kTopAttack].name, top.supervisor_stats.crashes,
+                top.supervisor_stats.quarantines,
+                top.attacker_quarantined_supervisor ? 1 : 0,
+                top.attacker_quarantined_edge ? 1 : 0);
+  }
+
+  const bool pass =
+      victim_identical && wait_bounded && baseline_clean && detection_ok &&
+      containment_ok;
+  std::printf("%s\n", pass ? "ALL HOSTILE-TENANT INVARIANTS HOLD"
+                           : "HOSTILE-TENANT INVARIANT VIOLATED");
+
+  bench::VerdictJson verdict("hostile_tenant_soak", flags);
+  verdict.AddBool("victim_identical", victim_identical);
+  verdict.AddBool("wait_bounded", wait_bounded);
+  verdict.AddBool("baseline_clean", baseline_clean);
+  verdict.AddBool("detection_ok", detection_ok);
+  verdict.AddBool("containment_ok", containment_ok);
+  verdict.AddU64("victim_wait_bound", kVictimWaitBound);
+  std::string attacks = "[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    AppendF(attacks,
+            "%s{\"name\":\"%s\",\"faults_injected\":%" PRIu64
+            ",\"abuse_flags\":%" PRIu64 ",\"crashes\":%" PRIu64
+            ",\"restarts\":%" PRIu64 ",\"quarantined\":%s"
+            ",\"victim_max_wait\":%" PRIu64 "}",
+            i == 0 ? "" : ",", kAttacks[i].name, r.faults_injected,
+            r.abuse_reports[0] + r.abuse_reports[1] + r.abuse_reports[2] +
+                r.abuse_reports[3],
+            r.supervisor_stats.crashes, r.supervisor_stats.restarts,
+            r.attacker_quarantined_edge ? "true" : "false",
+            r.victim_max_wait);
+  }
+  attacks += "]";
+  verdict.AddRaw("attacks", attacks);
+  if (!verdict.Write(pass)) {
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

@@ -69,12 +69,19 @@ int main(int argc, char** argv) {
   // oversubscribe the cores), so gate the budgets with --jobs=1.
   const auto pool = MakePool(JobsFlag(argc, argv));
 
+  // --seed=S varies the synthetic NF workload (default matches the
+  // committed pin); the seed is echoed into the verdict JSON.
+  const std::string seed_flag = FlagValue(argc, argv, "--seed");
+  const uint64_t seed =
+      seed_flag.empty() ? 2024 : std::strtoull(seed_flag.c_str(), nullptr, 10);
+
   const size_t events = quick ? 20'000 : 120'000;
   const size_t reps = quick ? 5 : 9;
-  std::printf("Recording NF traces (%zu events/NF, %zu timed reps)...\n\n",
-              events, reps);
+  std::printf("Recording NF traces (%zu events/NF, %zu timed reps, seed "
+              "%llu)...\n\n",
+              events, reps, static_cast<unsigned long long>(seed));
   const auto traces =
-      PrepareNfTraces(RecordAndEncodeNfTraces(events, 2024, pool.get()));
+      PrepareNfTraces(RecordAndEncodeNfTraces(events, seed, pool.get()));
 
   // The full Fig. 5a inner loop at one cache size: every unordered NF pair,
   // replayed under both configurations.
@@ -165,14 +172,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\"bench\":\"obs_overhead\",\"events_per_nf\":%zu,"
+               "{\"bench\":\"obs_overhead\",\"seed\":%llu,"
+               "\"events_per_nf\":%zu,"
                "\"reps\":%zu,\"uninstrumented_ms\":%.3f,"
                "\"metrics_ms\":%.3f,\"metrics_overhead_pct\":%.3f,"
                "\"metrics_trace_ms\":%.3f,\"trace_overhead_pct\":%.3f,"
                "\"ring_records\":%zu,\"ring_evicted\":%llu,"
                "\"budget_pct\":%.1f,\"trace_budget_pct\":%.1f,"
                "\"quick\":%s,\"pass\":%s}\n",
-               events, reps, base_ms, metrics_ms, metrics_pct, trace_ms,
+               static_cast<unsigned long long>(seed), events, reps, base_ms,
+               metrics_ms, metrics_pct, trace_ms,
                trace_pct, trace.size(),
                static_cast<unsigned long long>(trace.evicted()),
                kMetricsBudgetPct, kTraceBudgetPct, quick ? "true" : "false",

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/soak_common.h"
 #include "src/accel/accelerator.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -65,21 +66,8 @@ constexpr uint64_t kMaxFrameBytes = 54 + 32 + 3 * 64;
 constexpr uint64_t kLoadPct[] = {25, 50, 100, 200, 300, 400};
 constexpr size_t kNumLoads = sizeof(kLoadPct) / sizeof(kLoadPct[0]);
 
-struct Fnv {
-  uint64_t h = 1469598103934665603ull;
-  void Mix(const uint8_t* p, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      h = (h ^ p[i]) * 1099511628211ull;
-    }
-  }
-  void Mix64(uint64_t v) {
-    uint8_t b[8];
-    for (int i = 0; i < 8; ++i) {
-      b[i] = static_cast<uint8_t>(v >> (8 * i));
-    }
-    Mix(b, 8);
-  }
-};
+using bench::AppendF;
+using bench::Fnv;
 
 struct ScenarioResult {
   std::string b_report;  // invariant #1: identical across load factors
@@ -353,51 +341,27 @@ ScenarioResult RunScenario(size_t load_index, uint64_t seed, uint64_t steps) {
   }
 
   // ---- B's invariant report ----------------------------------------------
-  char line[256];
   std::string& report = result.b_report;
   const core::VppStats& bs = b_vpp->stats();
-  Fnv b_trace_digest;
-  uint64_t b_trace_events = 0;
-  for (const obs::TraceEvent& event : trace.events()) {
-    if (event.pid != static_cast<uint32_t>(b_id)) {
-      continue;
-    }
-    b_trace_digest.Mix(reinterpret_cast<const uint8_t*>(event.name.data()),
-                       event.name.size());
-    b_trace_digest.Mix64(event.ts);
-    b_trace_digest.Mix64(event.dur);
-    ++b_trace_events;
-  }
-  std::snprintf(line, sizeof(line), "b.nf_id: %" PRIu64 "\n", b_id);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.rx: %" PRIu64 " digest: %016" PRIx64 "\n", b_rx.value(),
-                b_rx_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_wire_packets, b_wire_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.vpp: rx=%" PRIu64 " drop_full=%" PRIu64
-                " drop_admission=%" PRIu64 " drop_early=%" PRIu64
-                " shed_rx=%" PRIu64 " shed_tx=%" PRIu64 " tx=%" PRIu64
-                " rx_bytes=%" PRIu64 " tx_bytes=%" PRIu64 "\n",
-                bs.rx_packets, bs.rx_dropped_full, bs.rx_dropped_admission,
-                bs.rx_dropped_early, bs.rx_shed_deadline, bs.tx_shed_deadline,
-                bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n", b_bus_grants,
-                b_bus_digest.h);
-  report += line;
-  std::snprintf(line, sizeof(line), "b.metrics: tx=%" PRIu64 "\n",
-                b_tx.value());
-  report += line;
-  std::snprintf(line, sizeof(line),
-                "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
-                b_trace_events, b_trace_digest.h);
-  report += line;
+  const bench::LaneDigest b_trace =
+      bench::DigestTraceLane(trace, static_cast<uint32_t>(b_id));
+  AppendF(report, "b.nf_id: %" PRIu64 "\n", b_id);
+  AppendF(report, "b.rx: %" PRIu64 " digest: %016" PRIx64 "\n", b_rx.value(),
+          b_rx_digest.h);
+  AppendF(report, "b.wire: %" PRIu64 " digest: %016" PRIx64 "\n",
+          b_wire_packets, b_wire_digest.h);
+  AppendF(report,
+          "b.vpp: rx=%" PRIu64 " drop_full=%" PRIu64 " drop_admission=%" PRIu64
+          " drop_early=%" PRIu64 " shed_rx=%" PRIu64 " shed_tx=%" PRIu64
+          " tx=%" PRIu64 " rx_bytes=%" PRIu64 " tx_bytes=%" PRIu64 "\n",
+          bs.rx_packets, bs.rx_dropped_full, bs.rx_dropped_admission,
+          bs.rx_dropped_early, bs.rx_shed_deadline, bs.tx_shed_deadline,
+          bs.tx_packets, bs.rx_bytes, bs.tx_bytes);
+  AppendF(report, "b.bus: %" PRIu64 " digest: %016" PRIx64 "\n", b_bus_grants,
+          b_bus_digest.h);
+  AppendF(report, "b.metrics: tx=%" PRIu64 "\n", b_tx.value());
+  AppendF(report, "b.trace: %" PRIu64 " digest: %016" PRIx64 "\n",
+          b_trace.count, b_trace.digest);
 
   result.o_stats = o_vpp->stats();
   result.chain_stats = chains.link(link.value()).stats();
@@ -409,52 +373,43 @@ ScenarioResult RunScenario(size_t load_index, uint64_t seed, uint64_t steps) {
 
   // ---- Scenario narrative ------------------------------------------------
   std::string& summary = result.summary;
-  std::snprintf(line, sizeof(line),
-                "  offered=%" PRIu64 " goodput=%" PRIu64
-                " ingress_rejected=%" PRIu64 " tx_rejected=%" PRIu64 "\n",
-                result.offered, result.goodput, result.wire_rejected,
-                result.o_tx_rejected);
-  summary += line;
+  AppendF(summary,
+          "  offered=%" PRIu64 " goodput=%" PRIu64 " ingress_rejected=%" PRIu64
+          " tx_rejected=%" PRIu64 "\n",
+          result.offered, result.goodput, result.wire_rejected,
+          result.o_tx_rejected);
   const core::VppStats& os = result.o_stats;
-  std::snprintf(line, sizeof(line),
-                "  o.vpp: drop_admission=%" PRIu64 " drop_early=%" PRIu64
-                " drop_full=%" PRIu64 " shed_rx=%" PRIu64 " shed_tx=%" PRIu64
-                " shed_bytes=%" PRIu64 "\n",
-                os.rx_dropped_admission, os.rx_dropped_early,
-                os.rx_dropped_full + os.tx_dropped_full, os.rx_shed_deadline,
-                os.tx_shed_deadline, os.shed_bytes);
-  summary += line;
-  std::snprintf(line, sizeof(line),
-                "  o.queue: peak_frames=%" PRIu64 "/%" PRIu64
-                " peak_bytes=%" PRIu64 "/%" PRIu64 "\n",
-                os.rx_peak_frames, kRxCapFrames, os.rx_peak_bytes,
-                kRxCapFrames * kMaxFrameBytes);
-  summary += line;
+  AppendF(summary,
+          "  o.vpp: drop_admission=%" PRIu64 " drop_early=%" PRIu64
+          " drop_full=%" PRIu64 " shed_rx=%" PRIu64 " shed_tx=%" PRIu64
+          " shed_bytes=%" PRIu64 "\n",
+          os.rx_dropped_admission, os.rx_dropped_early,
+          os.rx_dropped_full + os.tx_dropped_full, os.rx_shed_deadline,
+          os.tx_shed_deadline, os.shed_bytes);
+  AppendF(summary,
+          "  o.queue: peak_frames=%" PRIu64 "/%" PRIu64 " peak_bytes=%" PRIu64
+          "/%" PRIu64 "\n",
+          os.rx_peak_frames, kRxCapFrames, os.rx_peak_bytes,
+          kRxCapFrames * kMaxFrameBytes);
   const core::ChainLinkStats& cs = result.chain_stats;
-  std::snprintf(line, sizeof(line),
-                "  chain: moved=%" PRIu64 " stalled=%" PRIu64
-                " stall_ticks=%" PRIu64 " credit_faults=%" PRIu64
-                " dropped=%" PRIu64 "\n",
-                cs.frames_moved, cs.frames_stalled, cs.stall_ticks,
-                cs.credit_faults, cs.frames_dropped);
-  summary += line;
+  AppendF(summary,
+          "  chain: moved=%" PRIu64 " stalled=%" PRIu64 " stall_ticks=%" PRIu64
+          " credit_faults=%" PRIu64 " dropped=%" PRIu64 "\n",
+          cs.frames_moved, cs.frames_stalled, cs.stall_ticks, cs.credit_faults,
+          cs.frames_dropped);
   const core::CircuitBreakerStats& brs = result.breaker_stats;
-  std::snprintf(line, sizeof(line),
-                "  breaker: opens=%" PRIu64 " reopens=%" PRIu64
-                " closes=%" PRIu64 " rejected=%" PRIu64 " accel=%" PRIu64
-                " software=%" PRIu64 "\n",
-                brs.opens, brs.reopens, brs.closes, brs.rejected,
-                result.accel_frames, result.software_frames);
-  summary += line;
-  std::snprintf(line, sizeof(line),
-                "  scaler: instances=%" PRIu64 " pressure_scale_ups=%" PRIu64
-                " pressured_steps=%" PRIu64 "\n",
-                result.final_instances, result.scaler_stats.pressure_scale_ups,
-                result.scaler_stats.pressured_steps);
-  summary += line;
-  std::snprintf(line, sizeof(line), "  faults injected: %" PRIu64 "\n",
-                result.faults_injected);
-  summary += line;
+  AppendF(summary,
+          "  breaker: opens=%" PRIu64 " reopens=%" PRIu64 " closes=%" PRIu64
+          " rejected=%" PRIu64 " accel=%" PRIu64 " software=%" PRIu64 "\n",
+          brs.opens, brs.reopens, brs.closes, brs.rejected,
+          result.accel_frames, result.software_frames);
+  AppendF(summary,
+          "  scaler: instances=%" PRIu64 " pressure_scale_ups=%" PRIu64
+          " pressured_steps=%" PRIu64 "\n",
+          result.final_instances, result.scaler_stats.pressure_scale_ups,
+          result.scaler_stats.pressured_steps);
+  AppendF(summary, "  faults injected: %" PRIu64 "\n",
+          result.faults_injected);
   return result;
 }
 
@@ -464,14 +419,9 @@ ScenarioResult RunScenario(size_t load_index, uint64_t seed, uint64_t steps) {
 int main(int argc, char** argv) {
   using namespace snic;
 
-  const bool quick = bench::QuickMode(argc, argv);
-  const size_t jobs = bench::JobsFlag(argc, argv);
-  const std::string seed_flag = bench::FlagValue(argc, argv, "--seed");
-  const uint64_t seed =
-      seed_flag.empty() ? 0x0ff10adull
-                        : std::strtoull(seed_flag.c_str(), nullptr, 10);
-  const uint64_t steps = quick ? 1200 : 6000;
-  const std::string out = bench::FlagValue(argc, argv, "--out");
+  const bench::SoakFlags flags = bench::ParseSoakFlags(
+      argc, argv, /*default_seed=*/0x0ff10adull, /*quick_steps=*/1200,
+      /*full_steps=*/6000);
 
   bench::PrintHeader("Overload soak: deterministic graceful degradation",
                      "bounded queues, backpressure and load shedding under "
@@ -479,14 +429,14 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results(kNumLoads);
   {
-    auto pool = bench::MakePool(jobs);
+    auto pool = bench::MakePool(flags.jobs);
     runtime::ParallelFor(pool.get(), kNumLoads, [&](size_t task) {
-      results[task] = RunScenario(task, seed, steps);
+      results[task] = RunScenario(task, flags.seed, flags.steps);
     });
   }
 
-  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n", seed,
-              steps);
+  std::printf("seed: %" PRIu64 "  steps/scenario: %" PRIu64 "\n\n", flags.seed,
+              flags.steps);
   for (const ScenarioResult& r : results) {
     std::printf("load %3" PRIu64 "%%:\n%s\n", r.load_pct, r.summary.c_str());
   }
@@ -560,42 +510,33 @@ int main(int argc, char** argv) {
   std::printf("%s\n", pass ? "ALL OVERLOAD INVARIANTS HOLD"
                            : "OVERLOAD INVARIANT VIOLATED");
 
-  const std::string out_path =
-      out.empty() ? std::string("BENCH_overload_soak.json") : out;
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f,
-               "{\"bench\":\"overload_soak\",\"seed\":%" PRIu64
-               ",\"steps\":%" PRIu64 ",\"jobs\":%zu,\"quick\":%s"
-               ",\"bystander_identical\":%s,\"queue_bound_ok\":%s"
-               ",\"goodput_ok\":%s,\"breaker_cycled\":%s,\"pressure_ok\":%s"
-               ",\"curve\":[",
-               seed, steps, jobs, quick ? "true" : "false",
-               bystander_identical ? "true" : "false",
-               queue_bound_ok ? "true" : "false", goodput_ok ? "true" : "false",
-               breaker_cycled ? "true" : "false", pressure_ok ? "true" : "false");
+  bench::VerdictJson verdict("overload_soak", flags);
+  verdict.AddBool("bystander_identical", bystander_identical);
+  verdict.AddBool("queue_bound_ok", queue_bound_ok);
+  verdict.AddBool("goodput_ok", goodput_ok);
+  verdict.AddBool("breaker_cycled", breaker_cycled);
+  verdict.AddBool("pressure_ok", pressure_ok);
+  std::string curve = "[";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
-    std::fprintf(f,
-                 "%s{\"load_pct\":%" PRIu64 ",\"offered\":%" PRIu64
-                 ",\"goodput\":%" PRIu64 ",\"ingress_rejected\":%" PRIu64
-                 ",\"drop_admission\":%" PRIu64 ",\"drop_early\":%" PRIu64
-                 ",\"shed_deadline\":%" PRIu64 ",\"peak_rx_frames\":%" PRIu64
-                 ",\"peak_rx_bytes\":%" PRIu64 ",\"stall_ticks\":%" PRIu64
-                 ",\"pressure_scale_ups\":%" PRIu64 "}",
-                 i == 0 ? "" : ",", r.load_pct, r.offered, r.goodput,
-                 r.wire_rejected, r.o_stats.rx_dropped_admission,
-                 r.o_stats.rx_dropped_early,
-                 r.o_stats.rx_shed_deadline + r.o_stats.tx_shed_deadline,
-                 r.o_stats.rx_peak_frames, r.o_stats.rx_peak_bytes,
-                 r.chain_stats.stall_ticks,
-                 r.scaler_stats.pressure_scale_ups);
+    AppendF(curve,
+            "%s{\"load_pct\":%" PRIu64 ",\"offered\":%" PRIu64
+            ",\"goodput\":%" PRIu64 ",\"ingress_rejected\":%" PRIu64
+            ",\"drop_admission\":%" PRIu64 ",\"drop_early\":%" PRIu64
+            ",\"shed_deadline\":%" PRIu64 ",\"peak_rx_frames\":%" PRIu64
+            ",\"peak_rx_bytes\":%" PRIu64 ",\"stall_ticks\":%" PRIu64
+            ",\"pressure_scale_ups\":%" PRIu64 "}",
+            i == 0 ? "" : ",", r.load_pct, r.offered, r.goodput,
+            r.wire_rejected, r.o_stats.rx_dropped_admission,
+            r.o_stats.rx_dropped_early,
+            r.o_stats.rx_shed_deadline + r.o_stats.tx_shed_deadline,
+            r.o_stats.rx_peak_frames, r.o_stats.rx_peak_bytes,
+            r.chain_stats.stall_ticks, r.scaler_stats.pressure_scale_ups);
   }
-  std::fprintf(f, "],\"pass\":%s}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("Wrote %s\n", out_path.c_str());
+  curve += "]";
+  verdict.AddRaw("curve", curve);
+  if (!verdict.Write(pass)) {
+    return 1;
+  }
   return pass ? 0 : 1;
 }

@@ -56,14 +56,21 @@ int main(int argc, char** argv) {
   PrintHeader("Replay throughput: fast streaming engine vs reference oracle",
               "gate: >= 5x events/sec on the Fig. 5a workload");
 
+  // --seed=S varies the synthetic NF workload (default matches the
+  // committed pin); the seed is echoed into the verdict JSON.
+  const std::string seed_flag = FlagValue(argc, argv, "--seed");
+  const uint64_t seed =
+      seed_flag.empty() ? 2024 : std::strtoull(seed_flag.c_str(), nullptr, 10);
+
   const size_t events = quick ? 20'000 : 120'000;
   const size_t reps = quick ? 3 : 7;
-  std::printf("Recording NF traces (%zu events/NF, %zu timed reps)...\n\n",
-              events, reps);
+  std::printf("Recording NF traces (%zu events/NF, %zu timed reps, seed "
+              "%llu)...\n\n",
+              events, reps, static_cast<unsigned long long>(seed));
   // Both trace forms are needed: the reference engine replays materialized
   // events; the fast engine streams the encoded form through its prepare
   // pass (timed as part of the fast sweep).
-  const auto traces = RecordNfTraces(events, 2024, nullptr);
+  const auto traces = RecordNfTraces(events, seed, nullptr);
   const auto encoded = EncodeNfTraces(traces);
 
   // The Fig. 5a workload: every unordered NF pair at every L2 size of the
@@ -203,7 +210,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f,
-               "{\"bench\":\"replay_throughput\",\"events_per_nf\":%zu,"
+               "{\"bench\":\"replay_throughput\",\"seed\":%llu,"
+               "\"events_per_nf\":%zu,"
                "\"reps\":%zu,\"pairs\":%zu,\"l2_sizes\":%zu,"
                "\"events_per_sweep\":%llu,"
                "\"reference_ms\":%.3f,\"fast_ms\":%.3f,"
@@ -211,7 +219,8 @@ int main(int argc, char** argv) {
                "\"fast_events_per_sec\":%.0f,\"speedup\":%.3f,"
                "\"speedup_floor\":%.1f,\"checksums_match\":%s,"
                "\"quick\":%s,\"pass\":%s}\n",
-               events, reps, pairs.size(), l2_sizes.size(),
+               static_cast<unsigned long long>(seed), events, reps,
+               pairs.size(), l2_sizes.size(),
                static_cast<unsigned long long>(events_per_sweep),
                reference_ms, fast_ms, reference_eps, fast_eps, speedup,
                kSpeedupFloor, checksums_match ? "true" : "false",

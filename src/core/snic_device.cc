@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/vnic/pf_vf.h"
 #include "src/fault/fault.h"
 #include "src/net/parser.h"
 
@@ -444,6 +445,15 @@ Status SnicDevice::DeliverFromWire(net::Packet packet) {
   }
   for (auto& [id, record] : nfs_) {
     if (record->vpp != nullptr && record->vpp->Matches(parsed.value())) {
+      // With the vNIC front-end attached, a matched frame goes through the
+      // owning VF's descriptor ring and quotas first; NFs without a VF keep
+      // the direct path.
+      if (vnic_front_end_ != nullptr) {
+        const auto vf = vnic_front_end_->VfForNf(id);
+        if (vf.ok()) {
+          return vnic_front_end_->DeliverToVf(vf.value(), std::move(packet));
+        }
+      }
       return record->vpp->EnqueueRx(std::move(packet));
     }
   }
@@ -509,6 +519,16 @@ void SnicDevice::AdvanceClockTo(uint64_t cycle) {
     if (record->vpp != nullptr) {
       record->vpp->AdvanceClockTo(cycle);
     }
+  }
+  if (vnic_front_end_ != nullptr) {
+    vnic_front_end_->AdvanceClockTo(cycle);
+  }
+}
+
+void SnicDevice::AttachVnicFrontEnd(vnic::PfVfManager* front_end) {
+  vnic_front_end_ = front_end;
+  if (vnic_front_end_ != nullptr) {
+    vnic_front_end_->AdvanceClockTo(now_);
   }
 }
 

@@ -40,6 +40,10 @@
 
 namespace snic::core {
 
+namespace vnic {
+class PfVfManager;
+}  // namespace vnic
+
 enum class SecurityMode : uint8_t {
   kCommodity = 0,  // LiquidIO-like: flat physical access, no virtualization
   kSnic = 1,       // the paper's design
@@ -187,6 +191,14 @@ class SnicDevice {
   // nullptr to detach.
   void AttachTraceRing(obs::TraceRing* ring);
 
+  // Attaches the SR-IOV-style vNIC front-end (src/core/vnic). Once attached,
+  // DeliverFromWire routes a matched frame through the owning VF — posted
+  // descriptor, completion queue, quotas — before the VPP; NFs without a VF
+  // (and everything when detached) keep the direct VPP path, and the clock
+  // fans out to the front-end. Not owned; pass nullptr to detach.
+  void AttachVnicFrontEnd(vnic::PfVfManager* front_end);
+  vnic::PfVfManager* vnic_front_end() { return vnic_front_end_; }
+
  private:
   struct NfRecord {
     uint64_t id;
@@ -219,6 +231,7 @@ class SnicDevice {
   std::map<uint64_t, std::unique_ptr<NfRecord>> nfs_;
   uint64_t rr_tx_cursor_ = 0;
   uint64_t unmatched_rx_drops_ = 0;
+  vnic::PfVfManager* vnic_front_end_ = nullptr;
   LaunchLatency launch_latency_;
   TeardownLatency teardown_latency_;
 

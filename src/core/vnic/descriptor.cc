@@ -1,0 +1,152 @@
+#include "src/core/vnic/descriptor.h"
+
+#include <cstring>
+
+namespace snic::core::vnic {
+
+namespace {
+
+uint8_t XorChecksum(std::span<const uint8_t> bytes) {
+  uint8_t sum = 0;
+  for (const uint8_t b : bytes) {
+    sum ^= b;
+  }
+  return sum;
+}
+
+void StoreLe16(uint16_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v & 0xff);
+  out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t LoadLe16(const uint8_t* in) {
+  return static_cast<uint16_t>(in[0] | (uint16_t{in[1]} << 8));
+}
+
+}  // namespace
+
+void EncodeRxDescriptor(const RxDescriptor& descriptor,
+                        std::span<uint8_t> out) {
+  SNIC_CHECK(out.size() == kDescriptorBytes);
+  SNIC_CHECK(descriptor.buffer_addr <= kMaxBufferAddr);
+  SNIC_CHECK(descriptor.buffer_addr % kBufferAlign == 0);
+  SNIC_CHECK((descriptor.flags & ~kKnownFlags) == 0);
+  out[0] = kDescriptorMagic;
+  out[1] = kDescriptorVersion;
+  StoreLe16(descriptor.flags, &out[2]);
+  StoreLe16(descriptor.buffer_len, &out[4]);
+  StoreLe16(descriptor.ring_index, &out[6]);
+  uint64_t addr = descriptor.buffer_addr;
+  for (size_t i = 0; i < 7; ++i) {
+    out[8 + i] = static_cast<uint8_t>(addr & 0xff);
+    addr >>= 8;
+  }
+  out[15] = XorChecksum(out.first(kDescriptorBytes - 1));
+}
+
+std::vector<uint8_t> EncodeDescriptors(
+    const std::vector<RxDescriptor>& descriptors) {
+  std::vector<uint8_t> bytes(descriptors.size() * kDescriptorBytes);
+  for (size_t i = 0; i < descriptors.size(); ++i) {
+    EncodeRxDescriptor(descriptors[i],
+                       std::span<uint8_t>(bytes.data() + i * kDescriptorBytes,
+                                          kDescriptorBytes));
+  }
+  return bytes;
+}
+
+Result<RxDescriptor> DecodeRxDescriptor(std::span<const uint8_t> bytes) {
+  if (bytes.size() != kDescriptorBytes) {
+    return InvalidArgument("descriptor: wrong size");
+  }
+  if (bytes[15] != XorChecksum(bytes.first(kDescriptorBytes - 1))) {
+    return InvalidArgument("descriptor: checksum mismatch");
+  }
+  if (bytes[0] != kDescriptorMagic) {
+    return InvalidArgument("descriptor: bad magic");
+  }
+  if (bytes[1] != kDescriptorVersion) {
+    return InvalidArgument("descriptor: unsupported version");
+  }
+  RxDescriptor d;
+  d.flags = LoadLe16(&bytes[2]);
+  if ((d.flags & ~kKnownFlags) != 0) {
+    return InvalidArgument("descriptor: unknown flag bits");
+  }
+  if ((d.flags & kFlagValid) == 0) {
+    return InvalidArgument("descriptor: valid bit clear");
+  }
+  d.buffer_len = LoadLe16(&bytes[4]);
+  if (d.buffer_len < kMinBufferBytes || d.buffer_len > kMaxBufferBytes) {
+    return InvalidArgument("descriptor: buffer length out of range");
+  }
+  if ((d.flags & kFlagJumbo) == 0 &&
+      d.buffer_len > kMaxStandardBufferBytes) {
+    return InvalidArgument("descriptor: jumbo length without jumbo flag");
+  }
+  d.ring_index = LoadLe16(&bytes[6]);
+  d.buffer_addr = 0;
+  for (size_t i = 0; i < 7; ++i) {
+    d.buffer_addr |= uint64_t{bytes[8 + i]} << (8 * i);
+  }
+  if (d.buffer_addr % kBufferAlign != 0) {
+    return InvalidArgument("descriptor: unaligned buffer address");
+  }
+  return d;
+}
+
+Status DescriptorStreamDecoder::Fill(std::span<const uint8_t> chunk,
+                                     std::vector<RxDescriptor>* out) {
+  if (poisoned_) {
+    return FailedPrecondition("descriptor stream: poisoned by earlier error");
+  }
+  size_t offset = 0;
+  // Top up a carried partial descriptor first.
+  if (partial_len_ > 0) {
+    const size_t need = kDescriptorBytes - partial_len_;
+    const size_t take = need < chunk.size() ? need : chunk.size();
+    std::memcpy(partial_ + partial_len_, chunk.data(), take);
+    partial_len_ += take;
+    offset = take;
+    if (partial_len_ < kDescriptorBytes) {
+      return OkStatus();
+    }
+    auto decoded =
+        DecodeRxDescriptor(std::span<const uint8_t>(partial_, partial_len_));
+    partial_len_ = 0;
+    if (!decoded.ok()) {
+      poisoned_ = true;
+      return decoded.status();
+    }
+    out->push_back(decoded.value());
+  }
+  // Whole descriptors directly from the chunk.
+  while (chunk.size() - offset >= kDescriptorBytes) {
+    auto decoded = DecodeRxDescriptor(chunk.subspan(offset, kDescriptorBytes));
+    if (!decoded.ok()) {
+      poisoned_ = true;
+      return decoded.status();
+    }
+    out->push_back(decoded.value());
+    offset += kDescriptorBytes;
+  }
+  // Carry the tail.
+  const size_t rest = chunk.size() - offset;
+  if (rest > 0) {
+    std::memcpy(partial_, chunk.data() + offset, rest);
+    partial_len_ = rest;
+  }
+  return OkStatus();
+}
+
+Status DescriptorStreamDecoder::Finish() const {
+  if (poisoned_) {
+    return FailedPrecondition("descriptor stream: poisoned by earlier error");
+  }
+  if (partial_len_ != 0) {
+    return InvalidArgument("descriptor stream: truncated trailing descriptor");
+  }
+  return OkStatus();
+}
+
+}  // namespace snic::core::vnic

@@ -1,0 +1,104 @@
+// RX descriptor wire format for the vNIC device edge.
+//
+// Tenants post receive buffers to their VF by writing fixed-size descriptors
+// into ring memory the device reads. That memory is tenant-controlled, so the
+// device-side decoder treats every byte as hostile: decode-or-reject, total
+// and deterministic, never undefined behaviour. The format carries an XOR
+// checksum over the first 15 bytes specifically so that *any* single-byte
+// corruption is detectable — the fuzz suite (tests/fuzz_roundtrip_test.cc)
+// relies on that property to prove every mutant deterministically rejects.
+//
+// Layout (16 bytes, little-endian):
+//
+//   [0]      magic       0x5D
+//   [1]      version     1
+//   [2..3]   flags       kFlagValid required; unknown bits reject
+//   [4..5]   buffer_len  bytes; [kMinBufferBytes, kMaxBufferBytes],
+//                        capped at kMaxStandardBufferBytes unless kFlagJumbo
+//   [6..7]   ring_index  slot the tenant claims to be filling (replay check
+//                        happens at the ring, which knows the expected tail)
+//   [8..14]  buffer_addr VF-window-relative offset, 56-bit, kBufferAlign-
+//                        aligned
+//   [15]     checksum    XOR of bytes [0..14]
+
+#ifndef SNIC_CORE_VNIC_DESCRIPTOR_H_
+#define SNIC_CORE_VNIC_DESCRIPTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace snic::core::vnic {
+
+inline constexpr size_t kDescriptorBytes = 16;
+inline constexpr uint8_t kDescriptorMagic = 0x5D;
+inline constexpr uint8_t kDescriptorVersion = 1;
+
+// Flag bits a well-formed descriptor may carry; any other bit rejects.
+inline constexpr uint16_t kFlagValid = 0x0001;
+inline constexpr uint16_t kFlagJumbo = 0x0002;
+inline constexpr uint16_t kKnownFlags = kFlagValid | kFlagJumbo;
+
+inline constexpr uint64_t kBufferAlign = 64;
+inline constexpr uint64_t kMaxBufferAddr = (uint64_t{1} << 56) - 1;
+inline constexpr uint16_t kMinBufferBytes = 64;
+inline constexpr uint16_t kMaxStandardBufferBytes = 2048;
+inline constexpr uint16_t kMaxBufferBytes = 9216;  // jumbo frames
+
+struct RxDescriptor {
+  uint64_t buffer_addr = 0;  // VF-relative, kBufferAlign-aligned, <= 56 bits
+  uint16_t buffer_len = 0;
+  uint16_t ring_index = 0;
+  uint16_t flags = kFlagValid;
+
+  friend bool operator==(const RxDescriptor& a, const RxDescriptor& b) {
+    return a.buffer_addr == b.buffer_addr && a.buffer_len == b.buffer_len &&
+           a.ring_index == b.ring_index && a.flags == b.flags;
+  }
+};
+
+// Tenant-side encoder (tests and benches model the well-formed tenant with
+// it). `out.size()` must be exactly kDescriptorBytes. Fields out of range —
+// unaligned or >56-bit address, unknown flags — are a programmer error on
+// the encoding side and abort via SNIC_CHECK; hostile inputs are modeled by
+// mutating the encoded bytes, not by encoding garbage.
+void EncodeRxDescriptor(const RxDescriptor& descriptor,
+                        std::span<uint8_t> out);
+std::vector<uint8_t> EncodeDescriptors(
+    const std::vector<RxDescriptor>& descriptors);
+
+// Strict one-shot decode of exactly one descriptor. `bytes.size()` must be
+// kDescriptorBytes; every constraint in the header comment is checked and
+// any violation returns kInvalidArgument with a reason.
+Result<RxDescriptor> DecodeRxDescriptor(std::span<const uint8_t> bytes);
+
+// Streaming decoder for descriptor blocks arriving in arbitrary chunk sizes
+// (the DMA engine reads ring memory in bursts). Carries partial descriptors
+// across Fill() calls; decoding is chunk-size invariant — any two chunkings
+// of the same byte stream yield the same descriptors or the same first
+// error. A rejected stream poisons the decoder: every later Fill() fails
+// too, so a hostile tenant cannot smuggle descriptors after a bad one.
+class DescriptorStreamDecoder {
+ public:
+  // Decodes whole descriptors from the carried remainder plus `chunk`,
+  // appending them to *out. On a malformed descriptor, returns its decode
+  // error; descriptors decoded earlier in the call remain in *out.
+  Status Fill(std::span<const uint8_t> chunk, std::vector<RxDescriptor>* out);
+
+  // Ok only if the stream is healthy and no partial descriptor is buffered.
+  Status Finish() const;
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  uint8_t partial_[kDescriptorBytes] = {};
+  size_t partial_len_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace snic::core::vnic
+
+#endif  // SNIC_CORE_VNIC_DESCRIPTOR_H_

@@ -1,0 +1,121 @@
+#include "src/core/vnic/ring.h"
+
+namespace snic::core::vnic {
+
+RxDescriptorRing::RxDescriptorRing(uint32_t slots)
+    : slots_(slots == 0 ? 1 : slots) {}
+
+uint16_t RxDescriptorRing::ExpectedIndex() const {
+  return static_cast<uint16_t>(next_index_ % capacity());
+}
+
+Status RxDescriptorRing::Post(const RxDescriptor& descriptor,
+                              uint64_t now_cycle) {
+  if (Full()) {
+    ++stats_.rejected_full;
+    return ResourceExhausted("rx ring: full");
+  }
+  if (descriptor.ring_index != ExpectedIndex()) {
+    ++stats_.rejected_stale;
+    return InvalidArgument("rx ring: stale or replayed ring index");
+  }
+  const uint32_t slot = (head_ + count_) % capacity();
+  slots_[slot] = Posted{descriptor, now_cycle};
+  ++count_;
+  ++next_index_;
+  ++stats_.posted;
+  if (count_ > stats_.peak_posted) {
+    stats_.peak_posted = count_;
+  }
+  return OkStatus();
+}
+
+Result<RxDescriptorRing::Posted> RxDescriptorRing::Peek() const {
+  if (Empty()) {
+    return NotFound("rx ring: empty");
+  }
+  return slots_[head_];
+}
+
+Result<RxDescriptorRing::Posted> RxDescriptorRing::Consume() {
+  if (Empty()) {
+    return NotFound("rx ring: empty");
+  }
+  const Posted posted = slots_[head_];
+  head_ = (head_ + 1) % capacity();
+  --count_;
+  ++stats_.consumed;
+  return posted;
+}
+
+void RxDescriptorRing::Reset() {
+  head_ = 0;
+  count_ = 0;
+  next_index_ = 0;
+  ++epoch_;
+}
+
+CompletionQueue::CompletionQueue(uint32_t slots)
+    : slots_(slots == 0 ? 1 : slots) {}
+
+Status CompletionQueue::Push(const Completion& completion) {
+  if (Full()) {
+    ++stats_.rejected_full;
+    return ResourceExhausted("completion queue: full");
+  }
+  slots_[(head_ + count_) % capacity()] = completion;
+  ++count_;
+  ++stats_.pushed;
+  if (count_ > stats_.peak_pending) {
+    stats_.peak_pending = count_;
+  }
+  return OkStatus();
+}
+
+Result<CompletionQueue::Completion> CompletionQueue::Harvest() {
+  if (count_ == 0) {
+    return NotFound("completion queue: empty");
+  }
+  const Completion completion = slots_[head_];
+  head_ = (head_ + 1) % capacity();
+  --count_;
+  ++stats_.harvested;
+  return completion;
+}
+
+void CompletionQueue::Reset() {
+  head_ = 0;
+  count_ = 0;
+}
+
+Doorbell::Doorbell(const DoorbellPolicy& policy)
+    : policy_(policy),
+      bucket_(policy.burst, policy.rings_per_refill, policy.refill_cycles) {}
+
+void Doorbell::AdvanceTo(uint64_t cycle) { bucket_.AdvanceTo(cycle); }
+
+bool Doorbell::Ring() {
+  if (!bucket_.TryConsume()) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++stats_.rings;
+  return true;
+}
+
+void Doorbell::Drain() {
+  if (!bucket_.enabled()) {
+    return;
+  }
+  while (bucket_.tokens() > 0) {
+    (void)bucket_.TryConsume();
+  }
+}
+
+void Doorbell::Reset() {
+  bucket_ =
+      TokenBucket(policy_.burst, policy_.rings_per_refill,
+                  policy_.refill_cycles);
+}
+
+}  // namespace snic::core::vnic

@@ -1,0 +1,162 @@
+// Per-VF datapath structures of the vNIC front-end: the RX descriptor ring
+// the tenant posts buffers into, the completion queue the device reports
+// received frames through, and the doorbell register the tenant rings to
+// announce new descriptors — all over simulated cycles, all bounded, all
+// deterministic.
+//
+// Abuse shows up here as ordinary resource exhaustion, never as corruption:
+// a replayed/stale ring index rejects at Post(), a tenant that stops
+// harvesting fills its completion queue (squatting) and further deliveries
+// drop with a count, and a doorbell rung faster than its token-bucket policy
+// simply bounces. The PF/VF manager (pf_vf.h) turns those counters into
+// abuse verdicts.
+
+#ifndef SNIC_CORE_VNIC_RING_H_
+#define SNIC_CORE_VNIC_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/overload.h"
+#include "src/core/vnic/descriptor.h"
+
+namespace snic::core::vnic {
+
+// Bounded FIFO of posted RX descriptors. The tenant appends at the tail (and
+// must claim the slot index the ring expects — anything else is a replay or
+// a stale rewrite and rejects); the device consumes at the head when a frame
+// arrives. Ring-full is the device edge's backpressure signal: when the VPP
+// behind the VF stops draining, descriptors stop being consumed, the ring
+// stays full, and the tenant's posts bounce.
+class RxDescriptorRing {
+ public:
+  struct Posted {
+    RxDescriptor descriptor;
+    uint64_t post_cycle = 0;
+  };
+
+  struct Stats {
+    uint64_t posted = 0;
+    uint64_t rejected_full = 0;
+    uint64_t rejected_stale = 0;
+    uint64_t consumed = 0;
+    uint64_t peak_posted = 0;
+  };
+
+  explicit RxDescriptorRing(uint32_t slots);
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t posted() const { return count_; }
+  bool Full() const { return count_ == capacity(); }
+  bool Empty() const { return count_ == 0; }
+  // Slot index the next well-formed post must carry (wraps at capacity).
+  uint16_t ExpectedIndex() const;
+
+  // kResourceExhausted when full; kInvalidArgument when descriptor.ring_index
+  // is not the expected tail slot (stale or replayed index).
+  Status Post(const RxDescriptor& descriptor, uint64_t now_cycle);
+
+  // Oldest posted descriptor without consuming it; kNotFound when empty.
+  Result<Posted> Peek() const;
+  // Consumes the oldest posted descriptor; kNotFound when empty.
+  Result<Posted> Consume();
+
+  // Drops every posted descriptor and restarts the index sequence; part of a
+  // VF reset. Bumps epoch() so stale tenants are observable.
+  void Reset();
+  uint64_t epoch() const { return epoch_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Posted> slots_;
+  uint32_t head_ = 0;   // oldest posted entry
+  uint32_t count_ = 0;  // occupancy
+  uint64_t next_index_ = 0;  // absolute post count since reset, mod capacity
+  uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+// Bounded queue of completion records the device pushes and the tenant
+// harvests. A full queue — the squatting tenant refusing to harvest — makes
+// Push() fail; the delivery is dropped and counted by the caller.
+class CompletionQueue {
+ public:
+  struct Completion {
+    uint16_t ring_index = 0;
+    uint16_t bytes = 0;
+    uint64_t cycle = 0;        // delivery cycle
+    uint64_t wait_cycles = 0;  // delivery cycle minus descriptor post cycle
+    uint64_t span_id = 0;      // causal span of the delivered frame
+  };
+
+  struct Stats {
+    uint64_t pushed = 0;
+    uint64_t rejected_full = 0;
+    uint64_t harvested = 0;
+    uint64_t peak_pending = 0;
+  };
+
+  explicit CompletionQueue(uint32_t slots);
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t pending() const { return count_; }
+  bool Full() const { return count_ == capacity(); }
+
+  // kResourceExhausted when the tenant has let the queue fill.
+  Status Push(const Completion& completion);
+  // Oldest pending completion; kNotFound when empty.
+  Result<Completion> Harvest();
+
+  void Reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Completion> slots_;
+  uint32_t head_ = 0;
+  uint32_t count_ = 0;
+  Stats stats_;
+};
+
+// Doorbell rate policy: token-bucket parameters over simulated cycles.
+struct DoorbellPolicy {
+  uint64_t burst = 16;            // bucket depth, rings
+  uint64_t rings_per_refill = 8;  // tokens added per refill period
+  uint64_t refill_cycles = 100;   // refill period
+};
+
+// The doorbell register. Each Ring() is one tenant MMIO write announcing
+// newly posted descriptors; the policer charges one token per write
+// regardless of the claimed count, so flooding the register burns the
+// tenant's own budget first.
+class Doorbell {
+ public:
+  struct Stats {
+    uint64_t rings = 0;
+    uint64_t rejected = 0;
+  };
+
+  explicit Doorbell(const DoorbellPolicy& policy);
+
+  void AdvanceTo(uint64_t cycle);
+  // True if the write was admitted, false if the policer bounced it.
+  bool Ring();
+  // Consumes every remaining token (the kVnicDoorbellFlood fault payload: a
+  // write storm burning the whole budget at once). No-op when unpoliced.
+  void Drain();
+  // Refills the bucket to burst; part of a VF reset.
+  void Reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  DoorbellPolicy policy_;
+  TokenBucket bucket_;
+  Stats stats_;
+};
+
+}  // namespace snic::core::vnic
+
+#endif  // SNIC_CORE_VNIC_RING_H_

@@ -82,6 +82,24 @@ inline constexpr std::string_view kNfLaunch = "snic.nf_launch";
 // Internal IO bus: the request is stalled by the rule's stall_cycles
 // payload before arbitration (a modeled timeout).
 inline constexpr std::string_view kBusTimeout = "sim.bus.timeout";
+// vNIC front-end (src/core/vnic, docs/ROBUSTNESS.md attack taxonomy). Each
+// site models one move of the hostile-tenant playbook on the firing VF's
+// own resources — a victim VF is structurally unreachable.
+// Doorbell write storm: the firing write drains the VF's doorbell token
+// bucket, so this and following writes bounce until the next refill.
+inline constexpr std::string_view kVnicDoorbellFlood = "vnic.doorbell.flood";
+// Completion-queue squatting: the firing harvest is skipped, so completions
+// pile up until deliveries drop against a full queue.
+inline constexpr std::string_view kVnicCqSquat = "vnic.cq.squat";
+// Malformed descriptor: one byte of the posted descriptor block is flipped
+// before the strict decoder sees it (the decode must reject, never crash).
+inline constexpr std::string_view kVnicDescCorrupt = "vnic.desc.corrupt";
+// Descriptor replay: the first decoded descriptor's ring index is rewritten
+// to an already-consumed slot, which the ring rejects as stale.
+inline constexpr std::string_view kVnicDescStale = "vnic.desc.stale";
+// Quota-exhaustion churn: a phantom reservation charges the VF's posted-byte
+// quota to its limit; only a VF reset releases it.
+inline constexpr std::string_view kVnicQuotaChurn = "vnic.quota.churn";
 }  // namespace sites
 
 // Matches every NF id (including 0, the "no NF yet" id used by nf_launch).

@@ -31,6 +31,8 @@ std::string_view CrashCauseName(CrashCause cause) {
       return "dma_fault";
     case CrashCause::kWatchdog:
       return "watchdog";
+    case CrashCause::kVnicAbuse:
+      return "vnic_abuse";
   }
   return "unknown";
 }

@@ -57,6 +57,9 @@ enum class CrashCause : uint8_t {
   kAccelFault = 1,
   kDmaFault = 2,
   kWatchdog = 3,
+  // The vNIC front-end flagged the child's VF as abusive (doorbell flood,
+  // CQ squatting, malformed descriptors, quota churn — src/core/vnic).
+  kVnicAbuse = 4,
 };
 
 std::string_view CrashCauseName(CrashCause cause);

@@ -47,6 +47,16 @@ inline constexpr std::string_view kSupervisorQuarantine =
 // an interned name id (key "site").
 inline constexpr std::string_view kFaultFired = "fault.fired";
 
+// vNIC front-end (src/core/vnic): the device-edge leg of a frame's life.
+// kVnicDeliver carries the frame's span id across the descriptor-ring hop;
+// the others are per-VF instants on the owning NF's lane (arg key "vf").
+inline constexpr std::string_view kVnicDescPost = "vnic.desc.post";
+inline constexpr std::string_view kVnicDoorbellRing = "vnic.doorbell.ring";
+inline constexpr std::string_view kVnicDeliver = "vnic.deliver";
+inline constexpr std::string_view kVnicHarvest = "vnic.harvest";
+inline constexpr std::string_view kVnicVfReset = "vnic.vf.reset";
+inline constexpr std::string_view kVnicAbuseFlagged = "vnic.abuse.flagged";
+
 // Argument keys (TraceRecord::arg_name). The arg word's meaning per key:
 //   depth      queue depth after the enqueue
 //   residency  cycles the frame spent queued (dequeue/shed time - enqueue)
@@ -54,12 +64,14 @@ inline constexpr std::string_view kFaultFired = "fault.fired";
 //   state      circuit-breaker state ordinal
 //   peer       the other NF id on a chain hop or stall
 //   site       interned name id of the fired fault site
+//   vf         VF id of the vNIC front-end event
 inline constexpr std::string_view kArgDepth = "depth";
 inline constexpr std::string_view kArgResidency = "residency";
 inline constexpr std::string_view kArgCause = "cause";
 inline constexpr std::string_view kArgState = "state";
 inline constexpr std::string_view kArgPeer = "peer";
 inline constexpr std::string_view kArgSite = "site";
+inline constexpr std::string_view kArgVf = "vf";
 
 }  // namespace snic::obs::spans
 

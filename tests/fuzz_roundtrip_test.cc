@@ -21,6 +21,7 @@
 #include "src/core/attestation.h"
 #include "src/core/attestation_wire.h"
 #include "src/core/snic_device.h"
+#include "src/core/vnic/descriptor.h"
 #include "src/mgmt/nic_os.h"
 #include "src/mgmt/verifier.h"
 #include "src/net/parser.h"
@@ -720,6 +721,146 @@ TEST(TraceCodecFuzzTest, MalformedConstructsAreRejected) {
     const DecodeOutcome out = DecodeBytes(b, 512);
     EXPECT_TRUE(out.ok) << out.error;
     EXPECT_EQ(out.events.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vNIC RX descriptors (core::vnic, docs/ROBUSTNESS.md hostile-tenant edge)
+// ---------------------------------------------------------------------------
+
+namespace vnic = core::vnic;
+
+vnic::RxDescriptor RandomDescriptor(Rng& rng, uint16_t ring_index) {
+  vnic::RxDescriptor d;
+  d.ring_index = ring_index;
+  const bool jumbo = rng.NextBounded(4) == 0;
+  d.flags = jumbo ? (vnic::kFlagValid | vnic::kFlagJumbo) : vnic::kFlagValid;
+  const uint16_t cap =
+      jumbo ? vnic::kMaxBufferBytes : vnic::kMaxStandardBufferBytes;
+  d.buffer_len = static_cast<uint16_t>(
+      vnic::kMinBufferBytes +
+      rng.NextBounded(cap - vnic::kMinBufferBytes + 1));
+  d.buffer_addr =
+      vnic::kBufferAlign *
+      rng.NextBounded((vnic::kMaxBufferAddr / vnic::kBufferAlign) + 1);
+  return d;
+}
+
+TEST(DescriptorFuzzTest, RandomDescriptorsRoundTripAtAnyChunking) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<vnic::RxDescriptor> block;
+    const size_t count = 1 + rng.NextBounded(8);
+    for (size_t i = 0; i < count; ++i) {
+      block.push_back(RandomDescriptor(rng, static_cast<uint16_t>(i)));
+    }
+    const std::vector<uint8_t> raw = vnic::EncodeDescriptors(block);
+
+    // One-shot decode and a random chunking must both yield the originals.
+    for (const size_t chunk : {raw.size(), 1 + rng.NextBounded(24)}) {
+      vnic::DescriptorStreamDecoder decoder;
+      std::vector<vnic::RxDescriptor> decoded;
+      for (size_t off = 0; off < raw.size(); off += chunk) {
+        const size_t len = std::min(chunk, raw.size() - off);
+        ASSERT_TRUE(
+            decoder
+                .Fill(std::span<const uint8_t>(&raw[off], len), &decoded)
+                .ok())
+            << iter;
+      }
+      ASSERT_TRUE(decoder.Finish().ok()) << iter;
+      EXPECT_EQ(decoded, block) << iter << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(DescriptorFuzzTest, EverySingleByteMutantDeterministicallyRejects) {
+  // The XOR checksum covers bytes [0..14] and lives in byte 15, so *any*
+  // single-byte change to a valid descriptor must reject — and reject the
+  // same way on a second decode (no hidden state).
+  Rng rng(2024);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const vnic::RxDescriptor d =
+        RandomDescriptor(rng, static_cast<uint16_t>(rng.NextBounded(65536)));
+    uint8_t bytes[vnic::kDescriptorBytes];
+    vnic::EncodeRxDescriptor(d, bytes);
+    const size_t index = rng.NextBounded(vnic::kDescriptorBytes);
+    const uint8_t mask =
+        static_cast<uint8_t>(1 + rng.NextBounded(255));  // non-zero flip
+    bytes[index] ^= mask;
+    const auto first = vnic::DecodeRxDescriptor(bytes);
+    EXPECT_FALSE(first.ok())
+        << "iter " << iter << ": flip of byte " << index << " with mask 0x"
+        << std::hex << int(mask) << " was accepted";
+    const auto second = vnic::DecodeRxDescriptor(bytes);
+    EXPECT_EQ(first.ok(), second.ok()) << iter;
+    if (!first.ok() && !second.ok()) {
+      EXPECT_EQ(first.status().message(), second.status().message()) << iter;
+    }
+  }
+}
+
+TEST(DescriptorFuzzTest, EveryPrefixTruncationIsCaughtAtFinish) {
+  Rng rng(2024);
+  std::vector<vnic::RxDescriptor> block;
+  for (uint16_t i = 0; i < 3; ++i) {
+    block.push_back(RandomDescriptor(rng, i));
+  }
+  const std::vector<uint8_t> raw = vnic::EncodeDescriptors(block);
+  for (size_t len = 0; len <= raw.size(); ++len) {
+    vnic::DescriptorStreamDecoder decoder;
+    std::vector<vnic::RxDescriptor> decoded;
+    ASSERT_TRUE(
+        decoder.Fill(std::span<const uint8_t>(raw.data(), len), &decoded)
+            .ok())
+        << len;
+    if (len % vnic::kDescriptorBytes == 0) {
+      // Whole descriptors only: a legal (shorter) block.
+      EXPECT_TRUE(decoder.Finish().ok()) << len;
+      EXPECT_EQ(decoded.size(), len / vnic::kDescriptorBytes);
+    } else {
+      // A dangling partial descriptor must not pass Finish.
+      EXPECT_FALSE(decoder.Finish().ok()) << len;
+    }
+  }
+}
+
+TEST(DescriptorFuzzTest, CorruptStreamsFailIdenticallyAtAnyChunking) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<vnic::RxDescriptor> block;
+    for (uint16_t i = 0; i < 4; ++i) {
+      block.push_back(RandomDescriptor(rng, i));
+    }
+    std::vector<uint8_t> raw = vnic::EncodeDescriptors(block);
+    raw[rng.NextBounded(raw.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBounded(255));
+
+    // Decode the corrupted stream twice with different chunkings: both must
+    // keep the same healthy prefix and fail with the same first error.
+    const auto run = [&](size_t chunk) {
+      vnic::DescriptorStreamDecoder decoder;
+      std::vector<vnic::RxDescriptor> decoded;
+      Status first_error = OkStatus();
+      for (size_t off = 0; off < raw.size(); off += chunk) {
+        const size_t len = std::min(chunk, raw.size() - off);
+        const Status status =
+            decoder.Fill(std::span<const uint8_t>(&raw[off], len), &decoded);
+        if (!status.ok() && first_error.ok()) {
+          first_error = status;
+        }
+      }
+      if (first_error.ok()) {
+        first_error = decoder.Finish();
+      }
+      return std::make_pair(decoded, first_error);
+    };
+    const auto [whole, whole_error] = run(raw.size());
+    const auto [chunked, chunked_error] = run(1 + rng.NextBounded(16));
+    EXPECT_FALSE(whole_error.ok()) << iter;  // a flip always rejects
+    EXPECT_EQ(whole, chunked) << iter;
+    EXPECT_EQ(whole_error.ok(), chunked_error.ok()) << iter;
+    EXPECT_EQ(whole_error.message(), chunked_error.message()) << iter;
   }
 }
 

@@ -1,0 +1,40 @@
+// Known-bad input for snic_lint's no-unordered-iteration rule
+// (tests/lint_test.cc). Never compiled.
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<int, int> table;
+  std::unordered_set<int> seen;
+  std::map<int, int> ordered;
+};
+
+int Sum(const Registry& r, std::unordered_map<int, int>* live) {
+  int total = 0;
+  for (const auto& [k, v] : r.table) {  // range-for: flagged
+    total += k + v;
+  }
+  for (auto it = r.seen.begin(); it != r.seen.end(); ++it) {  // begin: flagged
+    total += *it;
+  }
+  total += static_cast<int>(live->cbegin()->second);  // arrow cbegin: flagged
+  for (const auto& [k, v] : r.ordered) {  // std::map iterates sorted: allowed
+    total += k + v;
+  }
+  // Lookups, membership checks and size probes never observe the order.
+  total += static_cast<int>(r.table.count(3) + r.seen.size());
+  if (r.table.find(7) != r.table.end()) {  // .end() alone: allowed
+    ++total;
+  }
+  // snic-lint: allow(no-unordered-iteration)
+  for (int v : r.seen) {  // suppressed by the inline comment above
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

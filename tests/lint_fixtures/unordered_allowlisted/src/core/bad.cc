@@ -1,0 +1,16 @@
+// Same known-bad unordered iterations as ../unordered, silenced here by a
+// whole-file allowlist entry (tests/lint_test.cc). Never compiled.
+
+#include <unordered_map>
+
+namespace fixture {
+
+int Sum(const std::unordered_map<int, int>& table) {
+  int total = 0;
+  for (const auto& [k, v] : table) {
+    total += k + v;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -84,6 +84,28 @@ TEST(SnicLintTest, MutableStaticsAllowlistSilencesWholeFile) {
   EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
 }
 
+TEST(SnicLintTest, UnorderedIterationFiresAndInlineSuppressionHolds) {
+  const auto findings = LintFixture("unordered");
+  EXPECT_EQ(findings.size(), 3u) << FormatFindings(findings);
+  EXPECT_EQ(CountRule(findings, "no-unordered-iteration"), 3u);
+  EXPECT_TRUE(HasFinding(findings, "no-unordered-iteration",
+                         "range-for over unordered container `table`"));
+  EXPECT_TRUE(HasFinding(findings, "no-unordered-iteration", "`seen.begin()`"));
+  EXPECT_TRUE(
+      HasFinding(findings, "no-unordered-iteration", "`live.cbegin()`"));
+  // std::map iteration, lookups/size probes and `.end()` miss-checks pass.
+  EXPECT_FALSE(HasFinding(findings, "no-unordered-iteration", "`ordered`"));
+  EXPECT_FALSE(HasFinding(findings, "no-unordered-iteration", ".end()"));
+  // The `// snic-lint: allow(no-unordered-iteration)` comment covers the
+  // suppressed range-for on the following line.
+  EXPECT_FALSE(HasFindingOnLine(findings, "src/core/bad.cc", 34));
+}
+
+TEST(SnicLintTest, UnorderedIterationAllowlistSilencesWholeFile) {
+  const auto findings = LintFixture("unordered_allowlisted");
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
 TEST(SnicLintTest, FaultSiteRegistryFiresAndInlineSuppressionHolds) {
   const auto findings = LintFixture("fault");
   EXPECT_EQ(findings.size(), 5u) << FormatFindings(findings);

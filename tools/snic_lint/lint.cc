@@ -342,6 +342,7 @@ class Linter {
       CheckWallclock(file);
       CheckAmbientRng(file);
       CheckMutableStatics(file);
+      CheckUnorderedIteration(file);
     }
     CheckFaultSites();
     CheckMetricNames();
@@ -543,6 +544,157 @@ class Linter {
              "mutable `" + toks[i].text + "` state `" + identifier +
                  "`; shared mutable statics break schedule-invariance — "
                  "pass state explicitly or add an audited allowlist entry");
+    }
+  }
+
+  // ---- no-unordered-iteration ---------------------------------------------
+
+  // Iteration order over std::unordered_{map,set} depends on hash seeding,
+  // bucket counts and insertion history — none of which the replay contract
+  // pins — so a range-for (or an explicit .begin() walk) over one in a
+  // simulated layer is a determinism bug waiting for a rehash. Lookups,
+  // counts and size probes stay fine; iterate a sorted copy or use the
+  // ordered containers instead.
+  void CheckUnorderedIteration(const SourceFile& file) {
+    static const std::set<std::string, std::less<>> kSimulatedDirs = {
+        "src/sim/", "src/core/", "src/fault/", "src/nf/"};
+    const bool in_scope =
+        std::any_of(kSimulatedDirs.begin(), kSimulatedDirs.end(),
+                    [&](const std::string& d) { return StartsWith(file.path, d); });
+    if (!in_scope) {
+      return;
+    }
+    static const std::set<std::string, std::less<>> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static const std::set<std::string, std::less<>> kBeginCalls = {
+        "begin", "cbegin", "rbegin", "crbegin"};
+    const auto& toks = file.tokens;
+
+    // Pass 1: identifiers declared with an unordered container type in this
+    // file (members, locals, parameters). Skip the balanced template
+    // argument list, then take the last identifier before the declarator
+    // terminator; a '(' first means a function returning the container —
+    // not a variable.
+    std::set<std::string> tracked;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          kUnorderedTypes.count(toks[i].text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+          toks[j].text == "<") {
+        int depth = 1;
+        for (++j; j < toks.size() && depth > 0; ++j) {
+          if (toks[j].kind != TokKind::kPunct) {
+            continue;
+          }
+          if (toks[j].text == "<") {
+            ++depth;
+          } else if (toks[j].text == ">") {
+            --depth;
+          }
+        }
+      }
+      std::string identifier;
+      for (; j < toks.size() && j < i + 96; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") {
+            identifier.clear();  // function declaration, not a variable
+            break;
+          }
+          if (t.text == ";" || t.text == "=" || t.text == "{" ||
+              t.text == "," || t.text == ")") {
+            break;
+          }
+          continue;  // &, *, :: qualifiers
+        }
+        if (t.kind == TokKind::kIdent && t.text != "const") {
+          identifier = t.text;
+        }
+      }
+      if (!identifier.empty()) {
+        tracked.insert(identifier);
+      }
+    }
+    if (tracked.empty()) {
+      return;
+    }
+
+    // Pass 2a: range-for whose range expression ends in a tracked
+    // identifier — `for (... : table_)`, `for (... : obj.table_)`.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || toks[i].text != "for" ||
+          toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") {
+        continue;
+      }
+      int depth = 1;
+      bool classic_for = false;
+      size_t colon = 0;
+      size_t j = i + 2;
+      for (; j < toks.size() && depth > 0; ++j) {
+        const Token& t = toks[j];
+        if (t.kind != TokKind::kPunct) {
+          continue;
+        }
+        if (t.text == "(") {
+          ++depth;
+        } else if (t.text == ")") {
+          --depth;
+        } else if (depth == 1 && t.text == ";") {
+          classic_for = true;  // init;cond;step — not a range-for
+          break;
+        } else if (depth == 1 && t.text == ":" && colon == 0) {
+          const bool qualifier =
+              (j > 0 && toks[j - 1].kind == TokKind::kPunct &&
+               toks[j - 1].text == ":") ||
+              (j + 1 < toks.size() && toks[j + 1].kind == TokKind::kPunct &&
+               toks[j + 1].text == ":");
+          if (!qualifier) {
+            colon = j;
+          }
+        }
+      }
+      if (classic_for || colon == 0 || j < 2) {
+        continue;
+      }
+      const Token& last = toks[j - 2];  // token before the closing ')'
+      if (last.kind == TokKind::kIdent && tracked.count(last.text) != 0) {
+        Report("no-unordered-iteration", file, toks[i].line, last.text,
+               "range-for over unordered container `" + last.text +
+                   "`; iteration order is hash/layout dependent and breaks "
+                   "byte-identical replay — iterate a sorted copy or use an "
+                   "ordered container");
+      }
+    }
+
+    // Pass 2b: explicit iterator walks — `table_.begin()`, `set->cbegin()`.
+    // `.end()` alone (idiomatic for find()-miss checks) stays allowed.
+    for (size_t i = 2; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          kBeginCalls.count(toks[i].text) == 0 ||
+          toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") {
+        continue;
+      }
+      std::string base;
+      if (toks[i - 1].kind == TokKind::kPunct && toks[i - 1].text == "." &&
+          toks[i - 2].kind == TokKind::kIdent) {
+        base = toks[i - 2].text;
+      } else if (i >= 3 && toks[i - 1].kind == TokKind::kPunct &&
+                 toks[i - 1].text == ">" &&
+                 toks[i - 2].kind == TokKind::kPunct &&
+                 toks[i - 2].text == "-" &&
+                 toks[i - 3].kind == TokKind::kIdent) {
+        base = toks[i - 3].text;
+      }
+      if (!base.empty() && tracked.count(base) != 0) {
+        Report("no-unordered-iteration", file, toks[i].line, base,
+               "`" + base + "." + toks[i].text +
+                   "()` iterates an unordered container; iteration order is "
+                   "hash/layout dependent and breaks byte-identical replay");
+      }
     }
   }
 

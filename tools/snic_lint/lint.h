@@ -17,6 +17,10 @@
 //                           randomness derives from common/rng.h streams
 //   no-mutable-file-static  mutable static/thread_local declarations outside
 //                           the audited allowlist
+//   no-unordered-iteration  range-for or .begin()-family walks over
+//                           std::unordered_{map,set} in the simulated layers
+//                           — iteration order is hash/layout dependent and
+//                           breaks byte-identical replay
 //   fault-site-registry     SNIC_FAULT_FIRES/STALL sites: named constants,
 //                           globally unique strings, listed in
 //                           tools/snic_lint/fault_sites.txt and
