@@ -1,0 +1,10 @@
+#ifndef FIXTURE_COMMON_UTIL_H_
+#define FIXTURE_COMMON_UTIL_H_
+
+namespace common {
+
+inline int Clamp(int v) { return v < 0 ? 0 : v; }
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_UTIL_H_

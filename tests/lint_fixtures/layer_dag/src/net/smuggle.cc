@@ -1,0 +1,11 @@
+// Fixture: a dependency smuggled through a forward declaration — no
+// #include betrays the edge, so only call-edge granularity catches it.
+namespace sim {
+int Tick(int cycles);
+}  // namespace sim
+
+namespace net {
+
+int Poll() { return sim::Tick(3); }
+
+}  // namespace net

@@ -1,0 +1,11 @@
+// Fixture: obs reaching back into sim — forbidden by the declared DAG.
+// Both granularities fire: the #include edge and the call edge.
+#include "src/obs/exporter.h"
+
+#include "src/sim/engine.h"
+
+namespace obs {
+
+int Export() { return sim::Tick(1); }
+
+}  // namespace obs

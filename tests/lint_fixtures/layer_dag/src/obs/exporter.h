@@ -1,0 +1,10 @@
+#ifndef FIXTURE_OBS_EXPORTER_H_
+#define FIXTURE_OBS_EXPORTER_H_
+
+namespace obs {
+
+int Export();
+
+}  // namespace obs
+
+#endif  // FIXTURE_OBS_EXPORTER_H_

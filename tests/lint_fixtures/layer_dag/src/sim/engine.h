@@ -1,0 +1,10 @@
+#ifndef FIXTURE_SIM_ENGINE_H_
+#define FIXTURE_SIM_ENGINE_H_
+
+namespace sim {
+
+int Tick(int cycles);
+
+}  // namespace sim
+
+#endif  // FIXTURE_SIM_ENGINE_H_

@@ -1,0 +1,16 @@
+// Fixture: one live suppression and one stale one. The live comment
+// silences a real no-wallclock finding; the stale comment suppresses
+// nothing and must itself become a blocking stale-suppression finding.
+#include <ctime>
+
+namespace sim {
+
+long Now() {
+  return time(nullptr);  // snic-lint: allow(no-wallclock)
+}
+
+long Zero() {
+  return 0;  // snic-lint: allow(no-wallclock)
+}
+
+}  // namespace sim

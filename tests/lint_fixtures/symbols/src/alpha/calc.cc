@@ -1,0 +1,15 @@
+#include "src/alpha/calc.h"
+
+namespace alpha {
+
+int Twice(int v) { return v + v; }
+
+int Twice(int v, int w) { return v + w; }
+
+// Out-of-class method calling a free function and an own-class method.
+int Counter::Bump() {
+  value_ += Twice(1);
+  return Value();
+}
+
+}  // namespace alpha

@@ -1,0 +1,22 @@
+// Fixture for the symbol-indexer golden test: overloads, an inline method,
+// an out-of-class method, and a free function, all in namespace alpha.
+#ifndef FIXTURE_ALPHA_CALC_H_
+#define FIXTURE_ALPHA_CALC_H_
+
+namespace alpha {
+
+int Twice(int v);
+int Twice(int v, int w);
+
+class Counter {
+ public:
+  int Bump();
+  int Value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace alpha
+
+#endif  // FIXTURE_ALPHA_CALC_H_

@@ -1,0 +1,10 @@
+// Calls across namespaces: through a using-declaration and fully qualified.
+#include "src/alpha/calc.h"
+
+using alpha::Twice;
+
+namespace beta {
+
+int Run() { return Twice(2) + alpha::Twice(1, 2); }
+
+}  // namespace beta

@@ -1,0 +1,14 @@
+// Fixture: an OS escape (getenv) behind a src/common helper. There is no
+// lexical os rule, so only no-transitive-os reports — direct uses included.
+#ifndef FIXTURE_COMMON_ENV_UTIL_H_
+#define FIXTURE_COMMON_ENV_UTIL_H_
+
+#include <cstdlib>
+
+namespace common {
+
+inline const char* DebugLevel() { return getenv("SNIC_DEBUG"); }
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_ENV_UTIL_H_

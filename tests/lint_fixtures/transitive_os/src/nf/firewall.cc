@@ -1,0 +1,17 @@
+// Fixture: nf-layer code reaching the OS both through a helper chain and
+// directly. Both are no-transitive-os findings (no lexical os rule exists).
+#include <cstdio>
+
+#include "src/common/env_util.h"
+
+namespace nf {
+
+// Chained: Configure -> common::DebugLevel -> getenv.
+bool Configure() { return common::DebugLevel() != nullptr; }
+
+// Direct: an in-scope function calling an os root itself.
+bool LoadRules() {
+  return fopen("/etc/snic/rules", "r") != nullptr;
+}
+
+}  // namespace nf

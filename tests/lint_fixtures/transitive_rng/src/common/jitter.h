@@ -1,0 +1,18 @@
+// Fixture: ambient RNG behind a src/common helper. The lexical
+// no-ambient-rng rule fires here directly (it scans the whole tree), and
+// the transitive rule additionally flags the core-layer caller chain.
+#ifndef FIXTURE_COMMON_JITTER_H_
+#define FIXTURE_COMMON_JITTER_H_
+
+#include <random>
+
+namespace common {
+
+inline int AmbientJitter() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_JITTER_H_

@@ -1,0 +1,15 @@
+// Fixture: core-layer scheduler reaching ambient RNG through a helper.
+#include "src/common/jitter.h"
+
+namespace core {
+
+// Frontier: Pick -> common::AmbientJitter -> mt19937.
+int Pick() { return common::AmbientJitter() % 4; }
+
+// Suppressed at the call-site link: the chain is cut here, so Audited must
+// not be reported (and the suppression is live, not stale).
+int Audited() {
+  return common::AmbientJitter() % 8;  // snic-lint: allow(no-transitive-rng)
+}
+
+}  // namespace core

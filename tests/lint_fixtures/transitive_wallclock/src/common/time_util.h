@@ -1,0 +1,25 @@
+// Fixture: a wall-clock read hiding in src/common — OUTSIDE the lexical
+// no-wallclock scope (src/sim|core|fault|nf), so the per-line rule can never
+// see it. Only the transitive pass catches the sim-layer caller.
+#ifndef FIXTURE_COMMON_TIME_UTIL_H_
+#define FIXTURE_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace common {
+
+inline int64_t NowNs() {
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// A pure helper: callers of this must NOT be flagged.
+inline int64_t SaturatingAdd(int64_t a, int64_t b) {
+  return a > 0 && b > 0 ? a + b : a;
+}
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_TIME_UTIL_H_

@@ -1,0 +1,17 @@
+// Fixture: sim-layer functions one and two hops from a hidden clock read.
+#include "src/common/time_util.h"
+
+namespace sim {
+
+// One hop: Step -> common::NowNs -> clock_gettime. The frontier finding
+// lands here, with the full chain in the message.
+int64_t Step() { return common::NowNs(); }
+
+// Two hops within the sim layer: the inner function (Step) owns the
+// finding; Drive must NOT be reported a second time.
+int64_t Drive() { return Step() + 1; }
+
+// Pure path: no finding.
+int64_t Settle() { return common::SaturatingAdd(1, 2); }
+
+}  // namespace sim

@@ -1,7 +1,7 @@
 #include "tools/snic_lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
+#include <array>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -11,232 +11,13 @@
 #include <string_view>
 #include <tuple>
 
+#include "src/runtime/thread_pool.h"
+#include "tools/snic_lint/symbol_graph.h"
+
 namespace snic::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Source model: raw text, per-line suppressions, token stream, includes.
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kString, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;  // for kString: the literal's contents, quotes stripped
-  int line;
-};
-
-struct SourceFile {
-  std::string path;  // repo-relative
-  std::vector<Token> tokens;
-  // line -> rules suppressed on that line (from `snic-lint: allow(...)`).
-  std::map<int, std::set<std::string>> suppressions;
-  // #include "..." targets with their line numbers.
-  std::vector<std::pair<std::string, int>> includes;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Records `snic-lint: allow(rule-a, rule-b)` from a comment starting at
-// `line`. `alone` is true when the comment is the only content on its line,
-// in which case the suppression also covers the following line.
-void ParseSuppression(const std::string& comment, int line, bool alone,
-                      SourceFile* out) {
-  static constexpr std::string_view kTag = "snic-lint: allow(";
-  size_t pos = comment.find(kTag);
-  while (pos != std::string::npos) {
-    const size_t open = pos + kTag.size();
-    const size_t close = comment.find(')', open);
-    if (close == std::string::npos) {
-      break;
-    }
-    std::string rules = comment.substr(open, close - open);
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      const size_t b = rule.find_first_not_of(" \t");
-      const size_t e = rule.find_last_not_of(" \t");
-      if (b == std::string::npos) {
-        continue;
-      }
-      rule = rule.substr(b, e - b + 1);
-      out->suppressions[line].insert(rule);
-      if (alone) {
-        out->suppressions[line + 1].insert(rule);
-      }
-    }
-    pos = comment.find(kTag, close);
-  }
-}
-
-// Tokenizes C++ accurately enough for the rules: comments and string/char
-// literals are recognized (including raw strings), preprocessor lines are
-// scanned for #include, and everything else becomes ident/number/punct
-// tokens with line numbers.
-SourceFile Tokenize(const std::string& path, const std::string& text) {
-  SourceFile out;
-  out.path = path;
-  int line = 1;
-  size_t i = 0;
-  const size_t n = text.size();
-  // Tracks whether anything other than whitespace/comment appeared on the
-  // current line before a comment — for "comment alone on line" detection.
-  bool line_has_code = false;
-
-  auto advance_line = [&] {
-    ++line;
-    line_has_code = false;
-  };
-
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      advance_line();
-      ++i;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const size_t start = i;
-      while (i < n && text[i] != '\n') {
-        ++i;
-      }
-      ParseSuppression(text.substr(start, i - start), line, !line_has_code,
-                       &out);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      const size_t start = i;
-      const int start_line = line;
-      const bool alone = !line_has_code;
-      i += 2;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          advance_line();
-        }
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      ParseSuppression(text.substr(start, i - start), start_line, alone, &out);
-      continue;
-    }
-    // Preprocessor line: record #include "..." targets, tokenize nothing.
-    if (c == '#' && !line_has_code) {
-      size_t j = i + 1;
-      while (j < n && (text[j] == ' ' || text[j] == '\t')) {
-        ++j;
-      }
-      if (text.compare(j, 7, "include") == 0) {
-        j += 7;
-        while (j < n && (text[j] == ' ' || text[j] == '\t')) {
-          ++j;
-        }
-        if (j < n && text[j] == '"') {
-          const size_t close = text.find('"', j + 1);
-          if (close != std::string::npos) {
-            out.includes.emplace_back(text.substr(j + 1, close - j - 1), line);
-          }
-        }
-      }
-      // Skip to end of line, honoring continuations.
-      while (i < n && text[i] != '\n') {
-        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-          advance_line();
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    line_has_code = true;
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      const size_t open_paren = text.find('(', i + 2);
-      if (open_paren != std::string::npos) {
-        const std::string delim = text.substr(i + 2, open_paren - i - 2);
-        const std::string closer = ")" + delim + "\"";
-        const size_t end = text.find(closer, open_paren + 1);
-        const size_t stop = end == std::string::npos ? n : end;
-        out.tokens.push_back(
-            {TokKind::kString,
-             text.substr(open_paren + 1, stop - open_paren - 1), line});
-        for (size_t k = i; k < std::min(n, stop + closer.size()); ++k) {
-          if (text[k] == '\n') {
-            ++line;
-          }
-        }
-        i = end == std::string::npos ? n : end + closer.size();
-        continue;
-      }
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      const int start_line = line;
-      std::string value;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < n) {
-          value += text[i];
-          value += text[i + 1];
-          i += 2;
-          continue;
-        }
-        if (text[i] == '\n') {
-          advance_line();  // unterminated; tolerate
-        }
-        value += text[i];
-        ++i;
-      }
-      ++i;  // closing quote
-      if (quote == '"') {
-        out.tokens.push_back({TokKind::kString, value, start_line});
-      }
-      continue;
-    }
-    // Identifier / keyword.
-    if (IsIdentStart(c)) {
-      const size_t start = i;
-      while (i < n && IsIdentChar(text[i])) {
-        ++i;
-      }
-      out.tokens.push_back(
-          {TokKind::kIdent, text.substr(start, i - start), line});
-      continue;
-    }
-    // Number (good enough: digits, dots, exponents, hex).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      const size_t start = i;
-      while (i < n && (IsIdentChar(text[i]) || text[i] == '.' ||
-                       (text[i] == '\'' && i + 1 < n &&
-                        IsIdentChar(text[i + 1])) ||  // digit separators
-                       ((text[i] == '+' || text[i] == '-') && i > start &&
-                        (text[i - 1] == 'e' || text[i - 1] == 'E' ||
-                         text[i - 1] == 'p' || text[i - 1] == 'P')))) {
-        ++i;
-      }
-      out.tokens.push_back(
-          {TokKind::kNumber, text.substr(start, i - start), line});
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Tree loading
@@ -321,6 +102,43 @@ Allowlist LoadAllowlist(const Options& options) {
 }
 
 // ---------------------------------------------------------------------------
+// Impurity kinds (shared between the lexical rules and the transitive pass)
+// ---------------------------------------------------------------------------
+
+enum ImpKind { kWallclock = 0, kRng, kUnordered, kOs, kNumKinds };
+
+constexpr const char* kTransitiveRule[kNumKinds] = {
+    "no-transitive-wallclock", "no-transitive-rng", "no-transitive-unordered",
+    "no-transitive-os"};
+
+constexpr const char* kRootLabel[kNumKinds] = {
+    "wall-clock API", "ambient-RNG API", "unordered-container iteration",
+    "OS-escape API"};
+
+// One lexical sighting of an impurity: the banned token and, for the
+// lexical rules, the exact message they have always reported.
+struct Occurrence {
+  int line = 0;
+  std::string token;    // allowlist identifier / chain tail
+  std::string message;  // lexical finding text ("" = no lexical rule here)
+};
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InSimulatedScope(const std::string& path) {
+  static constexpr std::string_view kSimulatedDirs[] = {
+      "src/sim/", "src/core/", "src/fault/", "src/nf/"};
+  for (std::string_view d : kSimulatedDirs) {
+    if (StartsWith(path, d)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // Shared rule machinery
 // ---------------------------------------------------------------------------
 
@@ -328,26 +146,41 @@ class Linter {
  public:
   Linter(const Options& options) : options_(options) {
     allowlist_ = LoadAllowlist(options);
-    for (const std::string& rel : GatherSources(options)) {
-      files_.push_back(
-          Tokenize(rel, ReadFileOrEmpty(fs::path(options.root) / rel)));
+    const std::vector<std::string> paths = GatherSources(options);
+    indexes_.resize(paths.size());
+    // Pass 1 — tokenizing + indexing every file — is a pure per-file
+    // function into an index-addressed slot, so it fans out over the
+    // deterministic ThreadPool; every later pass walks the merged index
+    // serially, which is why findings are byte-identical at any --jobs.
+    const int jobs = std::max(1, options.jobs);
+    std::unique_ptr<runtime::ThreadPool> pool;
+    if (jobs > 1) {
+      pool = std::make_unique<runtime::ThreadPool>(static_cast<size_t>(jobs));
     }
+    runtime::ParallelFor(pool.get(), paths.size(), [&](size_t i) {
+      indexes_[i] = IndexFile(
+          Tokenize(paths[i], ReadFileOrEmpty(fs::path(options.root) / paths[i])));
+    });
+    graph_ = BuildSymbolGraph(indexes_);
     obs_doc_ = ReadFileOrEmpty(fs::path(options_.root) / options_.obs_doc_path);
     robustness_doc_ =
         ReadFileOrEmpty(fs::path(options_.root) / options_.robustness_doc_path);
+    LoadImpureRoots();
   }
 
   std::vector<Finding> Run() {
-    for (const SourceFile& file : files_) {
-      CheckWallclock(file);
-      CheckAmbientRng(file);
-      CheckMutableStatics(file);
-      CheckUnorderedIteration(file);
+    CollectOccurrences();
+    for (const FileIndex& index : indexes_) {
+      ReportLexical(index.source);
+      CheckMutableStatics(index.source);
     }
+    CheckTransitive();
+    CheckLayerDag();
     CheckFaultSites();
     CheckMetricNames();
     CheckSpanNames();
     CheckIncludeCycles();
+    CheckStaleSuppressions();  // last: audits every suppression's liveness
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.file, a.line, a.rule, a.message) <
@@ -356,11 +189,27 @@ class Linter {
     return std::move(findings_);
   }
 
+  const SymbolGraph& graph() const { return graph_; }
+
  private:
+  // Suppression lookup that records which allow() comment fired, so the
+  // stale-suppression rule can audit the rest.
+  bool Suppressed(const SourceFile& file, int line, const std::string& rule) {
+    const auto it = file.suppressions.find(line);
+    if (it == file.suppressions.end()) {
+      return false;
+    }
+    const auto rit = it->second.find(rule);
+    if (rit == it->second.end()) {
+      return false;
+    }
+    used_suppressions_.insert({file.path, rit->second, rule});
+    return true;
+  }
+
   void Report(const std::string& rule, const SourceFile& file, int line,
               const std::string& identifier, const std::string& message) {
-    const auto it = file.suppressions.find(line);
-    if (it != file.suppressions.end() && it->second.count(rule) != 0) {
+    if (Suppressed(file, line, rule)) {
       return;
     }
     if (allowlist_.Allows(rule, file.path, identifier)) {
@@ -378,21 +227,49 @@ class Linter {
     findings_.push_back({rule, file, line, message});
   }
 
-  static bool StartsWith(const std::string& s, std::string_view prefix) {
-    return s.compare(0, prefix.size(), prefix) == 0;
+  // ---- impurity roots registry -------------------------------------------
+
+  void LoadImpureRoots() {
+    // Format: `<kind> <identifier>` per line, kind in {os, wallclock, rng};
+    // '#' comments. os identifiers seed no-transitive-os roots; wallclock /
+    // rng identifiers extend the built-in banned sets for the transitive
+    // pass (the lexical rules keep their historical sets).
+    std::istringstream in(ReadFileOrEmpty(fs::path(options_.root) /
+                                          options_.impure_roots_path));
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::istringstream fields(line);
+      std::string kind, ident;
+      if (!(fields >> kind >> ident)) {
+        continue;
+      }
+      if (kind == "os") {
+        os_roots_.insert(ident);
+      } else if (kind == "wallclock") {
+        extra_wallclock_.insert(ident);
+      } else if (kind == "rng") {
+        extra_rng_.insert(ident);
+      }
+    }
   }
 
-  // ---- no-wallclock -------------------------------------------------------
+  // ---- occurrence collection (every file, scope filters applied later) ----
 
-  void CheckWallclock(const SourceFile& file) {
-    static const std::set<std::string, std::less<>> kSimulatedDirs = {
-        "src/sim/", "src/core/", "src/fault/", "src/nf/"};
-    const bool in_scope =
-        std::any_of(kSimulatedDirs.begin(), kSimulatedDirs.end(),
-                    [&](const std::string& d) { return StartsWith(file.path, d); });
-    if (!in_scope) {
-      return;
+  void CollectOccurrences() {
+    occurrences_.resize(indexes_.size());
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      CollectWallclock(indexes_[i].source, &occurrences_[i][kWallclock]);
+      CollectRng(indexes_[i].source, &occurrences_[i][kRng]);
+      CollectUnordered(indexes_[i].source, &occurrences_[i][kUnordered]);
+      CollectOs(indexes_[i].source, &occurrences_[i][kOs]);
     }
+  }
+
+  void CollectWallclock(const SourceFile& file, std::vector<Occurrence>* out) {
     static const std::set<std::string, std::less<>> kBanned = {
         "system_clock",   "steady_clock", "high_resolution_clock",
         "gettimeofday",   "clock_gettime", "timespec_get",
@@ -410,34 +287,26 @@ class Linter {
       if (member_access) {
         continue;  // foo.clock(), p->clock(): a simulated clock, not libc's
       }
-      if (kBanned.count(t) != 0) {
-        // `clock`/`time` only as direct calls; the chrono clock types and
-        // POSIX functions are banned as bare identifiers.
-        const bool call_like = i + 1 < toks.size() &&
-                               toks[i + 1].kind == TokKind::kPunct &&
-                               toks[i + 1].text == "(";
-        if ((t == "clock" || t == "time") && !call_like) {
-          continue;
-        }
-        Report("no-wallclock", file, toks[i].line, t,
-               "wall-clock API `" + t +
-                   "` in a simulated-cycles layer; derive time from the "
-                   "scenario clock (FaultPlane::now, replay cycles)");
-      } else if (t == "time") {
-        const bool call_like = i + 1 < toks.size() &&
-                               toks[i + 1].kind == TokKind::kPunct &&
-                               toks[i + 1].text == "(";
-        if (call_like) {
-          Report("no-wallclock", file, toks[i].line, t,
-                 "wall-clock API `time()` in a simulated-cycles layer");
-        }
+      if (kBanned.count(t) == 0 && extra_wallclock_.count(t) == 0) {
+        continue;
       }
+      // `clock`/`time` only as direct calls; the chrono clock types and
+      // POSIX functions are banned as bare identifiers.
+      const bool call_like = i + 1 < toks.size() &&
+                             toks[i + 1].kind == TokKind::kPunct &&
+                             toks[i + 1].text == "(";
+      if ((t == "clock" || t == "time") && !call_like) {
+        continue;
+      }
+      out->push_back({toks[i].line, t,
+                      "wall-clock API `" + t +
+                          "` in a simulated-cycles layer; derive time from "
+                          "the scenario clock (FaultPlane::now, replay "
+                          "cycles)"});
     }
   }
 
-  // ---- no-ambient-rng -----------------------------------------------------
-
-  void CheckAmbientRng(const SourceFile& file) {
+  void CollectRng(const SourceFile& file, std::vector<Occurrence>* out) {
     // Identifiers that are banned outright: ambient or default-seeded
     // randomness. All randomness must flow from snic::Rng streams seeded
     // via runtime::DeriveTaskSeed or the fault plane (crypto has its DRBG).
@@ -470,100 +339,22 @@ class Linter {
                              toks[i + 1].kind == TokKind::kPunct &&
                              toks[i + 1].text == "(";
       if (kBannedAlways.count(t) != 0 ||
-          (call_like && kBannedCalls.count(t) != 0)) {
-        Report("no-ambient-rng", file, toks[i].line, t,
-               "ambient/default-seeded randomness `" + t +
-                   "`; use snic::Rng seeded via runtime::DeriveTaskSeed "
-                   "(src/common/rng.h)");
+          (call_like && kBannedCalls.count(t) != 0) ||
+          (call_like && extra_rng_.count(t) != 0)) {
+        out->push_back({toks[i].line, t,
+                        "ambient/default-seeded randomness `" + t +
+                            "`; use snic::Rng seeded via "
+                            "runtime::DeriveTaskSeed (src/common/rng.h)"});
       }
     }
   }
-
-  // ---- no-mutable-file-static --------------------------------------------
-
-  void CheckMutableStatics(const SourceFile& file) {
-    if (!(StartsWith(file.path, "src/") || StartsWith(file.path, "bench/") ||
-          StartsWith(file.path, "tools/"))) {
-      return;
-    }
-    const auto& toks = file.tokens;
-    for (size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind != TokKind::kIdent ||
-          !(toks[i].text == "static" || toks[i].text == "thread_local")) {
-        continue;
-      }
-      // `static thread_local` / `thread_local static`: handle once.
-      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
-          (toks[i - 1].text == "static" ||
-           toks[i - 1].text == "thread_local")) {
-        continue;
-      }
-      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
-          toks[i - 1].text == "extern") {
-        continue;  // extern declaration, storage lives elsewhere
-      }
-      // Scan the declaration: the first of `(` `;` `=` `{` decides whether
-      // this is a function (paren first) or a variable.
-      bool is_const = false;
-      std::string identifier;
-      bool decided = false;
-      bool is_variable = false;
-      int decl_line = toks[i].line;
-      for (size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
-        const Token& t = toks[j];
-        if (t.kind == TokKind::kPunct) {
-          if (t.text == "(") {
-            decided = true;  // function declaration/definition
-            break;
-          }
-          if (t.text == ";" || t.text == "=" || t.text == "{" ||
-              t.text == "[") {
-            decided = true;
-            is_variable = true;
-            break;
-          }
-          continue;
-        }
-        if (t.kind == TokKind::kIdent) {
-          if (t.text == "const" || t.text == "constexpr") {
-            is_const = true;
-          } else if (t.text == "class" || t.text == "struct" ||
-                     t.text == "union" || t.text == "enum") {
-            decided = true;  // type definition, not a variable
-            break;
-          } else {
-            identifier = t.text;
-            decl_line = t.line;
-          }
-        }
-      }
-      if (!decided || !is_variable || is_const) {
-        continue;
-      }
-      Report("no-mutable-file-static", file, decl_line, identifier,
-             "mutable `" + toks[i].text + "` state `" + identifier +
-                 "`; shared mutable statics break schedule-invariance — "
-                 "pass state explicitly or add an audited allowlist entry");
-    }
-  }
-
-  // ---- no-unordered-iteration ---------------------------------------------
 
   // Iteration order over std::unordered_{map,set} depends on hash seeding,
   // bucket counts and insertion history — none of which the replay contract
-  // pins — so a range-for (or an explicit .begin() walk) over one in a
-  // simulated layer is a determinism bug waiting for a rehash. Lookups,
-  // counts and size probes stay fine; iterate a sorted copy or use the
-  // ordered containers instead.
-  void CheckUnorderedIteration(const SourceFile& file) {
-    static const std::set<std::string, std::less<>> kSimulatedDirs = {
-        "src/sim/", "src/core/", "src/fault/", "src/nf/"};
-    const bool in_scope =
-        std::any_of(kSimulatedDirs.begin(), kSimulatedDirs.end(),
-                    [&](const std::string& d) { return StartsWith(file.path, d); });
-    if (!in_scope) {
-      return;
-    }
+  // pins — so a range-for (or an explicit .begin() walk) over one is a
+  // determinism bug waiting for a rehash. Lookups, counts and size probes
+  // stay fine; iterate a sorted copy or use the ordered containers instead.
+  void CollectUnordered(const SourceFile& file, std::vector<Occurrence>* out) {
     static const std::set<std::string, std::less<>> kUnorderedTypes = {
         "unordered_map", "unordered_set", "unordered_multimap",
         "unordered_multiset"};
@@ -662,11 +453,11 @@ class Linter {
       }
       const Token& last = toks[j - 2];  // token before the closing ')'
       if (last.kind == TokKind::kIdent && tracked.count(last.text) != 0) {
-        Report("no-unordered-iteration", file, toks[i].line, last.text,
-               "range-for over unordered container `" + last.text +
-                   "`; iteration order is hash/layout dependent and breaks "
-                   "byte-identical replay — iterate a sorted copy or use an "
-                   "ordered container");
+        out->push_back({toks[i].line, last.text,
+                        "range-for over unordered container `" + last.text +
+                            "`; iteration order is hash/layout dependent and "
+                            "breaks byte-identical replay — iterate a sorted "
+                            "copy or use an ordered container"});
       }
     }
 
@@ -690,11 +481,464 @@ class Linter {
         base = toks[i - 3].text;
       }
       if (!base.empty() && tracked.count(base) != 0) {
-        Report("no-unordered-iteration", file, toks[i].line, base,
-               "`" + base + "." + toks[i].text +
-                   "()` iterates an unordered container; iteration order is "
-                   "hash/layout dependent and breaks byte-identical replay");
+        out->push_back({toks[i].line, base,
+                        "`" + base + "." + toks[i].text +
+                            "()` iterates an unordered container; iteration "
+                            "order is hash/layout dependent and breaks "
+                            "byte-identical replay"});
       }
+    }
+  }
+
+  void CollectOs(const SourceFile& file, std::vector<Occurrence>* out) {
+    if (os_roots_.empty()) {
+      return;
+    }
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          os_roots_.count(toks[i].text) == 0) {
+        continue;
+      }
+      const bool member_access =
+          i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == ">");
+      const bool call_like = toks[i + 1].kind == TokKind::kPunct &&
+                             toks[i + 1].text == "(";
+      if (member_access || !call_like) {
+        continue;
+      }
+      out->push_back({toks[i].line, toks[i].text, ""});
+    }
+  }
+
+  // ---- no-wallclock / no-ambient-rng / no-unordered-iteration -------------
+
+  void ReportLexical(const SourceFile& file) {
+    const size_t i = FileIndexOf(file);
+    if (InSimulatedScope(file.path)) {
+      for (const Occurrence& occ : occurrences_[i][kWallclock]) {
+        Report("no-wallclock", file, occ.line, occ.token, occ.message);
+      }
+      for (const Occurrence& occ : occurrences_[i][kUnordered]) {
+        Report("no-unordered-iteration", file, occ.line, occ.token,
+               occ.message);
+      }
+    }
+    for (const Occurrence& occ : occurrences_[i][kRng]) {
+      Report("no-ambient-rng", file, occ.line, occ.token, occ.message);
+    }
+  }
+
+  size_t FileIndexOf(const SourceFile& file) const {
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      if (&indexes_[i].source == &file) {
+        return i;
+      }
+    }
+    return 0;  // unreachable: every caller passes a member of indexes_
+  }
+
+  // ---- no-transitive-* ----------------------------------------------------
+
+  // Seeds every function containing an impurity occurrence as a root,
+  // propagates reachability backward over the call graph, and reports the
+  // *frontier*: a simulated-layer function whose next hop toward the root
+  // leaves the simulated layers (direct in-scope uses are the lexical
+  // rules' findings — except OS escapes, which have no lexical rule and
+  // report even when direct). Suppressions work at any link: on the root's
+  // own line they unseed it, on a call-site line they cut that edge, and
+  // the allowlist takes `<file>:<qualified-function>`.
+  void CheckTransitive() {
+    for (int kind = 0; kind < kNumKinds; ++kind) {
+      const std::string rule = kTransitiveRule[kind];
+      // Roots: first occurrence per enclosing function, in file order.
+      std::map<int, Occurrence> direct;  // node -> root occurrence
+      for (size_t fi = 0; fi < indexes_.size(); ++fi) {
+        for (const Occurrence& occ : occurrences_[fi][kind]) {
+          if (Suppressed(indexes_[fi].source, occ.line, rule)) {
+            continue;  // vouched pure: unseeds this root
+          }
+          const int node = graph_.EnclosingFunction(
+              indexes_, static_cast<int>(fi), occ.line);
+          if (node >= 0) {
+            direct.emplace(node, occ);
+          }
+        }
+      }
+      if (direct.empty()) {
+        continue;
+      }
+      // Multi-source BFS over reverse edges. next_hop records the first
+      // step of each function's chain toward a root; processing order is
+      // (BFS layer, node id, sorted in-edges), so chains are deterministic.
+      std::map<int, SymbolGraph::Edge> next_hop;  // node -> (callee, line)
+      std::vector<int> frontier;
+      for (const auto& [node, occ] : direct) {
+        frontier.push_back(node);
+      }
+      while (!frontier.empty()) {
+        std::vector<int> next_frontier;
+        for (int node : frontier) {
+          for (const SymbolGraph::Edge& rev : graph_.in[node]) {
+            const int caller = rev.to;
+            if (direct.count(caller) != 0 || next_hop.count(caller) != 0) {
+              continue;
+            }
+            const SourceFile& caller_file =
+                indexes_[graph_.nodes[caller].file_index].source;
+            if (Suppressed(caller_file, rev.line, rule)) {
+              continue;  // the chain is audited at this call site
+            }
+            next_hop[caller] = {node, rev.line};
+            next_frontier.push_back(caller);
+          }
+        }
+        std::sort(next_frontier.begin(), next_frontier.end());
+        frontier = std::move(next_frontier);
+      }
+      // Report the in-scope frontier.
+      for (int node = 0; node < static_cast<int>(graph_.nodes.size());
+           ++node) {
+        const SymbolGraph::Node& n = graph_.nodes[node];
+        if (!InSimulatedScope(n.file)) {
+          continue;
+        }
+        const SourceFile& file = indexes_[n.file_index].source;
+        if (direct.count(node) != 0) {
+          if (kind != kOs) {
+            continue;  // the lexical rule already reports direct uses
+          }
+          const Occurrence& occ = direct.at(node);
+          Report(rule, file, occ.line, n.qualified,
+                 "function `" + n.qualified + "` in a simulated-cycles layer "
+                     "calls " + std::string(kRootLabel[kind]) + " `" +
+                     occ.token + "` (tools/snic_lint/impure_roots.txt); "
+                     "route the effect through an injected dependency");
+          continue;
+        }
+        const auto hop = next_hop.find(node);
+        if (hop == next_hop.end()) {
+          continue;
+        }
+        if (InSimulatedScope(graph_.nodes[hop->second.to].file)) {
+          continue;  // an inner simulated-layer function owns the finding
+        }
+        // Build the full chain for the message.
+        std::string chain = n.qualified + " (" + n.file + ":" +
+                            std::to_string(hop->second.line) + ")";
+        std::string root_token;
+        int cur = hop->second.to;
+        int cur_via = hop->second.line;
+        (void)cur_via;
+        while (true) {
+          const auto d = direct.find(cur);
+          if (d != direct.end()) {
+            chain += " -> " + graph_.nodes[cur].qualified + " (" +
+                     graph_.nodes[cur].file + ":" +
+                     std::to_string(d->second.line) + ") -> " +
+                     d->second.token;
+            root_token = d->second.token;
+            break;
+          }
+          const SymbolGraph::Edge& e = next_hop.at(cur);
+          chain += " -> " + graph_.nodes[cur].qualified + " (" +
+                   graph_.nodes[cur].file + ":" + std::to_string(e.line) +
+                   ")";
+          cur = e.to;
+        }
+        Report(rule, file, hop->second.line, n.qualified,
+               "function `" + n.qualified + "` in a simulated-cycles layer "
+                   "can transitively reach " +
+                   std::string(kRootLabel[kind]) + " `" + root_token +
+                   "`; call chain: " + chain);
+      }
+    }
+  }
+
+  // ---- layer-dag ----------------------------------------------------------
+
+  // Enforces the declared module dependency DAG (tools/snic_lint/layers.txt:
+  // `<layer>: <allowed dep> ...`) over src/ at two granularities: #include
+  // edges and symbol-graph call edges. Inert when the registry is absent
+  // (fixture trees without one). Strictly stronger than include-cycle: a
+  // cycle cannot be declared (the registry itself is DAG-checked), and even
+  // acyclic-but-undeclared edges are findings.
+  void CheckLayerDag() {
+    const std::string reg_text = ReadFileOrEmpty(
+        fs::path(options_.root) / options_.layers_path);
+    if (reg_text.empty()) {
+      return;
+    }
+    std::map<std::string, std::set<std::string>> deps;
+    {
+      std::istringstream in(reg_text);
+      std::string line;
+      while (std::getline(in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+          line = line.substr(0, hash);
+        }
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+          continue;
+        }
+        std::istringstream name_in(line.substr(0, colon));
+        std::string name;
+        if (!(name_in >> name)) {
+          continue;
+        }
+        std::set<std::string>& allowed = deps[name];
+        std::istringstream deps_in(line.substr(colon + 1));
+        std::string dep;
+        while (deps_in >> dep) {
+          allowed.insert(dep);
+        }
+      }
+    }
+
+    // The declared graph must itself be a DAG.
+    {
+      std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+      std::function<bool(const std::string&, std::vector<std::string>&)>
+          visit = [&](const std::string& node,
+                      std::vector<std::string>& path) -> bool {
+        color[node] = 1;
+        path.push_back(node);
+        const auto it = deps.find(node);
+        if (it != deps.end()) {
+          for (const std::string& next : it->second) {
+            if (color[next] == 1) {
+              path.push_back(next);
+              return true;
+            }
+            if (color[next] == 0 && deps.count(next) != 0 &&
+                visit(next, path)) {
+              return true;
+            }
+          }
+        }
+        path.pop_back();
+        color[node] = 2;
+        return false;
+      };
+      for (const auto& [name, allowed] : deps) {
+        std::vector<std::string> path;
+        if (color[name] == 0 && visit(name, path)) {
+          std::string cycle;
+          for (const std::string& p : path) {
+            cycle += (cycle.empty() ? "" : " -> ") + p;
+          }
+          ReportGlobal("layer-dag", options_.layers_path, 0, path.back(),
+                       "declared layer dependencies contain a cycle: " +
+                           cycle);
+          return;  // a cyclic declaration makes edge checks meaningless
+        }
+      }
+    }
+
+    auto layer_of = [](const std::string& path) -> std::string {
+      if (!StartsWith(path, "src/")) {
+        return "";
+      }
+      const size_t next = path.find('/', 4);
+      if (next == std::string::npos) {
+        return "";  // src/snic.h: the umbrella header has no layer
+      }
+      return path.substr(4, next - 4);
+    };
+
+    // Layer inventory drift: every src/<dir> must be declared, every
+    // declared layer must still exist.
+    std::set<std::string> seen_layers;
+    for (const FileIndex& index : indexes_) {
+      const std::string layer = layer_of(index.source.path);
+      if (layer.empty()) {
+        continue;
+      }
+      if (seen_layers.insert(layer).second && deps.count(layer) == 0) {
+        ReportGlobal("layer-dag", options_.layers_path, 0, layer,
+                     "layer `" + layer + "` (src/" + layer +
+                         "/) is not declared in " + options_.layers_path);
+      }
+    }
+    for (const auto& [name, allowed] : deps) {
+      if (seen_layers.count(name) == 0) {
+        ReportGlobal("layer-dag", options_.layers_path, 0, name,
+                     "registry declares layer `" + name +
+                         "` but src/ has no such module (stale entry?)");
+      }
+      for (const std::string& dep : allowed) {
+        if (deps.count(dep) == 0) {
+          ReportGlobal("layer-dag", options_.layers_path, 0, dep,
+                       "layer `" + name + "` depends on undeclared layer `" +
+                           dep + "`");
+        }
+      }
+    }
+
+    auto allowed_dep = [&](const std::string& from, const std::string& to) {
+      if (from == to) {
+        return true;
+      }
+      const auto it = deps.find(from);
+      return it != deps.end() && it->second.count(to) != 0;
+    };
+
+    // Include-edge granularity.
+    for (const FileIndex& index : indexes_) {
+      const std::string from = layer_of(index.source.path);
+      if (from.empty() || deps.count(from) == 0) {
+        continue;
+      }
+      for (const auto& inc : index.source.includes) {
+        const std::string to = layer_of(inc.first);
+        if (to.empty() || allowed_dep(from, to)) {
+          continue;
+        }
+        Report("layer-dag", index.source, inc.second, "src/" + to,
+               "#include crosses the layer DAG: `" + from +
+                   "` may not depend on `" + to + "` (" +
+                   options_.layers_path + " allows: " +
+                   JoinDeps(deps.at(from)) + ")");
+      }
+    }
+
+    // Call-edge granularity — catches dependencies smuggled through forward
+    // declarations, where no #include betrays the edge.
+    for (int id = 0; id < static_cast<int>(graph_.nodes.size()); ++id) {
+      const SymbolGraph::Node& caller = graph_.nodes[id];
+      const std::string from = layer_of(caller.file);
+      if (from.empty() || deps.count(from) == 0) {
+        continue;
+      }
+      std::set<std::pair<int, std::string>> reported;  // (line, to-layer)
+      for (const SymbolGraph::Edge& e : graph_.out[id]) {
+        if (e.fuzzy) {
+          continue;  // heuristic match; include-granularity covers the real edge
+        }
+        const SymbolGraph::Node& callee = graph_.nodes[e.to];
+        const std::string to = layer_of(callee.file);
+        if (to.empty() || allowed_dep(from, to)) {
+          continue;
+        }
+        if (!reported.insert({e.line, to}).second) {
+          continue;
+        }
+        Report("layer-dag", indexes_[caller.file_index].source, e.line,
+               caller.qualified,
+               "call crosses the layer DAG: `" + caller.qualified + "` (" +
+                   from + ") calls `" + callee.qualified + "` (" + to +
+                   ", " + callee.file + ":" + std::to_string(callee.line) +
+                   "); " + options_.layers_path + " allows `" + from +
+                   "` -> " + JoinDeps(deps.at(from)));
+      }
+    }
+  }
+
+  static std::string JoinDeps(const std::set<std::string>& deps) {
+    if (deps.empty()) {
+      return "{}";
+    }
+    std::string out = "{";
+    for (const std::string& d : deps) {
+      out += (out.size() == 1 ? "" : ", ") + d;
+    }
+    return out + "}";
+  }
+
+  // ---- stale-suppression --------------------------------------------------
+
+  // Every inline `snic-lint: allow(rule)` must have silenced at least one
+  // finding (or cut a transitive chain / unseeded a root) this run;
+  // suppressions that do nothing rot into false documentation and hide
+  // future regressions, exactly like stale allowlist entries — which the
+  // allowlist-liveness test already catches.
+  void CheckStaleSuppressions() {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
+      std::set<std::pair<int, std::string>> declared;  // (origin, rule)
+      for (const auto& by_line : file.suppressions) {
+        for (const auto& entry : by_line.second) {
+          declared.insert({entry.second, entry.first});
+        }
+      }
+      for (const auto& [origin, rule] : declared) {
+        if (used_suppressions_.count({file.path, origin, rule}) != 0) {
+          continue;
+        }
+        Report("stale-suppression", file, origin, rule,
+               "`snic-lint: allow(" + rule + ")` suppresses nothing — "
+                   "remove the stale suppression (or fix the rule name)");
+      }
+    }
+  }
+
+  // ---- no-mutable-file-static --------------------------------------------
+
+  void CheckMutableStatics(const SourceFile& file) {
+    if (!(StartsWith(file.path, "src/") || StartsWith(file.path, "bench/") ||
+          StartsWith(file.path, "tools/"))) {
+      return;
+    }
+    const auto& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          !(toks[i].text == "static" || toks[i].text == "thread_local")) {
+        continue;
+      }
+      // `static thread_local` / `thread_local static`: handle once.
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          (toks[i - 1].text == "static" ||
+           toks[i - 1].text == "thread_local")) {
+        continue;
+      }
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          toks[i - 1].text == "extern") {
+        continue;  // extern declaration, storage lives elsewhere
+      }
+      // Scan the declaration: the first of `(` `;` `=` `{` decides whether
+      // this is a function (paren first) or a variable.
+      bool is_const = false;
+      std::string identifier;
+      bool decided = false;
+      bool is_variable = false;
+      int decl_line = toks[i].line;
+      for (size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") {
+            decided = true;  // function declaration/definition
+            break;
+          }
+          if (t.text == ";" || t.text == "=" || t.text == "{" ||
+              t.text == "[") {
+            decided = true;
+            is_variable = true;
+            break;
+          }
+          continue;
+        }
+        if (t.kind == TokKind::kIdent) {
+          if (t.text == "const" || t.text == "constexpr") {
+            is_const = true;
+          } else if (t.text == "class" || t.text == "struct" ||
+                     t.text == "union" || t.text == "enum") {
+            decided = true;  // type definition, not a variable
+            break;
+          } else {
+            identifier = t.text;
+            decl_line = t.line;
+          }
+        }
+      }
+      if (!decided || !is_variable || is_const) {
+        continue;
+      }
+      Report("no-mutable-file-static", file, decl_line, identifier,
+             "mutable `" + toks[i].text + "` state `" + identifier +
+                 "`; shared mutable statics break schedule-invariance — "
+                 "pass state explicitly or add an audited allowlist entry");
     }
   }
 
@@ -709,7 +953,8 @@ class Linter {
   void CheckFaultSites() {
     // Collect every `string_view kName = "value"` constant.
     std::map<std::string, std::vector<SiteConstant>> constants;
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       const auto& toks = file.tokens;
       for (size_t i = 0; i + 3 < toks.size(); ++i) {
         if (toks[i].kind == TokKind::kIdent &&
@@ -734,7 +979,8 @@ class Linter {
     }
 
     // Macro uses: resolve the site argument to a constant or a literal.
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       const auto& toks = file.tokens;
       for (size_t i = 0; i + 2 < toks.size(); ++i) {
         if (toks[i].kind != TokKind::kIdent ||
@@ -873,7 +1119,8 @@ class Linter {
     static const std::set<std::string, std::less<>> kCreators = {
         "GetCounter", "GetGauge",   "GetHistogram", "AddComplete",
         "AddInstant", "AddCounter", "Emit"};
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       if (!(StartsWith(file.path, "src/") ||
             StartsWith(file.path, "bench/"))) {
         continue;
@@ -904,7 +1151,8 @@ class Linter {
     // Constants that can satisfy an Intern argument: every
     // `string_view kName = "value"` in the tree (first declaration wins).
     std::map<std::string, SiteConstant> constants;
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       const auto& toks = file.tokens;
       for (size_t i = 0; i + 3 < toks.size(); ++i) {
         if (toks[i].kind == TokKind::kIdent &&
@@ -923,7 +1171,8 @@ class Linter {
     // or arg-key name. tools/ and tests/ intern freely (decoys, fixtures);
     // the ring's own translation units declare/define Intern itself.
     std::map<std::string, SiteConstant> used;  // name string -> first use
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       if (!(StartsWith(file.path, "src/") ||
             StartsWith(file.path, "bench/"))) {
         continue;
@@ -976,9 +1225,7 @@ class Linter {
                  "span name argument is neither a constant nor a literal");
           continue;
         }
-        const auto it = file.suppressions.find(toks[i].line);
-        if (it != file.suppressions.end() &&
-            it->second.count("span-name-registry") != 0) {
+        if (Suppressed(file, toks[i].line, "span-name-registry")) {
           continue;  // suppressed uses don't register the name either
         }
         used.emplace(value, SiteConstant{value, file.path, toks[i].line});
@@ -1040,16 +1287,17 @@ class Linter {
 
   void CheckIncludeCycles() {
     // Graph over src/ files; edges follow the repo-root include style.
-    std::map<std::string, std::vector<std::string>> graph;
+    std::map<std::string, std::vector<std::string>> include_graph;
     std::map<std::string, const SourceFile*> by_path;
-    for (const SourceFile& file : files_) {
+    for (const FileIndex& index : indexes_) {
+      const SourceFile& file = index.source;
       if (!StartsWith(file.path, "src/")) {
         continue;
       }
       by_path[file.path] = &file;
-      for (const auto& [target, line] : file.includes) {
-        if (StartsWith(target, "src/")) {
-          graph[file.path].push_back(target);
+      for (const auto& inc : file.includes) {
+        if (StartsWith(inc.first, "src/")) {
+          include_graph[file.path].push_back(inc.first);
         }
       }
     }
@@ -1062,7 +1310,7 @@ class Linter {
         [&](const std::string& node) {
           color[node] = 1;
           stack.push_back(node);
-          for (const std::string& next : graph[node]) {
+          for (const std::string& next : include_graph[node]) {
             if (color[next] == 1) {
               // Found a cycle: slice it out of the stack.
               auto it = std::find(stack.begin(), stack.end(), next);
@@ -1079,9 +1327,9 @@ class Linter {
                                                : nullptr;
                 int line = 0;
                 if (origin != nullptr) {
-                  for (const auto& [target, l] : origin->includes) {
-                    if (target == next) {
-                      line = l;
+                  for (const auto& inc : origin->includes) {
+                    if (inc.first == next) {
+                      line = inc.second;
                       break;
                     }
                   }
@@ -1105,7 +1353,15 @@ class Linter {
 
   Options options_;
   Allowlist allowlist_;
-  std::vector<SourceFile> files_;
+  std::vector<FileIndex> indexes_;
+  SymbolGraph graph_;
+  std::vector<std::array<std::vector<Occurrence>, kNumKinds>> occurrences_;
+  std::set<std::string> os_roots_;
+  std::set<std::string> extra_wallclock_;
+  std::set<std::string> extra_rng_;
+  // (file, allow-comment origin line, rule) triples that silenced at least
+  // one finding, cut a chain edge, or unseeded a root this run.
+  std::set<std::tuple<std::string, int, std::string>> used_suppressions_;
   std::string obs_doc_;
   std::string robustness_doc_;
   std::vector<Finding> findings_;
@@ -1114,7 +1370,17 @@ class Linter {
 }  // namespace
 
 std::vector<Finding> RunLint(const Options& options) {
-  return Linter(options).Run();
+  Linter linter(options);
+  std::vector<Finding> findings = linter.Run();
+  if (!options.graph_out.empty()) {
+    const bool dot =
+        options.graph_out.size() > 4 &&
+        options.graph_out.compare(options.graph_out.size() - 4, 4, ".dot") ==
+            0;
+    std::ofstream out(options.graph_out, std::ios::binary);
+    out << (dot ? GraphToDot(linter.graph()) : GraphToJson(linter.graph()));
+  }
+  return findings;
 }
 
 std::string FormatFindings(const std::vector<Finding>& findings) {

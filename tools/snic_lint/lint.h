@@ -9,6 +9,12 @@
 // into machine-checked rules over a small tokenizer (no libclang), run as a
 // CTest (`ctest -R lint`) and as a blocking CI job.
 //
+// v2 is a two-pass whole-tree analyzer: pass 1 indexes every function
+// definition and call site into a symbol graph
+// (tools/snic_lint/symbol_graph.h, parallelized over the deterministic
+// runtime::ThreadPool with --jobs=N and byte-identical findings at any N);
+// pass 2 runs the lexical rules plus reachability rules over that graph.
+//
 // Rule families (each suppressible per line with `// snic-lint: allow(rule)`
 // or per entity via tools/snic_lint/allowlist.txt):
 //   no-wallclock            wall-clock APIs in src/sim, src/core, src/fault,
@@ -21,6 +27,19 @@
 //                           std::unordered_{map,set} in the simulated layers
 //                           — iteration order is hash/layout dependent and
 //                           breaks byte-identical replay
+//   no-transitive-wallclock a simulated-layer function that can *reach* a
+//   no-transitive-rng       wall-clock / ambient-RNG / unordered-iteration /
+//   no-transitive-unordered OS-escape (tools/snic_lint/impure_roots.txt)
+//   no-transitive-os        impurity through any chain of in-tree calls —
+//                           the lexical rules only see direct uses; these
+//                           report the full call chain and are suppressible
+//                           at any link of it
+//   layer-dag               the declared module dependency DAG
+//                           (tools/snic_lint/layers.txt) enforced at both
+//                           #include and call-edge granularity — strictly
+//                           stronger than include-cycle
+//   stale-suppression       an inline `snic-lint: allow(rule)` that
+//                           suppresses nothing is itself a finding
 //   fault-site-registry     SNIC_FAULT_FIRES/STALL sites: named constants,
 //                           globally unique strings, listed in
 //                           tools/snic_lint/fault_sites.txt and
@@ -30,8 +49,7 @@
 //   span-name-registry      TraceRing::Intern span/arg names in src/ and
 //                           bench/: literals or named constants resolvable
 //                           at lint time, listed in
-//                           tools/snic_lint/span_names.txt and documented in
-//                           docs/OBSERVABILITY.md
+//                           tools/snic_lint/span_names.txt
 //   include-cycle           no #include cycles across src/
 
 #ifndef SNIC_TOOLS_SNIC_LINT_LINT_H_
@@ -56,12 +74,26 @@ struct Options {
   std::string root = ".";
 
   // All paths below are relative to `root`. A missing allowlist is treated
-  // as empty; a missing registry or doc only matters when a rule needs it.
+  // as empty; a missing registry or doc only matters when a rule needs it
+  // (in particular: no layers.txt means the layer-dag rule is inert, and no
+  // impure_roots.txt means no OS-escape roots are seeded).
   std::string allowlist_path = "tools/snic_lint/allowlist.txt";
   std::string fault_registry_path = "tools/snic_lint/fault_sites.txt";
   std::string span_registry_path = "tools/snic_lint/span_names.txt";
+  std::string layers_path = "tools/snic_lint/layers.txt";
+  std::string impure_roots_path = "tools/snic_lint/impure_roots.txt";
   std::string obs_doc_path = "docs/OBSERVABILITY.md";
   std::string robustness_doc_path = "docs/ROBUSTNESS.md";
+
+  // Worker threads for the file-indexing pass (pass 1), fanned over the
+  // deterministic runtime::ThreadPool. Findings are byte-identical at any
+  // value (results land in index-addressed slots; every later pass is
+  // serial over the merged index).
+  int jobs = 1;
+
+  // When non-empty, the whole-tree call graph is written here after the
+  // run: a path ending in ".dot" gets Graphviz, anything else JSON.
+  std::string graph_out;
 };
 
 // Runs every rule over the tree; findings are sorted by (file, line, rule).

@@ -1,9 +1,12 @@
 // snic_lint driver. Usage:
 //   snic_lint --root=/path/to/repo [--allowlist=...] [--fault-registry=...]
-//             [--obs-doc=...] [--robustness-doc=...]
+//             [--obs-doc=...] [--robustness-doc=...] [--layers=...]
+//             [--impure-roots=...] [--jobs=N] [--graph-out=path.{dot,json}]
 // Prints one `file:line: rule: message` per finding; exit 1 when any fire.
+// Findings are byte-identical at any --jobs value.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -41,6 +44,23 @@ int main(int argc, char** argv) {
   if (const std::string v = FlagValue(argc, argv, "--robustness-doc");
       !v.empty()) {
     options.robustness_doc_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--layers"); !v.empty()) {
+    options.layers_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--impure-roots");
+      !v.empty()) {
+    options.impure_roots_path = v;
+  }
+  if (const std::string v = FlagValue(argc, argv, "--jobs"); !v.empty()) {
+    options.jobs = std::atoi(v.c_str());
+    if (options.jobs < 1) {
+      std::fprintf(stderr, "snic_lint: bad --jobs value `%s`\n", v.c_str());
+      return 2;
+    }
+  }
+  if (const std::string v = FlagValue(argc, argv, "--graph-out"); !v.empty()) {
+    options.graph_out = v;
   }
 
   const auto findings = snic::lint::RunLint(options);

@@ -1,0 +1,980 @@
+#include "tools/snic_lint/symbol_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace snic::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// A parsed rule must look like a rule name; prose that merely mentions the
+// tag (docs, test comments) writes placeholders like `<rule>` which must
+// not register phantom suppressions for the stale-suppression audit.
+bool IsRuleName(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Records `snic-lint: allow(rule-a, rule-b)` from a comment starting at
+// `line`. `alone` is true when the comment is the only content on its line,
+// in which case the suppression also covers the following line. Occurrences
+// preceded by a backtick are prose *about* the mechanism (docs/tests
+// quoting the syntax), not suppressions.
+void ParseSuppression(const std::string& comment, int line, bool alone,
+                      SourceFile* out) {
+  static constexpr std::string_view kTag = "snic-lint: allow(";
+  size_t pos = comment.find(kTag);
+  while (pos != std::string::npos) {
+    if (pos > 0 && (comment[pos - 1] == '`' ||
+                    (pos > 3 && comment.compare(pos - 3, 3, "// ") == 0 &&
+                     comment[pos - 4] == '`'))) {
+      pos = comment.find(kTag, pos + kTag.size());
+      continue;
+    }
+    const size_t open = pos + kTag.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string rules = comment.substr(open, close - open);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const size_t b = rule.find_first_not_of(" \t");
+      const size_t e = rule.find_last_not_of(" \t");
+      if (b == std::string::npos) {
+        continue;
+      }
+      rule = rule.substr(b, e - b + 1);
+      if (!IsRuleName(rule)) {
+        continue;
+      }
+      out->suppressions[line].emplace(rule, line);
+      if (alone) {
+        out->suppressions[line + 1].emplace(rule, line);
+      }
+    }
+    pos = comment.find(kTag, close);
+  }
+}
+
+}  // namespace
+
+SourceFile Tokenize(const std::string& path, const std::string& text) {
+  SourceFile out;
+  out.path = path;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  // Tracks whether anything other than whitespace/comment appeared on the
+  // current line before a comment — for "comment alone on line" detection.
+  bool line_has_code = false;
+
+  auto advance_line = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      ParseSuppression(text.substr(start, i - start), line, !line_has_code,
+                       &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      const bool alone = !line_has_code;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          advance_line();
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      ParseSuppression(text.substr(start, i - start), start_line, alone, &out);
+      continue;
+    }
+    // Preprocessor line: record #include "..." targets, tokenize nothing.
+    if (c == '#' && !line_has_code) {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) {
+        ++j;
+      }
+      if (text.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) {
+          ++j;
+        }
+        if (j < n && text[j] == '"') {
+          const size_t close = text.find('"', j + 1);
+          if (close != std::string::npos) {
+            out.includes.emplace_back(text.substr(j + 1, close - j - 1), line);
+          }
+        }
+      }
+      // Skip to end of line, honoring continuations.
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance_line();
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_has_code = true;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const size_t open_paren = text.find('(', i + 2);
+      if (open_paren != std::string::npos) {
+        const std::string delim = text.substr(i + 2, open_paren - i - 2);
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = text.find(closer, open_paren + 1);
+        const size_t stop = end == std::string::npos ? n : end;
+        out.tokens.push_back(
+            {TokKind::kString,
+             text.substr(open_paren + 1, stop - open_paren - 1), line});
+        for (size_t k = i; k < std::min(n, stop + closer.size()); ++k) {
+          if (text[k] == '\n') {
+            ++line;
+          }
+        }
+        i = end == std::string::npos ? n : end + closer.size();
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          value += text[i];
+          value += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          advance_line();  // unterminated; tolerate
+        }
+        value += text[i];
+        ++i;
+      }
+      ++i;  // closing quote
+      if (quote == '"') {
+        out.tokens.push_back({TokKind::kString, value, start_line});
+      }
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(text[i])) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kIdent, text.substr(start, i - start), line});
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(text[i]) || text[i] == '.' ||
+                       (text[i] == '\'' && i + 1 < n &&
+                        IsIdentChar(text[i + 1])) ||  // digit separators
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                         text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, text.substr(start, i - start), line});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file indexer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// Keywords that can directly precede a call expression's name without
+// making it a declaration: `return Foo(x)`, `new Ring(n)`, ...
+const std::set<std::string>& CallPrecedingKeywords() {
+  static const std::set<std::string> kSet = {
+      "return", "co_return", "co_await", "co_yield", "case",
+      "else",   "do",        "throw",    "new",      "not"};
+  return kSet;
+}
+
+// Identifiers that look like calls but are control flow / operators.
+const std::set<std::string>& NonCallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",          "while",     "switch",   "catch",
+      "sizeof",   "alignof",      "alignas",   "decltype", "noexcept",
+      "typeid",   "static_assert", "assert",   "defined",  "asm",
+      "__builtin_expect", "va_arg", "va_start", "va_end"};
+  return kSet;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock, kOther } kind;
+  std::string name;  // namespace/class name ("" for blocks/anon)
+};
+
+class Indexer {
+ public:
+  explicit Indexer(SourceFile source) {
+    out_.source = std::move(source);
+  }
+
+  FileIndex Run() {
+    const auto& toks = out_.source.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          PushScope({Scope::kBlock, ""});
+        } else if (t.text == "}") {
+          PopScope(t.line);
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) {
+        continue;
+      }
+      if (InFunction()) {
+        MaybeRecordCall(i);
+        continue;
+      }
+      if (t.text == "namespace") {
+        i = EnterNamespace(i);
+        continue;
+      }
+      if ((t.text == "class" || t.text == "struct") &&
+          !(i > 0 && IsIdent(toks[i - 1], "enum"))) {
+        i = EnterClassIfDefinition(i);
+        continue;
+      }
+      if (t.text == "enum") {
+        i = SkipEnum(i);
+        continue;
+      }
+      if (t.text == "using") {
+        i = RecordUsing(i);
+        continue;
+      }
+      if (size_t adv = MaybeEnterFunction(i); adv != 0) {
+        i = adv;
+        continue;
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& Toks() const { return out_.source.tokens; }
+
+  void PushScope(Scope s) { scopes_.push_back(std::move(s)); }
+
+  void PopScope(int line) {
+    if (scopes_.empty()) {
+      return;  // unbalanced; tolerate
+    }
+    if (scopes_.back().kind == Scope::kFunction && !function_stack_.empty()) {
+      out_.defs[function_stack_.back()].body_end = line;
+      function_stack_.pop_back();
+    }
+    scopes_.pop_back();
+  }
+
+  bool InFunction() const { return !function_stack_.empty(); }
+
+  std::string NamespaceScope() const {
+    std::string s;
+    for (const Scope& sc : scopes_) {
+      if (sc.kind == Scope::kNamespace && !sc.name.empty()) {
+        s += (s.empty() ? "" : "::") + sc.name;
+      }
+    }
+    return s;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) {
+        return it->name;
+      }
+    }
+    return "";
+  }
+
+  // `namespace ns::sub {` / `namespace {`. Returns index of the `{` (the
+  // scope is pushed here, so the main loop must not push a block for it).
+  size_t EnterNamespace(size_t i) {
+    const auto& toks = Toks();
+    std::string name;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kIdent) {
+        name += (name.empty() ? "" : "::") + toks[j].text;
+      } else if (IsPunct(toks[j], ":")) {
+        continue;
+      } else {
+        break;
+      }
+    }
+    if (j < toks.size() && IsPunct(toks[j], "{")) {
+      PushScope({Scope::kNamespace, name});  // "" = anonymous
+      return j;
+    }
+    return j - 1;  // alias / ill-formed; let the loop continue
+  }
+
+  // `class Name ... {` pushes a class scope; forward declarations and
+  // variable declarations (`class Name x;`) do not. Returns the index to
+  // resume after (the `{` when a scope was pushed).
+  size_t EnterClassIfDefinition(size_t i) {
+    const auto& toks = Toks();
+    std::string name;
+    size_t j = i + 1;
+    // Skip attributes / alignas(...) between the keyword and the name.
+    while (j < toks.size()) {
+      if (toks[j].kind == TokKind::kIdent &&
+          NonCallKeywords().count(toks[j].text) == 0) {
+        name = toks[j].text;
+        ++j;
+        // final / exported names: keep the last plain identifier before
+        // a `{`, `:`, or `;`.
+        if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(toks[j], "[") || IsPunct(toks[j], "(")) {
+        j = SkipBalanced(j);
+        continue;
+      }
+      break;
+    }
+    // Scan to the deciding token: `{` (definition), `;` (declaration) or
+    // `=`/`(` (variable). Base-class lists may contain templates.
+    int angle = 0;
+    for (size_t k = j; k < toks.size() && k < j + 256; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != TokKind::kPunct) {
+        continue;
+      }
+      if (t.text == "<") {
+        ++angle;
+      } else if (t.text == ">") {
+        angle = std::max(0, angle - 1);
+      } else if (t.text == "{" && angle == 0) {
+        PushScope({Scope::kClass, name});
+        return k;
+      } else if (t.text == ";" && angle == 0) {
+        return k;
+      }
+    }
+    return i;
+  }
+
+  // `enum [class] Name ... { ... };` — skip the enumerator block entirely
+  // so enumerators don't look like definitions or calls.
+  size_t SkipEnum(size_t i) {
+    const auto& toks = Toks();
+    for (size_t k = i + 1; k < toks.size() && k < i + 64; ++k) {
+      if (IsPunct(toks[k], ";")) {
+        return k;
+      }
+      if (IsPunct(toks[k], "{")) {
+        return SkipBalanced(k) - 1;
+      }
+    }
+    return i;
+  }
+
+  // `using util::Tick;` imports a name; `using Alias = ...;` and
+  // `using namespace ns;` are recorded as namespace-level imports too.
+  size_t RecordUsing(size_t i) {
+    const auto& toks = Toks();
+    std::string qualified;
+    bool is_alias = false;
+    size_t k = i + 1;
+    if (k < toks.size() && IsIdent(toks[k], "namespace")) {
+      ++k;
+    }
+    for (; k < toks.size(); ++k) {
+      if (IsPunct(toks[k], ";")) {
+        break;
+      }
+      if (IsPunct(toks[k], "=")) {
+        is_alias = true;
+        break;
+      }
+      if (toks[k].kind == TokKind::kIdent) {
+        qualified += (qualified.empty() ? "" : "::") + toks[k].text;
+      }
+    }
+    if (!is_alias && qualified.find("::") != std::string::npos) {
+      out_.usings.push_back(qualified);
+    }
+    // Resume after the statement.
+    for (; k < toks.size(); ++k) {
+      if (IsPunct(toks[k], ";")) {
+        return k;
+      }
+    }
+    return i;
+  }
+
+  size_t SkipBalanced(size_t open) {
+    const auto& toks = Toks();
+    const std::string& o = toks[open].text;
+    const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (size_t k = open; k < toks.size(); ++k) {
+      if (IsPunct(toks[k], o.c_str())) {
+        ++depth;
+      } else if (IsPunct(toks[k], c.c_str())) {
+        if (--depth == 0) {
+          return k + 1;
+        }
+      }
+    }
+    return toks.size();
+  }
+
+  // At namespace/class scope, recognizes a function *definition* whose name
+  // ends at token `i`: `[quals ::] name ( params ) [const noexcept ...]
+  // [: init-list] {`. Returns the index of the body `{` when entered, else
+  // 0 (meaning: not a definition, continue scanning from i).
+  size_t MaybeEnterFunction(size_t i) {
+    const auto& toks = Toks();
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) {
+      return 0;
+    }
+    const std::string& name = toks[i].text;
+    if (NonCallKeywords().count(name) != 0 ||
+        CallPrecedingKeywords().count(name) != 0 || name == "operator") {
+      return 0;
+    }
+    // Collect declarator qualifiers walking back over `ident ::` pairs:
+    // `Clock::Now` -> quals {Clock}, name Now. A leading `~` (destructor)
+    // folds into the name.
+    std::vector<std::string> quals;
+    size_t back = i;
+    while (back >= 2 && IsPunct(toks[back - 1], ":") &&
+           IsPunct(toks[back - 2], ":") && back >= 3 &&
+           toks[back - 3].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), toks[back - 3].text);
+      back -= 3;
+    }
+    // Parameter list.
+    size_t after = SkipBalanced(i + 1);
+    if (after >= toks.size()) {
+      return 0;
+    }
+    // Trailer: const, noexcept(...), override, final, ref-qualifiers,
+    // trailing return `-> T`, constructor init list `: a(0), b{1}`.
+    size_t k = after;
+    bool saw_init_colon = false;
+    while (k < toks.size()) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "noexcept" && k + 1 < toks.size() &&
+            IsPunct(toks[k + 1], "(")) {
+          k = SkipBalanced(k + 1);
+          continue;
+        }
+        ++k;
+        continue;
+      }
+      if (IsPunct(t, ";") || IsPunct(t, "=")) {
+        return 0;  // declaration / = default / = delete / variable init
+      }
+      if (IsPunct(t, "{")) {
+        // Constructor-init-list entries `name{...}` are followed by `,` or
+        // another entry; the body `{` is reached with the entry list done.
+        if (saw_init_colon && k + 0 < toks.size()) {
+          // `name {init}` vs body: an init-entry `{` is directly preceded
+          // by an identifier or `>`.
+          const Token& prev = toks[k - 1];
+          if (prev.kind == TokKind::kIdent ||
+              (prev.kind == TokKind::kPunct && prev.text == ">")) {
+            k = SkipBalanced(k);
+            continue;
+          }
+        }
+        break;  // the function body
+      }
+      if (IsPunct(t, ":")) {
+        if (k + 1 < toks.size() && IsPunct(toks[k + 1], ":")) {
+          k += 2;  // `::` inside a trailing return type
+          continue;
+        }
+        saw_init_colon = true;
+        ++k;
+        continue;
+      }
+      if (IsPunct(t, "(")) {
+        k = SkipBalanced(k);  // init-list entry `name(...)`
+        continue;
+      }
+      if (IsPunct(t, "<")) {
+        // Template args in a trailing return / init entry: skip to `>` at
+        // depth 0 (heuristic).
+        int depth = 0;
+        for (; k < toks.size(); ++k) {
+          if (IsPunct(toks[k], "<")) {
+            ++depth;
+          } else if (IsPunct(toks[k], ">")) {
+            if (--depth == 0) {
+              ++k;
+              break;
+            }
+          } else if (IsPunct(toks[k], ";") || IsPunct(toks[k], "{")) {
+            break;  // not a template after all
+          }
+        }
+        continue;
+      }
+      ++k;  // &, &&, ->, commas in init lists, ...
+    }
+    if (k >= toks.size() || !IsPunct(toks[k], "{")) {
+      return 0;
+    }
+
+    FunctionDef def;
+    def.name = name;
+    def.file = out_.source.path;
+    def.line = toks[i].line;
+    def.body_begin = toks[k].line;
+    def.body_end = toks[k].line;
+    def.scope = NamespaceScope();
+    std::string cls = EnclosingClass();
+    if (!quals.empty()) {
+      // Out-of-class definition `Type::Method` (or nested-namespace
+      // qualification; treating the last qualifier as the class is the
+      // common case and only affects method-vs-free classification).
+      cls = quals.back();
+    }
+    def.class_name = cls;
+    def.is_method = !cls.empty();
+    std::string qualified = def.scope;
+    for (const std::string& q : quals) {
+      qualified += (qualified.empty() ? "" : "::") + q;
+    }
+    if (quals.empty() && !cls.empty()) {
+      qualified += (qualified.empty() ? "" : "::") + cls;
+    }
+    qualified += (qualified.empty() ? "" : "::") + name;
+    def.qualified = qualified;
+
+    out_.defs.push_back(std::move(def));
+    function_stack_.push_back(out_.defs.size() - 1);
+    PushScope({Scope::kFunction, name});
+    return k;  // the body `{` — already accounted for by the pushed scope
+  }
+
+  // Inside a function body: `[quals ::] name (` is a call site unless the
+  // previous token makes it a declaration (`Type name(...)`).
+  void MaybeRecordCall(size_t i) {
+    const auto& toks = Toks();
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) {
+      return;
+    }
+    const std::string& name = toks[i].text;
+    if (NonCallKeywords().count(name) != 0 || name == "operator") {
+      return;
+    }
+    // Collect qualifiers.
+    std::vector<std::string> segments;
+    size_t back = i;
+    while (back >= 3 && IsPunct(toks[back - 1], ":") &&
+           IsPunct(toks[back - 2], ":") &&
+           toks[back - 3].kind == TokKind::kIdent) {
+      segments.insert(segments.begin(), toks[back - 3].text);
+      back -= 3;
+    }
+    segments.push_back(name);
+    // The token before the whole qualified-id decides.
+    bool member = false;
+    if (back >= 1) {
+      const Token& prev = toks[back - 1];
+      if (prev.kind == TokKind::kIdent) {
+        if (CallPrecedingKeywords().count(prev.text) == 0) {
+          return;  // `Type name(...)` — a declaration, not a call
+        }
+      } else if (prev.kind == TokKind::kPunct) {
+        if (prev.text == ".") {
+          member = true;
+        } else if (prev.text == ">" && back >= 2 &&
+                   IsPunct(toks[back - 2], "-")) {
+          member = true;
+        } else if (prev.text == ">") {
+          return;  // `vector<int> name(...)` — a declaration
+        }
+      }
+    }
+    CallSite call;
+    call.segments = std::move(segments);
+    call.member_access = member;
+    call.line = toks[i].line;
+    out_.defs[function_stack_.back()].calls.push_back(std::move(call));
+  }
+
+  FileIndex out_;
+  std::vector<Scope> scopes_;
+  std::vector<size_t> function_stack_;  // indexes into out_.defs
+};
+
+}  // namespace
+
+FileIndex IndexFile(SourceFile source) {
+  return Indexer(std::move(source)).Run();
+}
+
+// ---------------------------------------------------------------------------
+// Graph build
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// True when `scope` ("a::b") is the global scope or an ancestor-or-equal of
+// `inner` ("a::b::c") — i.e. a name declared in `scope` is visible
+// unqualified from `inner`.
+bool ScopeVisible(const std::string& scope, const std::string& inner) {
+  if (scope.empty()) {
+    return true;
+  }
+  if (scope.size() > inner.size()) {
+    return false;
+  }
+  if (inner.compare(0, scope.size(), scope) != 0) {
+    return false;
+  }
+  return inner.size() == scope.size() || inner[scope.size()] == ':';
+}
+
+// True when the qualified name's segments end with the call's segments:
+// call `util::Now` matches def `snic::util::Now`.
+bool QualifiedSuffixMatch(const std::string& qualified,
+                          const std::vector<std::string>& segments) {
+  std::string suffix;
+  for (const std::string& s : segments) {
+    suffix += (suffix.empty() ? "" : "::") + s;
+  }
+  if (suffix.size() > qualified.size()) {
+    return false;
+  }
+  if (qualified.compare(qualified.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+    return false;
+  }
+  return qualified.size() == suffix.size() ||
+         qualified.compare(qualified.size() - suffix.size() - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+SymbolGraph BuildSymbolGraph(const std::vector<FileIndex>& files) {
+  SymbolGraph g;
+  // Node table in (file, def) order — deterministic given sorted files.
+  std::map<std::string, std::vector<int>> by_name;
+  std::map<std::string, int> path_index;
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    path_index[files[fi].source.path] = fi;
+    const FileIndex& file = files[fi];
+    for (int di = 0; di < static_cast<int>(file.defs.size()); ++di) {
+      const FunctionDef& def = file.defs[di];
+      const int id = static_cast<int>(g.nodes.size());
+      g.nodes.push_back({def.qualified, def.file, def.line, def.is_method,
+                         fi, di});
+      by_name[def.name].push_back(id);
+    }
+  }
+  g.out.resize(g.nodes.size());
+  g.in.resize(g.nodes.size());
+
+  // Transitive include closure per file, so resolution only binds calls to
+  // definitions the caller's translation unit can actually see: the callee's
+  // file itself or its header twin (`x/foo.cc` is visible through
+  // `x/foo.h`). This is what keeps the name-union fallback from inventing
+  // edges between unrelated same-name functions in unrelated modules.
+  std::vector<std::set<int>> closure(files.size());
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    std::vector<int> stack = {fi};
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      if (!closure[fi].insert(cur).second) {
+        continue;
+      }
+      for (const auto& inc : files[cur].source.includes) {
+        const auto it = path_index.find(inc.first);
+        if (it != path_index.end()) {
+          stack.push_back(it->second);
+        }
+      }
+    }
+  }
+  auto visible = [&](int caller_file, int def_file) {
+    if (closure[caller_file].count(def_file) != 0) {
+      return true;
+    }
+    const std::string& p = files[def_file].source.path;
+    if (p.size() > 3 && p.compare(p.size() - 3, 3, ".cc") == 0) {
+      const auto twin = path_index.find(p.substr(0, p.size() - 3) + ".h");
+      if (twin != path_index.end() &&
+          closure[caller_file].count(twin->second) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto def_of = [&](int id) -> const FunctionDef& {
+    const SymbolGraph::Node& n = g.nodes[id];
+    return files[n.file_index].defs[n.def_index];
+  };
+
+  for (int id = 0; id < static_cast<int>(g.nodes.size()); ++id) {
+    const FunctionDef& caller = def_of(id);
+    const int caller_file = g.nodes[id].file_index;
+    const FileIndex& file = files[caller_file];
+    std::set<std::pair<int, int>> seen;  // (callee, line) dedup
+    for (const CallSite& call : caller.calls) {
+      const auto it = by_name.find(call.segments.back());
+      if (it == by_name.end()) {
+        continue;  // external (libc, std::, macros): no in-tree definition
+      }
+      std::vector<std::pair<int, bool>> resolved;  // (callee, fuzzy)
+      if (call.segments.size() > 1) {
+        // Qualified calls resolve by namespace-suffix match against the
+        // whole tree, ignoring include visibility: the qualifier is strong
+        // evidence on its own, and this is exactly how a dependency smuggled
+        // through a forward declaration (no #include to betray it) is
+        // caught.
+        for (int c : it->second) {
+          if (QualifiedSuffixMatch(g.nodes[c].qualified, call.segments)) {
+            resolved.push_back({c, false});
+          }
+        }
+      } else {
+        // Unqualified calls are matched only against definitions the
+        // caller's TU can actually see, so same-name functions in unrelated
+        // modules don't fabricate edges.
+        std::vector<int> candidates;
+        for (int c : it->second) {
+          if (visible(caller_file, g.nodes[c].file_index)) {
+            candidates.push_back(c);
+          }
+        }
+        if (candidates.empty()) {
+          continue;  // nothing visible: treat as external (libc, std::)
+        }
+        if (call.member_access) {
+          // Without type information the object's class is unknown;
+          // matching a foreign class's same-name method is a guess, so
+          // those edges are fuzzy. An own-class match (this->F()) is
+          // scope-accurate.
+          for (int c : candidates) {
+            const FunctionDef& callee = def_of(c);
+            if (callee.is_method) {
+              const bool own = !caller.class_name.empty() &&
+                               callee.class_name == caller.class_name;
+              resolved.push_back({c, !own});
+            }
+          }
+        } else {
+          // Unqualified free call: own-class methods, free functions in a
+          // visible namespace scope, and using-imported names.
+          for (int c : candidates) {
+            const FunctionDef& callee = def_of(c);
+            const bool own_method =
+                callee.is_method && !caller.class_name.empty() &&
+                callee.class_name == caller.class_name;
+            const bool visible_free =
+                !callee.is_method &&
+                ScopeVisible(callee.scope, caller.scope);
+            const bool imported =
+                std::find(file.usings.begin(), file.usings.end(),
+                          callee.qualified) != file.usings.end();
+            if (own_method || visible_free || imported) {
+              resolved.push_back({c, false});
+            }
+          }
+          if (resolved.empty()) {
+            for (int c : candidates) {
+              resolved.push_back({c, true});  // name-union fallback
+            }
+          }
+        }
+      }
+      for (const auto& [callee, fuzzy] : resolved) {
+        if (callee == id) {
+          continue;  // direct recursion adds nothing to reachability
+        }
+        if (seen.insert({callee, call.line}).second) {
+          g.out[id].push_back({callee, call.line, fuzzy});
+          g.in[callee].push_back({id, call.line, fuzzy});
+        }
+      }
+    }
+    std::sort(g.out[id].begin(), g.out[id].end(),
+              [](const SymbolGraph::Edge& a, const SymbolGraph::Edge& b) {
+                return std::tie(a.line, a.to) < std::tie(b.line, b.to);
+              });
+  }
+  for (auto& edges : g.in) {
+    std::sort(edges.begin(), edges.end(),
+              [](const SymbolGraph::Edge& a, const SymbolGraph::Edge& b) {
+                return std::tie(a.to, a.line) < std::tie(b.to, b.line);
+              });
+  }
+  return g;
+}
+
+int SymbolGraph::EnclosingFunction(const std::vector<FileIndex>& files,
+                                   int file_index, int line) const {
+  int best = -1;
+  int best_begin = -1;
+  for (int id = 0; id < static_cast<int>(nodes.size()); ++id) {
+    if (nodes[id].file_index != file_index) {
+      continue;
+    }
+    const FunctionDef& def = files[file_index].defs[nodes[id].def_index];
+    const int begin = std::min(def.line, def.body_begin);
+    if (begin <= line && line <= def.body_end && begin > best_begin) {
+      best = id;
+      best_begin = begin;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string Layer(const std::string& path) {
+  const size_t slash = path.find('/');
+  if (slash == std::string::npos) {
+    return "";
+  }
+  const size_t next = path.find('/', slash + 1);
+  return path.substr(0, next == std::string::npos ? path.size() : next);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GraphToJson(const SymbolGraph& graph) {
+  std::string out = "{\n  \"nodes\": [\n";
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const SymbolGraph::Node& n = graph.nodes[i];
+    out += "    {\"id\": " + std::to_string(i) + ", \"name\": \"" +
+           JsonEscape(n.qualified) + "\", \"file\": \"" + JsonEscape(n.file) +
+           "\", \"line\": " + std::to_string(n.line) + ", \"layer\": \"" +
+           JsonEscape(Layer(n.file)) + "\", \"method\": " +
+           (n.is_method ? "true" : "false") + "}";
+    out += i + 1 < graph.nodes.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"edges\": [\n";
+  std::string edges;
+  for (size_t from = 0; from < graph.out.size(); ++from) {
+    for (const SymbolGraph::Edge& e : graph.out[from]) {
+      if (!edges.empty()) {
+        edges += ",\n";
+      }
+      edges += "    {\"from\": " + std::to_string(from) +
+               ", \"to\": " + std::to_string(e.to) +
+               ", \"line\": " + std::to_string(e.line) + "}";
+    }
+  }
+  out += edges + (edges.empty() ? "" : "\n") + "  ]\n}\n";
+  return out;
+}
+
+std::string GraphToDot(const SymbolGraph& graph) {
+  std::string out = "digraph snic_calls {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const SymbolGraph::Node& n = graph.nodes[i];
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           JsonEscape(n.qualified) + "\\n" + JsonEscape(n.file) + ":" +
+           std::to_string(n.line) + "\"];\n";
+  }
+  for (size_t from = 0; from < graph.out.size(); ++from) {
+    for (const SymbolGraph::Edge& e : graph.out[from]) {
+      out += "  n" + std::to_string(from) + " -> n" + std::to_string(e.to) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace snic::lint
