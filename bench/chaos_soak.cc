@@ -48,9 +48,6 @@ constexpr uint16_t kPortA = 1111;
 constexpr uint16_t kPortB = 2222;
 constexpr uint16_t kPortC = 3333;
 constexpr uint64_t kCyclesPerStep = 100;
-// Bench-private site: while it fires the victim neither heartbeats nor
-// polls its pipeline (a hung function, as the watchdog sees it).
-constexpr std::string_view kHangSite = "chaos.hang";
 
 using bench::AppendF;
 using bench::Fnv;
@@ -106,7 +103,7 @@ void InstallFaultSchedule(fault::FaultPlane& plane, uint64_t a_id) {
   // A's first restart fails twice (setup consumes launch hits 0..2: A,B,C).
   add(fault::sites::kNfLaunch, fault::kAnyNf, 3, 2, 0, 0);
   // Heartbeat hang long enough to trip the watchdog.
-  add(kHangSite, a_id, 300, 40, 0, 0);
+  add(fault::sites::kNfHang, a_id, 300, 40, 0, 0);
   // One DMA staging error on the readback path.
   add(fault::sites::kDmaNicToHost, a_id, 200, 1, 0, 0);
   // Endgame: the host->NIC path fails forever; repeated crash-on-restart
@@ -258,7 +255,7 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
     // (kUnavailable) failure is a crash the supervisor recovers from.
     const bool a_running =
         supervisor.HealthOf("victim-a") == mgmt::NfHealth::kRunning;
-    const bool a_hung = a_running && SNIC_FAULT_FIRES(kHangSite, a_id);
+    const bool a_hung = a_running && SNIC_FAULT_FIRES(fault::sites::kNfHang, a_id);
     if (a_running && !a_hung) {
       bool a_crashed = false;
       while (!a_crashed) {
@@ -389,7 +386,7 @@ ScenarioResult RunScenario(bool faulted, uint64_t seed, uint64_t steps) {
        {fault::sites::kVppRxDrop, fault::sites::kVppRxCorrupt,
         fault::sites::kVppRxAdmissionReject, fault::sites::kAccelThreadAccess,
         fault::sites::kNfLaunch, fault::sites::kDmaNicToHost,
-        fault::sites::kDmaHostToNic, fault::sites::kBusTimeout, kHangSite}) {
+        fault::sites::kDmaHostToNic, fault::sites::kBusTimeout, fault::sites::kNfHang}) {
     const uint64_t n = plane.InjectedAt(site);
     if (n > 0) {
       AppendF(summary, "    %-22s %" PRIu64 "\n", std::string(site).c_str(),

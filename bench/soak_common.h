@@ -25,32 +25,16 @@
 #include "bench/bench_util.h"
 #include "src/obs/trace_event.h"
 #include "src/obs/trace_ring.h"
+#include "src/scenario/digest.h"
 
 namespace snic::bench {
 
-// FNV-1a 64-bit running digest over packet bytes, grant times, stat words —
-// the byte-identity invariant is "these digests match".
-struct Fnv {
-  uint64_t h = 1469598103934665603ull;
-  void Mix(const uint8_t* p, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      h = (h ^ p[i]) * 1099511628211ull;
-    }
-  }
-  void Mix64(uint64_t v) {
-    uint8_t b[8];
-    for (int i = 0; i < 8; ++i) {
-      b[i] = static_cast<uint8_t>(v >> (8 * i));
-    }
-    Mix(b, 8);
-  }
-};
-
-// A tenant's lane of a trace, reduced to (event count, digest).
-struct LaneDigest {
-  uint64_t count = 0;
-  uint64_t digest = 0;
-};
+// The digest primitives live in src/scenario/digest.h so the declarative
+// scenario runner and the bespoke soaks share one notion of "identical
+// record"; re-exported here to keep the soaks' spelling unchanged.
+using Fnv = scenario::Fnv;
+using LaneDigest = scenario::LaneDigest;
+using scenario::DigestRingLane;
 
 // Digest of the TraceLog events on `pid`'s lane (name, ts, dur).
 inline LaneDigest DigestTraceLane(const obs::TraceLog& trace, uint32_t pid) {
@@ -64,28 +48,6 @@ inline LaneDigest DigestTraceLane(const obs::TraceLog& trace, uint32_t pid) {
             event.name.size());
     fnv.Mix64(event.ts);
     fnv.Mix64(event.dur);
-    ++lane.count;
-  }
-  lane.digest = fnv.h;
-  return lane;
-}
-
-// Digest of the binary span records on `pid`'s lane. Names are resolved to
-// strings so the digest is independent of interning order.
-inline LaneDigest DigestRingLane(const obs::TraceRing& ring, uint32_t pid) {
-  Fnv fnv;
-  LaneDigest lane;
-  for (size_t i = 0; i < ring.size(); ++i) {
-    const obs::TraceRecord& r = ring.record(i);
-    if (r.pid != pid) {
-      continue;
-    }
-    const std::string_view name = ring.NameOf(r.name);
-    fnv.Mix(reinterpret_cast<const uint8_t*>(name.data()), name.size());
-    fnv.Mix64(r.ts);
-    fnv.Mix64(r.span);
-    fnv.Mix64(r.arg);
-    fnv.Mix64(r.tid);
     ++lane.count;
   }
   lane.digest = fnv.h;

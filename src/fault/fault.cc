@@ -72,7 +72,7 @@ void FaultPlane::AttachTraceRing(obs::TraceRing* ring) {
 }
 
 bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
-                          uint64_t* stall) {
+                          uint64_t attempt, uint64_t* stall) {
   bool fired = false;
   for (RuleState& state : rules_) {
     const FaultRule& rule = state.rule;
@@ -80,6 +80,12 @@ bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
       continue;
     }
     if (rule.nf_id != kAnyNf && rule.nf_id != nf_id) {
+      continue;
+    }
+    if (rule.on_attempt != 0 && rule.on_attempt != attempt) {
+      // Attempt predicate mismatch: not a hit for this rule at all, so its
+      // counters and rng stream stay untouched — "fire on the Nth recovery
+      // attempt" cannot be skewed by other traffic at the site.
       continue;
     }
     const uint64_t hit = state.hits++;
@@ -119,14 +125,15 @@ bool FaultPlane::Evaluate(std::string_view site, uint64_t nf_id,
   return fired;
 }
 
-bool FaultPlane::Fires(std::string_view site, uint64_t nf_id) {
+bool FaultPlane::Fires(std::string_view site, uint64_t nf_id,
+                       uint64_t attempt) {
   uint64_t stall = 0;
-  return Evaluate(site, nf_id, &stall);
+  return Evaluate(site, nf_id, attempt, &stall);
 }
 
 uint64_t FaultPlane::StallCycles(std::string_view site, uint64_t nf_id) {
   uint64_t stall = 0;
-  Evaluate(site, nf_id, &stall);
+  Evaluate(site, nf_id, /*attempt=*/0, &stall);
   return stall;
 }
 

@@ -44,11 +44,18 @@
 #ifdef SNIC_FAULTS_DISABLED
 #define SNIC_FAULT_FIRES(site, nf_id) (false)
 #define SNIC_FAULT_STALL(site, nf_id) (uint64_t{0})
+#define SNIC_FAULT_FIRES_ATTEMPT(site, nf_id, attempt) (false)
 #else
 #define SNIC_FAULT_FIRES(site, nf_id) \
   (::snic::fault::SiteFires((site), (nf_id)))
 #define SNIC_FAULT_STALL(site, nf_id) \
   (::snic::fault::SiteStall((site), (nf_id)))
+// Attempt-carrying site: the caller supplies which recovery attempt it is on
+// (1-based; 0 = not a retry). Rules with `on_attempt` set match only hits
+// whose attempt equals theirs, which is how a schedule says "fail the Nth
+// restart" without counting unrelated hits at the site.
+#define SNIC_FAULT_FIRES_ATTEMPT(site, nf_id, attempt) \
+  (::snic::fault::SiteFiresAttempt((site), (nf_id), (attempt)))
 #endif
 
 namespace snic::fault {
@@ -79,6 +86,17 @@ inline constexpr std::string_view kBreakerProbe = "overload.breaker.probe";
 // Trusted-instruction layer: nf_launch fails with transient
 // kResourceExhausted before touching any resource.
 inline constexpr std::string_view kNfLaunch = "snic.nf_launch";
+// Supervisor re-attestation during a restart (mgmt::Supervisor): a firing
+// hit makes the relaunched child's attestation handshake fail, so the
+// restart attempt is charged as a failed recovery and re-enters backoff.
+// This is an attempt-carrying site — the Supervisor passes the 1-based
+// recovery-attempt number, so `FaultRule::on_attempt` can target exactly
+// the Nth attempt (crash-during-recovery scenarios).
+inline constexpr std::string_view kSupervisorReattest = "supervisor.reattest";
+// NF service loop: a firing hit makes the NF skip its heartbeat and all
+// work this step (a silent hang the watchdog must catch). Consulted by the
+// chaos soak and the scenario runner's workload tenants.
+inline constexpr std::string_view kNfHang = "nf.hang";
 // Internal IO bus: the request is stalled by the rule's stall_cycles
 // payload before arbitration (a modeled timeout).
 inline constexpr std::string_view kBusTimeout = "sim.bus.timeout";
@@ -122,6 +140,15 @@ struct FaultRule {
   uint64_t period = 0;
   double probability = 1.0;
   uint64_t stall_cycles = 0;  // payload for stall/timeout sites
+  // Attempt predicate: 0 matches every hit (classic behavior). When set,
+  // the rule only considers hits whose caller-supplied attempt number (see
+  // SNIC_FAULT_FIRES_ATTEMPT) equals this value — e.g. on_attempt = 2
+  // means "fire during the 2nd recovery attempt". Hits at sites that do
+  // not carry an attempt (attempt 0) never match a rule with on_attempt
+  // set, and non-matching hits do not advance the rule's counters, so an
+  // attempt-scoped rule cannot be perturbed by unrelated traffic at the
+  // same site.
+  uint64_t on_attempt = 0;
 };
 
 // A seeded, schedule-driven fault injector. Single-threaded like a metric
@@ -139,8 +166,10 @@ class FaultPlane {
   void AddRule(FaultRule rule);
 
   // Decision for one execution of a site: advances every matching rule's hit
-  // counter and returns true when at least one fires.
-  bool Fires(std::string_view site, uint64_t nf_id);
+  // counter and returns true when at least one fires. `attempt` is the
+  // caller-supplied recovery-attempt context (0 = none); rules with
+  // on_attempt set match only hits carrying their attempt number.
+  bool Fires(std::string_view site, uint64_t nf_id, uint64_t attempt = 0);
 
   // Like Fires, but returns the summed stall_cycles payload of the firing
   // rules (0 when none fire).
@@ -187,7 +216,8 @@ class FaultPlane {
 
   // Shared evaluation: advances matching rules, returns whether any fired
   // and accumulates firing rules' stall payloads into *stall.
-  bool Evaluate(std::string_view site, uint64_t nf_id, uint64_t* stall);
+  bool Evaluate(std::string_view site, uint64_t nf_id, uint64_t attempt,
+                uint64_t* stall);
   void PublishRule(RuleState& state);
 
   uint64_t seed_;
@@ -236,6 +266,12 @@ inline bool SiteFires(std::string_view site, uint64_t nf_id) {
 inline uint64_t SiteStall(std::string_view site, uint64_t nf_id) {
   FaultPlane* plane = internal::tls_plane;
   return plane == nullptr ? 0 : plane->StallCycles(site, nf_id);
+}
+
+inline bool SiteFiresAttempt(std::string_view site, uint64_t nf_id,
+                             uint64_t attempt) {
+  FaultPlane* plane = internal::tls_plane;
+  return plane != nullptr && plane->Fires(site, nf_id, attempt);
 }
 
 }  // namespace snic::fault

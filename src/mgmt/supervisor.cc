@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "src/core/attestation.h"
+#include "src/fault/fault.h"
 #include "src/mgmt/verifier.h"
 #include "src/obs/span_names.h"
 
@@ -50,6 +52,8 @@ void Supervisor::AttachObs(obs::MetricRegistry* registry) {
     obs_restarts_ = &registry->GetCounter("mgmt.supervisor.restarts");
     obs_quarantines_ = &registry->GetCounter("mgmt.supervisor.quarantines");
     obs_downgrades_ = &registry->GetCounter("mgmt.supervisor.downgrades");
+    obs_restart_queue_depth_ =
+        &registry->GetGauge("mgmt.supervisor.restart_queue_depth");
   });
   (void)registry;
 }
@@ -97,7 +101,8 @@ void Supervisor::Emit(std::string_view event, const std::string& name,
   });
 }
 
-Status Supervisor::LaunchChild(const std::string& name, Child& child) {
+Status Supervisor::LaunchChild(const std::string& name, Child& child,
+                               uint64_t attempt) {
   FunctionImage launch_image = child.image;
   if (child.degraded) {
     // Graceful degradation: the function's accelerator cluster keeps
@@ -140,7 +145,17 @@ Status Supervisor::LaunchChild(const std::string& name, Child& child) {
     }
     const core::QuoteVerification verdict =
         core::VerifyQuote(vendor_key_, quote.value(), request.nonce, &expected);
-    if (!verdict.Ok()) {
+    // Crash-during-recovery site: a firing hit poisons this attempt's
+    // attestation verdict after the real exchange ran, so the failure path
+    // exercised is exactly the one a genuinely bad quote would take. The
+    // attempt number lets schedules target "the Nth recovery attempt". The
+    // site is keyed by the child's PREVIOUS nf id (still in child.nf_id
+    // here): that is the identity schedules know, and RetargetRules keeps
+    // it current across successful restarts — the fresh candidate id is
+    // unknowable to a schedule.
+    const bool injected_reattest_fault = SNIC_FAULT_FIRES_ATTEMPT(
+        fault::sites::kSupervisorReattest, child.nf_id, attempt);
+    if (!verdict.Ok() || injected_reattest_fault) {
       (void)nic_os_->NfDestroy(nf_id);
       return Status(ErrorCode::kInternal,
                     "relaunch attestation failed for " + name);
@@ -158,7 +173,7 @@ Result<uint64_t> Supervisor::Adopt(const FunctionImage& image) {
   }
   Child child;
   child.image = image;
-  if (Status s = LaunchChild(image.name, child); !s.ok()) {
+  if (Status s = LaunchChild(image.name, child, /*attempt=*/0); !s.ok()) {
     return s;
   }
   child.health = NfHealth::kRunning;
@@ -261,13 +276,35 @@ void Supervisor::Tick(uint64_t now_cycles) {
     }
   }
 
-  // Due restarts.
+  // Due restarts, capped per tick. The pending queue is deterministic:
+  // due children sorted by (restart_due, name), the first
+  // max_concurrent_restarts of them relaunched now, the rest deferred to
+  // the next tick with their deadlines untouched. A correlated burst that
+  // downs N children therefore costs at most cap relaunches (measurement +
+  // attestation each) per tick instead of N.
+  std::vector<std::pair<uint64_t, std::string>> due;
   for (auto& [name, child] : children_) {
-    if (child.health != NfHealth::kRestarting || child.restart_due > now_) {
-      continue;
+    if (child.health == NfHealth::kRestarting && child.restart_due <= now_) {
+      due.emplace_back(child.restart_due, name);
     }
+  }
+  std::sort(due.begin(), due.end());
+  const size_t budget =
+      config_.max_concurrent_restarts == 0
+          ? due.size()
+          : std::min<size_t>(due.size(), config_.max_concurrent_restarts);
+  restart_queue_depth_ = due.size() - budget;
+  restart_queue_peak_ = std::max(restart_queue_peak_, restart_queue_depth_);
+  stats_.restart_deferrals += restart_queue_depth_;
+  SNIC_OBS(if (obs_restart_queue_depth_ != nullptr) {
+    obs_restart_queue_depth_->Set(static_cast<double>(restart_queue_depth_));
+  });
+  for (size_t i = 0; i < budget; ++i) {
+    const std::string& name = due[i].second;
+    Child& child = children_.find(name)->second;
     const uint64_t old_id = child.nf_id;
-    if (Status s = LaunchChild(name, child); !s.ok()) {
+    if (Status s = LaunchChild(name, child, child.consecutive_failures);
+        !s.ok()) {
       ++stats_.failed_restarts;
       ++child.consecutive_failures;
       if (child.consecutive_failures > config_.quarantine_after) {

@@ -89,6 +89,14 @@ struct SupervisorConfig {
   // also runs the full attestation exchange against the vendor key.
   bool verify_attestation = true;
   crypto::DhGroup dh_group = crypto::SmallTestGroup();
+
+  // Restart-storm guard: at most this many relaunch attempts per Tick
+  // (0 = unlimited). When a correlated fault burst downs many children at
+  // once, the due set beyond the cap waits in a deterministic pending
+  // queue ordered by (restart_due, name) and drains cap-per-tick, so
+  // recovery cost per tick is bounded no matter how wide the burst. The
+  // queue depth is published as mgmt.supervisor.restart_queue_depth.
+  uint32_t max_concurrent_restarts = 0;
 };
 
 struct SupervisorStats {
@@ -99,6 +107,7 @@ struct SupervisorStats {
   uint64_t quarantines = 0;
   uint64_t accel_downgrades = 0;   // children demoted to the software path
   uint64_t reattestations = 0;     // fresh quotes verified on relaunch
+  uint64_t restart_deferrals = 0;  // due relaunches held back by the cap
 };
 
 class Supervisor {
@@ -137,6 +146,11 @@ class Supervisor {
   const SupervisorStats& stats() const { return stats_; }
   uint64_t now() const { return now_; }
 
+  // Pending-restart queue introspection (satellite of the restart cap):
+  // depth after the most recent Tick, and the high-water mark.
+  uint64_t restart_queue_depth() const { return restart_queue_depth_; }
+  uint64_t restart_queue_peak() const { return restart_queue_peak_; }
+
   void SetRestartCallback(RestartCallback callback) {
     restart_callback_ = std::move(callback);
   }
@@ -167,7 +181,10 @@ class Supervisor {
 
   // NfCreate (accelerators stripped when degraded) + measurement check +
   // optional attestation. On success the child's nf_id is updated.
-  Status LaunchChild(const std::string& name, Child& child);
+  // `attempt` is the 1-based recovery-attempt number (0 for the initial
+  // Adopt launch); it is forwarded to the supervisor.reattest fault site so
+  // schedules can fail exactly the Nth re-attestation.
+  Status LaunchChild(const std::string& name, Child& child, uint64_t attempt);
   // Shared crash path for ReportCrash and watchdog expiry.
   void HandleCrash(const std::string& name, Child& child, CrashCause cause);
   uint64_t BackoffCycles(uint32_t consecutive_failures);
@@ -180,6 +197,8 @@ class Supervisor {
   Rng rng_;
   uint64_t now_ = 0;
   SupervisorStats stats_;
+  uint64_t restart_queue_depth_ = 0;
+  uint64_t restart_queue_peak_ = 0;
   std::map<std::string, Child> children_;  // ordered: deterministic scans
   RestartCallback restart_callback_;
   obs::TraceLog* trace_ = nullptr;
@@ -193,6 +212,7 @@ class Supervisor {
   obs::Counter* obs_restarts_ = nullptr;
   obs::Counter* obs_quarantines_ = nullptr;
   obs::Counter* obs_downgrades_ = nullptr;
+  obs::Gauge* obs_restart_queue_depth_ = nullptr;
 };
 
 }  // namespace snic::mgmt

@@ -1,0 +1,454 @@
+#include "src/scenario/generator.h"
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/fault/fault.h"
+#include "src/runtime/sweep.h"
+
+namespace snic::scenario {
+
+namespace {
+
+// The standard chaos constellation: a faultable victim (zip + DMA, bus
+// domain 0), the protected bystander (bus domain 1), and a plain forwarding
+// tenant keeping the switch busy.
+ScenarioSpec ChaosBase(const std::string& name, uint64_t steps) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.steps = steps;
+  spec.bus_domains = 2;
+  spec.supervisor.quarantine_after = 6;  // families that quarantine lower it
+  TenantSpec victim;
+  victim.name = "victim-a";
+  victim.port = 1111;
+  victim.role = TenantRole::kWorkload;
+  victim.zip_clusters = 1;
+  victim.bus_domain = 0;
+  victim.dma = true;
+  victim.frames_per_step = 1;
+  TenantSpec bystander;
+  bystander.name = "bystander-b";
+  bystander.port = 2222;
+  bystander.role = TenantRole::kBystander;
+  bystander.bus_domain = 1;
+  bystander.frames_per_step = 2;
+  TenantSpec forwarder;
+  forwarder.name = "tenant-c";
+  forwarder.port = 3333;
+  forwarder.role = TenantRole::kWorkload;
+  forwarder.frames_per_step = 1;
+  spec.tenants = {victim, bystander, forwarder};
+  spec.verdicts.bystander_identical = true;
+  return spec;
+}
+
+FaultRuleSpec Rule(std::string_view site, const std::string& nf,
+                   uint64_t skip, uint64_t count, uint64_t period) {
+  FaultRuleSpec rule;
+  rule.site = std::string(site);
+  rule.nf = nf;
+  rule.skip = skip;
+  rule.count = count;
+  rule.period = period;
+  return rule;
+}
+
+// The overload constellation: a policied target with a breaker-gated
+// accelerator, and the protected bystander.
+ScenarioSpec OverloadBase(const std::string& name, uint64_t steps,
+                          uint64_t load_pct) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.steps = steps;
+  spec.supervisor.verify_attestation = false;  // no restarts in this family
+  TenantSpec target;
+  target.name = "overloaded-o";
+  target.port = 1000;
+  target.role = TenantRole::kWorkload;
+  target.zip_clusters = 1;
+  target.has_policy = true;
+  target.policy.rx_queue_capacity_frames = 24;
+  target.policy.tx_queue_capacity_frames = 32;
+  target.policy.priority_early_drop = true;
+  target.policy.admission_burst_frames = 24;
+  target.policy.admission_frames_per_refill = 6;
+  target.policy.admission_refill_cycles = 50;
+  target.policy.deadline_cycles = 150;
+  TenantSpec bystander;
+  bystander.name = "bystander-b";
+  bystander.port = 2000;
+  bystander.role = TenantRole::kBystander;
+  bystander.frames_per_step = 2;
+  spec.tenants = {target, bystander};
+  spec.has_overload = true;
+  spec.overload.target = "overloaded-o";
+  spec.overload.load_pct = load_pct;
+  spec.overload.baseline_pct = 100;
+  spec.overload.service_per_step = 4;
+  spec.verdicts.bystander_identical = true;
+  spec.verdicts.queue_bound = true;
+  return spec;
+}
+
+// The hostile constellation: a protected VF-backed victim and an attacker
+// behind its own VF.
+ScenarioSpec HostileBase(const std::string& name, uint64_t steps) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.steps = steps;
+  spec.supervisor.quarantine_after = 3;
+  // Slow-burn attacks (malformed descriptors, quota churn) take tens of
+  // steps per abuse verdict; the stable window must outlast a full cycle
+  // or the consecutive-failure streak resets and containment never latches.
+  spec.supervisor.stable_steps = 80;
+  spec.supervisor.verify_attestation = false;  // restarts are VF rebinds
+  TenantSpec victim;
+  victim.name = "victim-v";
+  victim.port = 6100;
+  victim.role = TenantRole::kBystander;
+  victim.frames_per_step = 3;
+  victim.has_vf = true;
+  victim.vf.ring_slots = 16;
+  victim.vf.cq_slots = 16;
+  victim.vf.posted_bytes_limit = 64 * 1024;
+  TenantSpec attacker;
+  attacker.name = "attacker-x";
+  attacker.port = 6200;
+  attacker.role = TenantRole::kAttacker;
+  attacker.frames_per_step = 2;
+  attacker.has_vf = true;
+  attacker.vf.ring_slots = 16;
+  attacker.vf.cq_slots = 8;
+  attacker.vf.posted_bytes_limit = 48 * 1024;
+  attacker.vf.abuse_threshold = 16;
+  spec.tenants = {victim, attacker};
+  spec.has_attack = true;
+  spec.attack.target = "attacker-x";
+  spec.verdicts.bystander_identical = true;
+  return spec;
+}
+
+// Family A: one fault site at a time, parameters drawn per variant.
+void FamilyA(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  Rng rng(runtime::DeriveTaskSeed(seed, 101));
+  struct SiteShape {
+    std::string_view site;
+    // How the single fault manifests, which picks the verdicts.
+    enum { kInvisible, kCrash, kHang, kLaunch, kBus } kind;
+  };
+  const SiteShape kShapes[] = {
+      {fault::sites::kVppRxDrop, SiteShape::kInvisible},
+      {fault::sites::kVppRxCorrupt, SiteShape::kInvisible},
+      {fault::sites::kVppRxAdmissionReject, SiteShape::kInvisible},
+      {fault::sites::kAccelThreadAccess, SiteShape::kCrash},
+      {fault::sites::kDmaHostToNic, SiteShape::kCrash},
+      {fault::sites::kDmaNicToHost, SiteShape::kCrash},
+      {fault::sites::kNfHang, SiteShape::kHang},
+      {fault::sites::kNfLaunch, SiteShape::kLaunch},
+      {fault::sites::kBusTimeout, SiteShape::kBus},
+  };
+  for (const SiteShape& shape : kShapes) {
+    for (int variant = 0; variant < 7; ++variant) {
+      ScenarioSpec spec = ChaosBase(
+          "a/" + std::string(shape.site) + "/" + std::to_string(variant), 320);
+      const uint64_t skip = 10 + rng.NextBounded(60);
+      switch (shape.kind) {
+        case SiteShape::kInvisible: {
+          // Sporadic pipeline damage on the victim; no crash machinery.
+          spec.faults.push_back(Rule(shape.site, "victim-a", skip,
+                                     1 + rng.NextBounded(2),
+                                     60 + rng.NextBounded(90)));
+          break;
+        }
+        case SiteShape::kCrash: {
+          // One or two transient crashes; the victim must come back.
+          spec.faults.push_back(
+              Rule(shape.site, "victim-a", skip, 1 + rng.NextBounded(2),
+                   variant % 2 == 0 ? 0 : 120 + rng.NextBounded(60)));
+          spec.verdicts.must_recover = {"victim-a"};
+          spec.verdicts.recovery_deadline_steps = 150;
+          break;
+        }
+        case SiteShape::kHang: {
+          // A hang long enough to trip the 15-step watchdog.
+          spec.faults.push_back(
+              Rule(shape.site, "victim-a", skip, 25 + rng.NextBounded(20), 0));
+          spec.verdicts.must_recover = {"victim-a"};
+          spec.verdicts.recovery_deadline_steps = 150;
+          break;
+        }
+        case SiteShape::kLaunch: {
+          // A transient crash whose first restart attempts fail.
+          spec.faults.push_back(
+              Rule(fault::sites::kDmaNicToHost, "victim-a", skip, 1, 0));
+          spec.faults.push_back(Rule(fault::sites::kNfLaunch, "",
+                                     /*skip=*/0, 1 + rng.NextBounded(2), 0));
+          spec.verdicts.must_recover = {"victim-a"};
+          spec.verdicts.recovery_deadline_steps = 200;
+          break;
+        }
+        case SiteShape::kBus: {
+          // Stalls confined to the victim's bus domain (raw key 0).
+          FaultRuleSpec rule;
+          rule.site = std::string(shape.site);
+          rule.has_raw_id = true;
+          rule.raw_id = 0;
+          rule.skip = skip;
+          rule.count = 1;
+          rule.period = 30 + rng.NextBounded(50);
+          rule.stall_cycles = 200 + rng.NextBounded(600);
+          spec.faults.push_back(rule);
+          break;
+        }
+      }
+      out->push_back(std::move(spec));
+    }
+  }
+}
+
+// Family B: correlated multi-site bursts across two victims; half the
+// variants cap the Supervisor at one relaunch per tick so the burst drains
+// through the deterministic pending queue.
+void FamilyB(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  Rng rng(runtime::DeriveTaskSeed(seed, 102));
+  for (int variant = 0; variant < 30; ++variant) {
+    ScenarioSpec spec =
+        ChaosBase("b/burst/" + std::to_string(variant), 400);
+    // A second faultable victim so the burst downs more than one child.
+    TenantSpec victim2;
+    victim2.name = "victim-d";
+    victim2.port = 4444;
+    victim2.role = TenantRole::kWorkload;
+    victim2.dma = true;
+    victim2.frames_per_step = 1;
+    spec.tenants.push_back(victim2);
+    if (variant % 2 == 0) {
+      spec.supervisor.max_concurrent_restarts = 1;
+    }
+    // The burst: both victims crash in the same window, with extra
+    // pipeline damage and a bus stall landing alongside.
+    const uint64_t burst = 30 + rng.NextBounded(80);
+    spec.faults.push_back(Rule(fault::sites::kDmaHostToNic, "victim-a", burst,
+                               1 + rng.NextBounded(2), 0));
+    spec.faults.push_back(Rule(fault::sites::kDmaNicToHost, "victim-d", burst,
+                               1 + rng.NextBounded(2), 0));
+    spec.faults.push_back(Rule(fault::sites::kVppRxCorrupt, "victim-a",
+                               burst + rng.NextBounded(8), 1,
+                               90 + rng.NextBounded(60)));
+    if (variant % 3 == 0) {
+      spec.faults.push_back(
+          Rule(fault::sites::kAccelThreadAccess, "victim-a",
+               burst + 2 + rng.NextBounded(10), 1, 0));
+    }
+    FaultRuleSpec bus_rule;
+    bus_rule.site = std::string(fault::sites::kBusTimeout);
+    bus_rule.has_raw_id = true;
+    bus_rule.raw_id = 0;
+    bus_rule.skip = burst;
+    bus_rule.count = 1;
+    bus_rule.period = 40 + rng.NextBounded(40);
+    bus_rule.stall_cycles = 300;
+    spec.faults.push_back(bus_rule);
+    spec.verdicts.must_recover = {"victim-a", "victim-d"};
+    spec.verdicts.recovery_deadline_steps = 200;
+    out->push_back(std::move(spec));
+  }
+}
+
+// Family C: crash-during-recovery. A forever crash loop quarantines the
+// victim; a supervisor.reattest rule poisons exactly the Nth relaunch
+// attempt on the way down. Containment must latch; the bystander must not
+// notice any of it.
+void FamilyC(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  Rng rng(runtime::DeriveTaskSeed(seed, 103));
+  for (int variant = 0; variant < 24; ++variant) {
+    ScenarioSpec spec =
+        ChaosBase("c/crash-during-recovery/" + std::to_string(variant), 420);
+    spec.supervisor.quarantine_after = 3 + (variant % 2);
+    FaultRuleSpec crash = Rule(fault::sites::kDmaHostToNic, "victim-a",
+                               20 + rng.NextBounded(60),
+                               fault::FaultRule::kForever, 0);
+    crash.count = fault::FaultRule::kForever;
+    spec.faults.push_back(crash);
+    FaultRuleSpec reattest;
+    reattest.site = std::string(fault::sites::kSupervisorReattest);
+    reattest.nf = "victim-a";
+    reattest.count = 1;
+    reattest.on_attempt = 1 + (variant % 3);  // poison the Nth relaunch
+    spec.faults.push_back(reattest);
+    spec.verdicts.containment = {"victim-a"};
+    spec.verdicts.recovery_deadline_steps = 250;
+    out->push_back(std::move(spec));
+  }
+}
+
+// Family D: offered-load sweeps against the policied target.
+void FamilyD(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  Rng rng(runtime::DeriveTaskSeed(seed, 104));
+  const uint64_t kLoads[] = {25, 50, 100, 150, 200, 300, 400, 800};
+  for (const uint64_t load : kLoads) {
+    for (int variant = 0; variant < 4; ++variant) {
+      ScenarioSpec spec = OverloadBase(
+          "d/load-" + std::to_string(load) + "/" + std::to_string(variant),
+          240, load);
+      // Policy variants: queue depth and admission rate move together so
+      // the bound stays assertable.
+      TenantSpec& target = spec.tenants[0];
+      target.policy.rx_queue_capacity_frames = 16 + 8 * (variant % 3);
+      target.policy.admission_burst_frames =
+          target.policy.rx_queue_capacity_frames;
+      target.policy.priority_early_drop = variant % 2 == 0;
+      if (variant == 3) {
+        target.policy.deadline_cycles = 100 + rng.NextBounded(100);
+      }
+      if (load >= 100) {
+        // Overload must shed, not collapse: goodput holds a floor of the
+        // baseline twin's nominal-load goodput.
+        spec.verdicts.goodput_floor_pct = 70;
+      }
+      out->push_back(std::move(spec));
+    }
+  }
+}
+
+// Family E: the hostile-tenant attack shapes at several intensities.
+void FamilyE(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  (void)seed;  // the family is a fixed grid; nothing random to draw
+  struct Shape {
+    const char* name;
+    uint64_t flood_rings;
+    bool squat;
+    uint64_t flood_period, squat_period, corrupt_period, stale_period,
+        churn_period;
+    const char* detect;  // abuse kind asserted at high intensity
+  };
+  const Shape kShapes[] = {
+      {"flood", 16, false, 9, 0, 0, 0, 0, "flood"},
+      {"squat", 0, true, 0, 3, 0, 0, 0, "squat"},
+      {"malformed", 0, false, 0, 0, 5, 9, 0, "desc"},
+      {"churn", 0, false, 0, 0, 0, 0, 5, "churn"},
+  };
+  for (const Shape& shape : kShapes) {
+    for (int intensity = 0; intensity < 9; ++intensity) {
+      ScenarioSpec spec = HostileBase("e/" + std::string(shape.name) + "/" +
+                                          std::to_string(intensity),
+                                      360);
+      // Intensity scales the driver volume and tightens the periods.
+      const uint64_t scale = 1 + intensity;
+      spec.attack.flood_rings = shape.flood_rings * scale / 2;
+      spec.attack.squat = shape.squat && intensity >= 2;
+      const auto add = [&spec](std::string_view site, uint64_t period) {
+        if (period == 0) {
+          return;
+        }
+        FaultRuleSpec rule;
+        rule.site = std::string(site);
+        rule.nf = "attacker-x";
+        rule.skip = 2;
+        rule.count = 1;
+        rule.period = period;
+        spec.faults.push_back(rule);
+      };
+      const auto tighten = [scale](uint64_t period) {
+        if (period == 0) {
+          return uint64_t{0};
+        }
+        const uint64_t tightened = period * 4 / (3 + scale);
+        return tightened < 2 ? uint64_t{2} : tightened;
+      };
+      add(fault::sites::kVnicDoorbellFlood, tighten(shape.flood_period));
+      add(fault::sites::kVnicCqSquat, tighten(shape.squat_period));
+      add(fault::sites::kVnicDescCorrupt, tighten(shape.corrupt_period));
+      add(fault::sites::kVnicDescStale, tighten(shape.stale_period));
+      add(fault::sites::kVnicQuotaChurn, tighten(shape.churn_period));
+      if (intensity >= 6) {
+        spec.verdicts.detect_abuse = {shape.detect};
+        spec.verdicts.containment = {"attacker-x"};
+      }
+      out->push_back(std::move(spec));
+    }
+  }
+}
+
+// Family F: compound scenarios — the acceptance-criteria shape. A crash
+// loop with a poisoned re-attestation (fault-during-recovery) while the
+// overload plane is saturated, and attacks under overload: containment and
+// queue bounds must hold with the bystander byte-identical throughout.
+void FamilyF(uint64_t seed, std::vector<ScenarioSpec>* out) {
+  Rng rng(runtime::DeriveTaskSeed(seed, 106));
+  for (int variant = 0; variant < 8; ++variant) {
+    ScenarioSpec spec = OverloadBase(
+        "f/fault-during-recovery-overload/" + std::to_string(variant), 420,
+        /*load_pct=*/300);
+    spec.supervisor.verify_attestation = true;
+    spec.supervisor.quarantine_after = 3;
+    // A third tenant carries the crash loop so the overload target's
+    // goodput story stays clean.
+    TenantSpec victim;
+    victim.name = "victim-a";
+    victim.port = 1111;
+    victim.role = TenantRole::kWorkload;
+    victim.dma = true;
+    victim.frames_per_step = 1;
+    spec.tenants.push_back(victim);
+    FaultRuleSpec crash =
+        Rule(fault::sites::kDmaHostToNic, "victim-a",
+             20 + rng.NextBounded(40), fault::FaultRule::kForever, 0);
+    spec.faults.push_back(crash);
+    FaultRuleSpec reattest;
+    reattest.site = std::string(fault::sites::kSupervisorReattest);
+    reattest.nf = "victim-a";
+    reattest.count = 1;
+    reattest.on_attempt = 1 + (variant % 3);
+    spec.faults.push_back(reattest);
+    spec.verdicts.containment = {"victim-a"};
+    out->push_back(std::move(spec));
+  }
+  for (int variant = 0; variant < 8; ++variant) {
+    ScenarioSpec spec = OverloadBase(
+        "f/attack-overload/" + std::to_string(variant), 420, /*load_pct=*/200);
+    spec.supervisor.quarantine_after = 3;
+    TenantSpec attacker;
+    attacker.name = "attacker-x";
+    attacker.port = 6200;
+    attacker.role = TenantRole::kAttacker;
+    attacker.frames_per_step = 2;
+    attacker.has_vf = true;
+    attacker.vf.ring_slots = 16;
+    attacker.vf.cq_slots = 8;
+    attacker.vf.posted_bytes_limit = 48 * 1024;
+    attacker.vf.abuse_threshold = 16;
+    spec.tenants.push_back(attacker);
+    spec.has_attack = true;
+    spec.attack.target = "attacker-x";
+    spec.attack.flood_rings = 32 + 8 * variant;
+    spec.attack.squat = variant % 2 == 1;
+    FaultRuleSpec flood;
+    flood.site = std::string(fault::sites::kVnicDoorbellFlood);
+    flood.nf = "attacker-x";
+    flood.skip = 2;
+    flood.count = 1;
+    flood.period = 5;
+    spec.faults.push_back(flood);
+    spec.verdicts.detect_abuse = {"flood"};
+    spec.verdicts.containment = {"attacker-x"};
+    out->push_back(std::move(spec));
+  }
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> GenerateScenarios(uint64_t seed) {
+  std::vector<ScenarioSpec> out;
+  out.reserve(200);
+  FamilyA(seed, &out);
+  FamilyB(seed, &out);
+  FamilyC(seed, &out);
+  FamilyD(seed, &out);
+  FamilyE(seed, &out);
+  FamilyF(seed, &out);
+  return out;
+}
+
+}  // namespace snic::scenario

@@ -1,0 +1,42 @@
+// Seeded scenario families for bench/scenario_matrix.
+//
+// GenerateScenarios mints ~190 ScenarioSpecs deterministically from one
+// seed, in six families:
+//
+//   A  single-site sweeps        one registered fault site at a time,
+//                                varied skip/count/period, against the
+//                                standard victim/bystander constellation
+//   B  correlated bursts         multi-site, multi-tenant fault bursts in
+//                                one window, half with the Supervisor's
+//                                restart cap at 1 (queue drains per tick)
+//   C  crash-during-recovery     a forever crash loop plus a
+//                                supervisor.reattest rule keyed to the Nth
+//                                relaunch attempt — containment latches
+//   D  overload sweeps           offered-load factors against a policied
+//                                target; queue bounds and goodput floors
+//   E  vNIC attack sweeps        the hostile-tenant attack shapes at
+//                                several intensities behind VFs
+//   F  compound                  fault-during-recovery + overload, and
+//                                attack + overload, in one scenario
+//
+// Every generated spec round-trips through SerializeScenarioSpec /
+// ParseScenarioSpec (pinned by tests/scenario_test.cc), and every spec
+// carries at least one verdict predicate. The same (seed) always yields
+// the same vector, independent of thread count — the generator draws from
+// family-private Rng lanes, never global state.
+
+#ifndef SNIC_SCENARIO_GENERATOR_H_
+#define SNIC_SCENARIO_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/scenario/spec.h"
+
+namespace snic::scenario {
+
+std::vector<ScenarioSpec> GenerateScenarios(uint64_t seed);
+
+}  // namespace snic::scenario
+
+#endif  // SNIC_SCENARIO_GENERATOR_H_

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/core/attestation.h"
 #include "src/core/attestation_wire.h"
 #include "src/core/snic_device.h"
@@ -25,6 +26,8 @@
 #include "src/mgmt/nic_os.h"
 #include "src/mgmt/verifier.h"
 #include "src/net/parser.h"
+#include "src/scenario/generator.h"
+#include "src/scenario/spec.h"
 #include "src/sim/mem_access.h"
 
 namespace snic {
@@ -861,6 +864,94 @@ TEST(DescriptorFuzzTest, CorruptStreamsFailIdenticallyAtAnyChunking) {
     EXPECT_EQ(whole, chunked) << iter;
     EXPECT_EQ(whole_error.ok(), chunked_error.ok()) << iter;
     EXPECT_EQ(whole_error.message(), chunked_error.message()) << iter;
+  }
+}
+
+// --- Scenario-spec decode-or-reject fuzz (docs/ROBUSTNESS.md, "The
+// scenario matrix"). The parser's contract mirrors the vNIC descriptor
+// codec: a spec either decodes into a fully-validated ScenarioSpec or is
+// rejected with a clean error — never a crash, never a silent
+// mis-decode.
+
+namespace {
+
+// A rich canonical spec exercising every schema branch: VF-backed
+// attacker, overload policy, bus domains, attack mix, every verdict kind.
+std::string RichSpecJson() {
+  // The compound generated family covers supervisor + faults + overload;
+  // splice in the hostile family's VF/attack coverage by picking one of
+  // each and fuzzing both.
+  const auto specs = scenario::GenerateScenarios(0x5ce9a21ull);
+  for (const auto& spec : specs) {
+    if (spec.name.rfind("f/fault-during-recovery-overload", 0) == 0) {
+      return scenario::SerializeScenarioSpec(spec);
+    }
+  }
+  SNIC_CHECK(false);
+  return {};
+}
+
+std::string AttackSpecJson() {
+  const auto specs = scenario::GenerateScenarios(0x5ce9a21ull);
+  for (const auto& spec : specs) {
+    if (spec.name.rfind("e/churn", 0) == 0) {
+      return scenario::SerializeScenarioSpec(spec);
+    }
+  }
+  SNIC_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+TEST(ScenarioSpecFuzzTest, CanonicalFormRoundTrips) {
+  for (const auto& spec : scenario::GenerateScenarios(0x5ce9a21ull)) {
+    const std::string canonical = scenario::SerializeScenarioSpec(spec);
+    const auto reparsed = scenario::ParseScenarioSpec(canonical);
+    ASSERT_TRUE(reparsed.ok()) << spec.name << ": "
+                               << reparsed.status().message();
+    EXPECT_EQ(scenario::SerializeScenarioSpec(reparsed.value()), canonical)
+        << spec.name;
+  }
+}
+
+TEST(ScenarioSpecFuzzTest, EveryTruncationIsRejected) {
+  for (const std::string& valid : {RichSpecJson(), AttackSpecJson()}) {
+    ASSERT_TRUE(scenario::ParseScenarioSpec(valid).ok());
+    for (size_t len = 0; len < valid.size(); ++len) {
+      const auto out =
+          scenario::ParseScenarioSpec(std::string_view(valid).substr(0, len));
+      EXPECT_FALSE(out.ok()) << "prefix of " << len << " bytes accepted";
+    }
+  }
+}
+
+TEST(ScenarioSpecFuzzTest, SingleByteMutantsDecodeOrRejectAndNeverCrash) {
+  Rng rng(0x5bec);
+  const std::vector<std::string> bases = {RichSpecJson(), AttackSpecJson()};
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutant = bases[iter % bases.size()];
+    const size_t at = rng.NextBounded(mutant.size());
+    mutant[at] = static_cast<char>(mutant[at] ^
+                                   static_cast<char>(1 + rng.NextBounded(255)));
+    // Parse twice: the outcome — accepted spec or precise rejection — must
+    // be identical (no hidden state, no UB).
+    const auto a = scenario::ParseScenarioSpec(mutant);
+    const auto b = scenario::ParseScenarioSpec(mutant);
+    ASSERT_EQ(a.ok(), b.ok()) << "iter " << iter;
+    if (a.ok()) {
+      // A mutant that still decodes (e.g. a flipped character inside a
+      // name) must hold the same canonical-form contract as any spec.
+      const std::string canonical =
+          scenario::SerializeScenarioSpec(a.value());
+      const auto again = scenario::ParseScenarioSpec(canonical);
+      ASSERT_TRUE(again.ok()) << "iter " << iter;
+      EXPECT_EQ(scenario::SerializeScenarioSpec(again.value()), canonical)
+          << "iter " << iter;
+    } else {
+      EXPECT_EQ(a.status().message(), b.status().message()) << "iter " << iter;
+      EXPECT_FALSE(a.status().message().empty()) << "iter " << iter;
+    }
   }
 }
 

@@ -283,7 +283,104 @@ TEST_F(SupervisorTest, TransientLaunchFaultsDelayButDoNotKillRecovery) {
   EXPECT_EQ(plane.InjectedAt(fault::sites::kNfLaunch), 2u);
 }
 
+TEST_F(SupervisorTest, CrashDuringRecoveryFailsExactlyTheTargetedAttempt) {
+  // supervisor.reattest with on_attempt crashes the child *inside* the
+  // restart path, on a chosen recovery attempt, and nowhere else.
+  fault::FaultPlane plane(5);
+  for (uint64_t attempt : {1, 2}) {
+    fault::FaultRule rule;
+    rule.site = std::string(fault::sites::kSupervisorReattest);
+    rule.count = 1;
+    rule.on_attempt = attempt;
+    plane.AddRule(rule);
+  }
+  fault::ScopedFaultPlane scoped(&plane);
+
+  SupervisorConfig config = SupConfig();
+  config.quarantine_after = 5;
+  Supervisor supervisor = MakeSupervisor(config);
+  // Adopt runs the same measure/attest path with attempt 0: neither
+  // on_attempt rule may fire on the initial launch.
+  ASSERT_TRUE(supervisor.Adopt(SimpleImage("fw")).ok());
+  EXPECT_EQ(plane.InjectedAt(fault::sites::kSupervisorReattest), 0u);
+
+  supervisor.Tick(100);
+  supervisor.ReportCrash("fw", CrashCause::kGeneric);
+  TickUntilRunning(supervisor, "fw", 150, 40000);
+  ASSERT_EQ(supervisor.HealthOf("fw"), NfHealth::kRunning);
+  // Recovery attempts 1 and 2 died inside re-attestation; attempt 3 ran
+  // the full trust path and succeeded.
+  EXPECT_EQ(plane.InjectedAt(fault::sites::kSupervisorReattest), 2u);
+  EXPECT_EQ(supervisor.stats().failed_restarts, 2u);
+  EXPECT_EQ(supervisor.stats().restarts, 1u);
+}
+
 #endif  // SNIC_FAULTS_DISABLED
+
+TEST_F(SupervisorTest, RestartCapDefersBurstToOnePerTick) {
+  SupervisorConfig config = SupConfig();
+  config.max_concurrent_restarts = 1;
+  Supervisor supervisor = MakeSupervisor(config);
+  const std::vector<std::string> names = {"a", "b", "c"};
+  for (const std::string& name : names) {
+    ASSERT_TRUE(supervisor.Adopt(SimpleImage(name)).ok());
+  }
+  supervisor.Tick(10);
+  for (const std::string& name : names) {
+    supervisor.ReportCrash(name, CrashCause::kGeneric);
+  }
+  // A correlated three-child burst under cap 1: at most one relaunch per
+  // tick, the rest counted as deferrals in the pending queue.
+  uint64_t restarts_seen = supervisor.stats().restarts;
+  for (uint64_t t = 20; t <= 6000; t += 50) {
+    supervisor.Tick(t);
+    const uint64_t restarts_now = supervisor.stats().restarts;
+    EXPECT_LE(restarts_now - restarts_seen, 1u) << "tick " << t;
+    restarts_seen = restarts_now;
+    for (const std::string& name : names) {
+      supervisor.Heartbeat(name);
+    }
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(supervisor.HealthOf(name), NfHealth::kRunning) << name;
+  }
+  EXPECT_EQ(supervisor.stats().restarts, 3u);
+  EXPECT_GT(supervisor.stats().restart_deferrals, 0u);
+  EXPECT_GE(supervisor.restart_queue_peak(), 1u);
+  EXPECT_EQ(supervisor.restart_queue_depth(), 0u);  // fully drained
+}
+
+TEST_F(SupervisorTest, RestartQueueDrainsInDeterministicOrder) {
+  auto run = [this]() {
+    SupervisorConfig config = SupConfig();
+    config.max_concurrent_restarts = 1;
+    Supervisor supervisor = MakeSupervisor(config);
+    std::vector<std::string> order;
+    supervisor.SetRestartCallback(
+        [&order](const std::string& name, uint64_t, uint64_t) {
+          order.push_back(name);
+        });
+    const std::vector<std::string> names = {"a", "b", "c"};
+    for (const std::string& name : names) {
+      EXPECT_TRUE(supervisor.Adopt(SimpleImage(name)).ok());
+    }
+    supervisor.Tick(10);
+    for (const std::string& name : names) {
+      supervisor.ReportCrash(name, CrashCause::kGeneric);
+    }
+    for (uint64_t t = 20; t <= 6000; t += 50) {
+      supervisor.Tick(t);
+      for (const std::string& name : names) {
+        supervisor.Heartbeat(name);
+      }
+    }
+    return order;
+  };
+  const std::vector<std::string> first = run();
+  const std::vector<std::string> second = run();
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(first, second);
+}
 
 }  // namespace
 }  // namespace snic::mgmt

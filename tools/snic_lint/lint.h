@@ -40,10 +40,13 @@
 //                           stronger than include-cycle
 //   stale-suppression       an inline `snic-lint: allow(rule)` that
 //                           suppresses nothing is itself a finding
-//   fault-site-registry     SNIC_FAULT_FIRES/STALL sites: named constants,
-//                           globally unique strings, listed in
-//                           tools/snic_lint/fault_sites.txt and
+//   fault-site-registry     SNIC_FAULT_FIRES/STALL/FIRES_ATTEMPT sites:
+//                           named constants, globally unique strings, listed
+//                           in tools/snic_lint/fault_sites.txt and
 //                           docs/ROBUSTNESS.md
+//   scenario-spec           checked-in scenario specs (bench/scenarios/)
+//                           parse as JSON and reference only registered
+//                           fault sites
 //   metric-name-drift       literal metric/trace names documented in
 //                           docs/OBSERVABILITY.md
 //   span-name-registry      TraceRing::Intern span/arg names in src/ and
@@ -84,6 +87,9 @@ struct Options {
   std::string impure_roots_path = "tools/snic_lint/impure_roots.txt";
   std::string obs_doc_path = "docs/OBSERVABILITY.md";
   std::string robustness_doc_path = "docs/ROBUSTNESS.md";
+  // Checked-in scenario specs (scenario-spec rule); a missing directory
+  // disables the rule.
+  std::string scenarios_dir = "bench/scenarios";
 
   // Worker threads for the file-indexing pass (pass 1), fanned over the
   // deterministic runtime::ThreadPool. Findings are byte-identical at any
